@@ -1,0 +1,82 @@
+// Command bench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	bench -figure 5          # Figure 5: static spills + dynamic gains
+//	bench -figure 6          # Figure 6: the quicksort register study
+//	bench -figure 7          # Figure 7: allocator phase CPU times
+//	bench -figure ablations  # design-choice studies (DESIGN.md §7)
+//	bench -figure integer    # the §3.2 integer-kernel extension
+//	bench -figure passes     # §3.3 convergence of the Figure 4 cycle
+//	bench -figure all        # everything
+//	bench -figure 6 -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regalloc/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, or all")
+	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
+	flag.Parse()
+
+	run5 := *figure == "5" || *figure == "all"
+	run6 := *figure == "6" || *figure == "all"
+	run7 := *figure == "7" || *figure == "all"
+	runAb := *figure == "ablations" || *figure == "all"
+	runInt := *figure == "integer" || *figure == "all"
+	runPass := *figure == "passes" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, or all)\n", *figure)
+		os.Exit(2)
+	}
+
+	if run5 {
+		fmt.Println("=== Figure 5: register allocation improvements ===")
+		res, err := experiments.Figure5()
+		fail(err)
+		fmt.Println(res)
+	}
+	if run6 {
+		fmt.Println("=== Figure 6: quicksort study ===")
+		res, err := experiments.Figure6(*n)
+		fail(err)
+		fmt.Println(res)
+	}
+	if run7 {
+		fmt.Println("=== Figure 7: CPU time for allocator phases ===")
+		res, err := experiments.Figure7()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runAb {
+		fmt.Println("=== Ablations (beyond the paper; see DESIGN.md §7) ===")
+		res, err := experiments.Ablations()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runInt {
+		fmt.Println("=== Integer kernels (the further study §3.2 asks for) ===")
+		res, err := experiments.IntegerStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runPass {
+		fmt.Println("=== Convergence (§3.3: passes around the Figure 4 cycle) ===")
+		res, err := experiments.PassStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Command ccvm loads a binary object file produced by `fcc -o` and
+// runs a function on the simulated machine, reporting the result and
+// the cycle count — the deploy-side half of the toolchain.
+//
+// Usage:
+//
+//	ccvm prog.obj FUNC arg...
+//
+// Arguments are parsed as integers unless they contain '.' or 'e',
+// in which case they are floats. Integer arguments frequently are
+// memory addresses (array bases); use -fill to deterministically
+// fill a region with pseudo-random integers first and -dump to print
+// a region afterwards:
+//
+//	fcc -o qs.obj qsort.f
+//	ccvm -fill 0:200000 -dump 0:10 qs.obj QSORT 0 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"regalloc/internal/encode"
+	"regalloc/internal/vm"
+)
+
+func main() {
+	fill := flag.String("fill", "", "fill memory words \"start:count\" with deterministic pseudo-random integers")
+	dump := flag.String("dump", "", "after the run, print memory words \"start:count\" as integers")
+	dumpF := flag.String("dumpf", "", "after the run, print memory words \"start:count\" as floats")
+	mem := flag.Int("mem", 1<<22, "memory size in words")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ccvm [flags] prog.obj FUNC [args...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	prog, err := encode.DecodeProgram(data)
+	fail(err)
+	m := vm.New(prog, *mem)
+
+	if *fill != "" {
+		start, count, err := parseRange(*fill)
+		fail(err)
+		seed := uint64(0x9E3779B97F4A7C15)
+		for i := int64(0); i < count; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			m.StoreInt(start+i, int64(seed>>40))
+		}
+	}
+
+	var args []vm.Value
+	for _, s := range flag.Args()[2:] {
+		args = append(args, parseArg(s))
+	}
+	ret, err := m.Call(flag.Arg(1), args...)
+	fail(err)
+
+	fmt.Printf("cycles: %d\n", m.Cycles)
+	if ret.Cls == 0 && ret.I == 0 && ret.F == 0 {
+		fmt.Println("result: (subroutine)")
+	} else if ret.Cls == 1 {
+		fmt.Printf("result: %g\n", ret.F)
+	} else {
+		fmt.Printf("result: %d\n", ret.I)
+	}
+
+	if *dump != "" {
+		start, count, err := parseRange(*dump)
+		fail(err)
+		for i := int64(0); i < count; i++ {
+			fmt.Printf("m[%d] = %d\n", start+i, m.LoadInt(start+i))
+		}
+	}
+	if *dumpF != "" {
+		start, count, err := parseRange(*dumpF)
+		fail(err)
+		for i := int64(0); i < count; i++ {
+			fmt.Printf("m[%d] = %g\n", start+i, m.LoadFloat(start+i))
+		}
+	}
+}
+
+func parseRange(s string) (start, count int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want start:count)", s)
+	}
+	start, err = strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, err = strconv.ParseInt(parts[1], 10, 64)
+	return start, count, err
+}
+
+func parseArg(s string) vm.Value {
+	if strings.ContainsAny(s, ".eE") {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return vm.Float(f)
+		}
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return vm.Int(i)
+	}
+	fmt.Fprintf(os.Stderr, "ccvm: bad argument %q\n", s)
+	os.Exit(2)
+	return vm.Value{}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccvm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command fcc is the mini-FORTRAN compiler driver: it compiles a
+// source file, runs register allocation with a chosen heuristic and
+// register budget, and reports per-routine statistics, IR listings,
+// or disassembly.
+//
+// Usage:
+//
+//	fcc [flags] file.f
+//
+//	-heuristic chaitin|briggs|mb   coloring heuristic (default briggs)
+//	-kint N                        general-purpose registers (default 16)
+//	-kfloat N                      floating-point registers (default 8)
+//	-O=false                       disable the optimizer
+//	-dump ir|asm                   print a listing instead of stats
+//	-routine NAME                  restrict to one routine
+//	-o out.obj                     write a binary object file (package encode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regalloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/color"
+	"regalloc/internal/encode"
+	"regalloc/internal/ir"
+)
+
+func main() {
+	heuristic := flag.String("heuristic", "briggs", "coloring heuristic: chaitin, briggs, or mb")
+	kint := flag.Int("kint", 16, "number of general-purpose registers")
+	kfloat := flag.Int("kfloat", 8, "number of floating-point registers")
+	optimize := flag.Bool("O", true, "run the machine-independent optimizer")
+	dump := flag.String("dump", "", "dump a listing: ir or asm")
+	routine := flag.String("routine", "", "restrict to one routine")
+	objOut := flag.String("o", "", "write the assembled program as a binary object file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fcc [flags] file.f")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	h, err := color.ParseHeuristic(*heuristic)
+	fail(err)
+
+	var prog *regalloc.Program
+	if *optimize {
+		prog, err = regalloc.Compile(string(src))
+	} else {
+		prog, err = regalloc.CompileNoOpt(string(src))
+	}
+	fail(err)
+
+	opt := regalloc.DefaultOptions()
+	opt.Heuristic = h
+	opt.KInt = *kint
+	opt.KFloat = *kfloat
+	machine := regalloc.RTPC()
+	machine.NumGPR = *kint
+	machine.NumFPR = *kfloat
+
+	if *objOut != "" {
+		code, _, err := prog.Assemble(machine, opt)
+		fail(err)
+		data, err := encode.EncodeProgram(code)
+		fail(err)
+		fail(os.WriteFile(*objOut, data, 0o644))
+		fmt.Printf("wrote %s (%d bytes)\n", *objOut, len(data))
+		return
+	}
+
+	names := prog.Functions()
+	if *routine != "" {
+		names = []string{*routine}
+	}
+
+	if *dump == "" {
+		fmt.Printf("%-12s %8s %6s %8s %8s %10s %7s\n",
+			"routine", "objsize", "live", "spilled", "slots", "spillcost", "passes")
+	}
+	for _, name := range names {
+		f := prog.Func(name)
+		if f == nil {
+			fail(fmt.Errorf("no routine %s", name))
+		}
+		if *dump == "ir" {
+			ir.Fprint(os.Stdout, f)
+			continue
+		}
+		res, err := prog.Allocate(name, opt)
+		fail(err)
+		lowered, err := asm.Lower(res.Func, res.Colors, machine)
+		fail(err)
+		if *dump == "asm" {
+			asm.Fprint(os.Stdout, lowered)
+			continue
+		}
+		fmt.Printf("%-12s %8d %6d %8d %8d %10.0f %7d\n",
+			name, lowered.ObjectSize(), res.LiveRanges(), res.TotalSpilled(),
+			res.Func.NumSlots, res.TotalSpillCost(), len(res.Passes))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module regalloc
+
+go 1.22

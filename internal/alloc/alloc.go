@@ -1,0 +1,268 @@
+// Package alloc drives register allocation: the paper's Figure 4
+// cycle of renumber/build/coalesce (the "build" box), simplify,
+// color, and spill, repeated until a pass completes with no new
+// spills. Each pass's phase CPU times and spill counts are recorded,
+// which is exactly the data behind the paper's Figure 7.
+package alloc
+
+import (
+	"fmt"
+	"time"
+
+	"regalloc/internal/cfg"
+	"regalloc/internal/coalesce"
+	"regalloc/internal/color"
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+	"regalloc/internal/liverange"
+	"regalloc/internal/spill"
+)
+
+// Options configures a run of the allocator.
+type Options struct {
+	Heuristic color.Heuristic
+	// KInt and KFloat are the available general-purpose and
+	// floating-point register counts (the RT/PC has 16 and 8).
+	KInt   int
+	KFloat int
+	// Metric is the spill-choice figure of merit (default
+	// cost/degree, Chaitin's).
+	Metric color.Metric
+	// Coalesce enables copy coalescing in the build phase.
+	Coalesce bool
+	// ConservativeCoalesce switches from the paper's aggressive
+	// coalescing to the Briggs conservative test (TOPLAS 1994): only
+	// merge when the combined range provably stays colorable. Off by
+	// default (the paper's baseline); included for the ablation.
+	ConservativeCoalesce bool
+	// CostParams tunes the spill-cost estimator.
+	CostParams spill.CostParams
+	// Rematerialize enables Chaitin's never-killed-value refinement:
+	// constant-valued ranges are recomputed at each use instead of
+	// being stored and reloaded, and their spill cost drops
+	// accordingly. Off by default (the paper's baseline).
+	Rematerialize bool
+	// Split enables live-range splitting when spilling (the paper's
+	// §4 future work): a range used but not defined in a loop is
+	// reloaded once in the loop preheader instead of before every
+	// use. Off by default (the paper's baseline is spill-everywhere).
+	// Mutually exclusive with Rematerialize in this implementation;
+	// Split wins if both are set.
+	Split bool
+	// MaxPasses bounds the build–simplify–color–spill iteration;
+	// the paper never observed more than three passes.
+	MaxPasses int
+}
+
+// DefaultOptions returns the paper's configuration: the optimistic
+// heuristic on a 16 GPR + 8 FPR machine.
+func DefaultOptions() Options {
+	return Options{
+		Heuristic:  color.Briggs,
+		KInt:       16,
+		KFloat:     8,
+		Metric:     color.CostOverDegree,
+		Coalesce:   true,
+		CostParams: spill.DefaultCostParams(),
+		MaxPasses:  64,
+	}
+}
+
+// K returns the class-to-color-count function for the options.
+func (o Options) K() color.K { return color.NumColors(o.KInt, o.KFloat) }
+
+// PassStats records one trip around the Figure 4 cycle.
+type PassStats struct {
+	Build    time.Duration // renumber + graph build + coalesce + costs
+	Simplify time.Duration
+	Color    time.Duration // zero when Chaitin skips straight to spilling
+	Spill    time.Duration // zero on the final (successful) pass
+
+	LiveRanges     int // nodes in this pass's interference graph
+	Edges          int
+	CoalescedMoves int
+	Spilled        int     // live ranges spilled by this pass
+	SpillCost      float64 // summed estimated cost of those ranges
+	LoadsInserted  int
+	StoresInserted int
+	Remats         int // reloads replaced by constant recomputation
+	SplitLoads     int // preheader reloads shared by whole loops
+	ScanSteps      int // bucket-scan work in simplify
+}
+
+// Result is a successful allocation.
+type Result struct {
+	// Func is the allocated function: spill code inserted, registers
+	// renumbered to final live ranges.
+	Func *ir.Func
+	// Colors assigns each register of Func a color in [0, k) of its
+	// class; every register is colored.
+	Colors []int16
+	// Passes holds per-pass statistics, in order.
+	Passes []PassStats
+	// Options echoes the configuration used.
+	Options Options
+}
+
+// TotalSpilled sums live ranges spilled across all passes.
+func (r *Result) TotalSpilled() int {
+	n := 0
+	for _, p := range r.Passes {
+		n += p.Spilled
+	}
+	return n
+}
+
+// FirstPassSpilled is the number of ranges spilled by the first
+// pass — the figure the paper's tables report as "registers spilled".
+func (r *Result) FirstPassSpilled() int {
+	if len(r.Passes) == 0 {
+		return 0
+	}
+	return r.Passes[0].Spilled
+}
+
+// FirstPassSpillCost is the estimated cost of the first pass's
+// spills (the paper's "spill cost" column).
+func (r *Result) FirstPassSpillCost() float64 {
+	if len(r.Passes) == 0 {
+		return 0
+	}
+	return r.Passes[0].SpillCost
+}
+
+// TotalSpillCost sums estimated spill costs across passes.
+func (r *Result) TotalSpillCost() float64 {
+	c := 0.0
+	for _, p := range r.Passes {
+		c += p.SpillCost
+	}
+	return c
+}
+
+// LiveRanges is the size of the first interference graph (the
+// paper's "live ranges" column).
+func (r *Result) LiveRanges() int {
+	if len(r.Passes) == 0 {
+		return 0
+	}
+	return r.Passes[0].LiveRanges
+}
+
+// TotalTime sums all phase times over all passes.
+func (r *Result) TotalTime() time.Duration {
+	var t time.Duration
+	for _, p := range r.Passes {
+		t += p.Build + p.Simplify + p.Color + p.Spill
+	}
+	return t
+}
+
+// Run allocates registers for f (on a private clone) and returns the
+// result. It fails if the iteration exceeds MaxPasses or if the
+// machine has too few registers to hold a single instruction's
+// operands (a spill temporary would itself need spilling).
+func Run(f *ir.Func, opt Options) (*Result, error) {
+	if opt.KInt < 1 || opt.KFloat < 1 {
+		return nil, fmt.Errorf("alloc: need at least one register per class (kInt=%d, kFloat=%d)", opt.KInt, opt.KFloat)
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 64
+	}
+	work := f.Clone()
+	res := &Result{Options: opt}
+	kf := opt.K()
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		var ps PassStats
+
+		// Build: renumber into webs, coalesce copies, rebuild the
+		// graph, compute loop depths and spill costs.
+		t0 := time.Now()
+		liverange.Renumber(work)
+		var g *ig.Graph
+		if opt.Coalesce {
+			var moves int
+			if opt.ConservativeCoalesce {
+				moves, g = coalesce.RunConservative(work, kf)
+			} else {
+				moves, g = coalesce.Run(work)
+			}
+			ps.CoalescedMoves = moves
+			if moves > 0 {
+				liverange.Renumber(work)
+				g = ig.Build(work)
+			}
+		} else {
+			g = ig.Build(work)
+		}
+		cfg.Analyze(work)
+		var rematOK []bool
+		var rematVals []spill.RematValue
+		var costs []float64
+		if opt.Rematerialize {
+			rematOK, rematVals = spill.Remat(work)
+			costs = spill.CostsRemat(work, opt.CostParams, rematOK)
+		} else {
+			costs = spill.Costs(work, opt.CostParams)
+		}
+		ps.Build = time.Since(t0)
+		ps.LiveRanges = work.NumRegs()
+		ps.Edges = g.NumEdges()
+
+		// Simplify.
+		t0 = time.Now()
+		sr := color.Simplify(g, costs, kf, opt.Heuristic, opt.Metric)
+		ps.Simplify = time.Since(t0)
+		ps.ScanSteps = sr.ScanSteps
+
+		var toSpill []int32
+		if opt.Heuristic == color.Chaitin && len(sr.SpillMarked) > 0 {
+			// Chaitin: spill immediately, skip coloring this pass.
+			toSpill = sr.SpillMarked
+		} else {
+			t0 = time.Now()
+			colors, uncolored := color.Select(g, sr.Stack, kf, opt.Heuristic != color.Chaitin)
+			ps.Color = time.Since(t0)
+			if len(uncolored) == 0 {
+				res.Passes = append(res.Passes, ps)
+				if err := color.Verify(g, colors, kf); err != nil {
+					return nil, fmt.Errorf("alloc: %s: %w", f.Name, err)
+				}
+				res.Func = work
+				res.Colors = colors
+				return res, nil
+			}
+			toSpill = uncolored
+		}
+
+		// Spill.
+		regs := make([]ir.Reg, len(toSpill))
+		for i, n := range toSpill {
+			if work.RegFlags(ir.Reg(n))&ir.FlagSpillTemp != 0 {
+				return nil, fmt.Errorf("alloc: %s: a spill temporary must itself spill; %d %s registers cannot hold one instruction",
+					f.Name, kf(g.Class(n)), g.Class(n))
+			}
+			regs[i] = ir.Reg(n)
+			ps.SpillCost += costs[n]
+		}
+		ps.Spilled = len(toSpill)
+		t0 = time.Now()
+		var st spill.Stats
+		switch {
+		case opt.Split:
+			st = spill.InsertCodeSplit(work, regs, cfg.Analyze(work))
+		case opt.Rematerialize:
+			st = spill.InsertCodeRemat(work, regs, rematOK, rematVals)
+		default:
+			st = spill.InsertCode(work, regs)
+		}
+		ps.Spill = time.Since(t0)
+		ps.LoadsInserted = st.Loads
+		ps.StoresInserted = st.Stores
+		ps.Remats = st.Remats
+		ps.SplitLoads = st.SplitLoads
+		res.Passes = append(res.Passes, ps)
+	}
+	return nil, fmt.Errorf("alloc: %s: no convergence after %d passes", f.Name, opt.MaxPasses)
+}

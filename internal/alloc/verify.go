@@ -1,0 +1,65 @@
+package alloc
+
+import (
+	"fmt"
+
+	"regalloc/internal/bitset"
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ir"
+)
+
+// VerifyAssignment independently checks a finished allocation: it
+// recomputes liveness from scratch and confirms that no two
+// simultaneously-live registers of the same class share a physical
+// register. Unlike color.Verify — which checks that the assignment
+// properly colors the *interference graph* — this checks the
+// assignment against the *program*, so it also catches bugs in graph
+// construction itself (a missed edge makes color.Verify pass and
+// VerifyAssignment fail).
+//
+// The one permitted sharing mirrors the builder's move exception: at
+// "dst = move src", dst may occupy src's register, because they hold
+// the same value at that point.
+func VerifyAssignment(f *ir.Func, colors []int16) error {
+	if len(colors) < f.NumRegs() {
+		return fmt.Errorf("verify: %s: %d colors for %d registers", f.Name, len(colors), f.NumRegs())
+	}
+	lv := dataflow.ComputeLiveness(f)
+	var fail error
+	for _, b := range f.Blocks {
+		lv.LiveAcross(f, b, func(i int, in *ir.Instr, liveAfter *bitset.Set) {
+			if fail != nil {
+				return
+			}
+			d := in.Def()
+			if d == ir.NoReg {
+				return
+			}
+			if colors[d] < 0 {
+				fail = fmt.Errorf("verify: %s: b%d[%d]: defined register v%d has no color", f.Name, b.ID, i, d)
+				return
+			}
+			moveSrc := ir.NoReg
+			if in.IsMove() {
+				moveSrc = in.A
+			}
+			liveAfter.ForEach(func(l int) {
+				if fail != nil || ir.Reg(l) == d || ir.Reg(l) == moveSrc {
+					return
+				}
+				if f.RegClass(ir.Reg(l)) != f.RegClass(d) {
+					return
+				}
+				if colors[l] == colors[d] {
+					fail = fmt.Errorf(
+						"verify: %s: b%d[%d]: v%d and live v%d share %s register %d",
+						f.Name, b.ID, i, d, l, f.RegClass(d), colors[d])
+				}
+			})
+		})
+		if fail != nil {
+			return fail
+		}
+	}
+	return nil
+}

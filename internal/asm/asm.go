@@ -1,0 +1,282 @@
+// Package asm lowers register-allocated IR into linear machine code
+// for the simulated target: virtual registers are replaced by their
+// assigned physical registers, blocks are laid out sequentially with
+// fall-through branches elided, and spill-slot references become
+// absolute memory addresses. The linear form is what the simulator
+// (package vm) executes and what "object size" measures.
+package asm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/target"
+)
+
+// NoReg marks an absent physical-register operand.
+const NoReg int16 = -1
+
+// Instr is one machine instruction. Register fields index the GPR or
+// FPR file; which file is implied by the opcode, except for the
+// class-generic operations (move, load, store, const, ret, param),
+// which carry Cls.
+type Instr struct {
+	Op      ir.Op
+	Dst     int16
+	A, B, C int16
+	Cls     ir.Class
+	ACls    ir.Class // class of A where it may differ (OpStore value, OpRet)
+	Imm     int64
+	FImm    float64
+	Cmp     ir.Cmp
+	T0, T1  int32 // branch targets (code indices); T1 = -1 when unused
+	Callee  string
+	Args    []ArgRef
+}
+
+// ArgRef is a call argument: a physical register and its class.
+type ArgRef struct {
+	R   int16
+	Cls ir.Class
+}
+
+// Func is an assembled function.
+type Func struct {
+	Name    string
+	Code    []Instr
+	Machine target.Machine
+	// RetCls is meaningful when HasRet.
+	HasRet bool
+	RetCls ir.Class
+	// ParamCls gives the class of each parameter.
+	ParamCls []ir.Class
+}
+
+// ObjectSize returns the encoded size of the function in bytes.
+func (f *Func) ObjectSize() int { return len(f.Code) * target.BytesPerInstr }
+
+// Program is a set of assembled functions.
+type Program struct {
+	Funcs  []*Func
+	byName map[string]*Func
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{byName: make(map[string]*Func)} }
+
+// Add appends f.
+func (p *Program) Add(f *Func) {
+	p.Funcs = append(p.Funcs, f)
+	p.byName[f.Name] = f
+}
+
+// Func looks up a function by name.
+func (p *Program) Func(name string) *Func { return p.byName[name] }
+
+// Lower assembles an allocated function. colors is the allocator's
+// assignment for f's registers; m supplies the register file sizes
+// (used only for sanity checks here).
+func Lower(f *ir.Func, colors []int16, m target.Machine) (*Func, error) {
+	out := &Func{Name: f.Name, Machine: m, HasRet: f.HasRet, RetCls: f.RetCls}
+	for _, p := range f.Params {
+		out.ParamCls = append(out.ParamCls, f.RegClass(p))
+	}
+	phys := func(r ir.Reg) (int16, error) {
+		if r == ir.NoReg {
+			return NoReg, nil
+		}
+		c := colors[r]
+		if c < 0 {
+			return NoReg, fmt.Errorf("asm: %s: register v%d is uncolored", f.Name, r)
+		}
+		if int(c) >= m.K(f.RegClass(r)) {
+			return NoReg, fmt.Errorf("asm: %s: v%d color %d exceeds %s register file", f.Name, r, c, f.RegClass(r))
+		}
+		return c, nil
+	}
+
+	// First pass: emit instructions block by block, collecting
+	// block-start indices and branch fixups.
+	blockStart := make([]int32, len(f.Blocks))
+	type fixup struct {
+		instr  int
+		t0, t1 int // block IDs; -1 when unused
+	}
+	var fixups []fixup
+	var lowerErr error
+	emit := func(in Instr) {
+		out.Code = append(out.Code, in)
+	}
+	reg := func(r ir.Reg) int16 {
+		p, err := phys(r)
+		if err != nil && lowerErr == nil {
+			lowerErr = err
+		}
+		return p
+	}
+
+	for bi, b := range f.Blocks {
+		blockStart[bi] = int32(len(out.Code))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpNop:
+				// dropped
+			case ir.OpBr:
+				// Elide a branch to the lexically next block.
+				if b.Succs[0] == bi+1 {
+					continue
+				}
+				fixups = append(fixups, fixup{instr: len(out.Code), t0: b.Succs[0], t1: -1})
+				emit(Instr{Op: ir.OpBr, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, T1: -1})
+			case ir.OpBrIf:
+				// brif jumps to the true target; the false edge
+				// falls through, with an extra jump if the false
+				// block is not next.
+				fixups = append(fixups, fixup{instr: len(out.Code), t0: b.Succs[0], t1: -1})
+				emit(Instr{
+					Op: ir.OpBrIf, Dst: NoReg, A: reg(in.A), B: reg(in.B), C: NoReg,
+					Cmp: in.Cmp, Cls: in.Cls, T1: -1,
+				})
+				if b.Succs[1] != bi+1 {
+					fixups = append(fixups, fixup{instr: len(out.Code), t0: b.Succs[1], t1: -1})
+					emit(Instr{Op: ir.OpBr, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, T1: -1})
+				}
+			case ir.OpRet:
+				mi := Instr{Op: ir.OpRet, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, T1: -1}
+				if in.A != ir.NoReg {
+					mi.A = reg(in.A)
+					mi.ACls = f.RegClass(in.A)
+				}
+				emit(mi)
+			case ir.OpSpillLoad:
+				emit(Instr{
+					Op: ir.OpLoad, Dst: reg(in.Dst), A: NoReg, B: NoReg, C: NoReg,
+					Cls: f.RegClass(in.Dst), Imm: f.SlotAddr(in.Imm), T1: -1,
+				})
+			case ir.OpSpillStore:
+				emit(Instr{
+					Op: ir.OpStore, Dst: NoReg, A: reg(in.A), B: NoReg, C: NoReg,
+					Cls: f.RegClass(in.A), ACls: f.RegClass(in.A), Imm: f.SlotAddr(in.Imm), T1: -1,
+				})
+			case ir.OpCall:
+				mi := Instr{Op: ir.OpCall, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Callee: in.Callee, T1: -1}
+				if in.Dst != ir.NoReg {
+					mi.Dst = reg(in.Dst)
+					mi.Cls = f.RegClass(in.Dst)
+				}
+				for _, a := range in.Args {
+					mi.Args = append(mi.Args, ArgRef{R: reg(a), Cls: f.RegClass(a)})
+				}
+				emit(mi)
+			default:
+				mi := Instr{
+					Op: in.Op, Dst: reg(in.Dst), A: reg(in.A), B: reg(in.B), C: reg(in.C),
+					Imm: in.Imm, FImm: in.FImm, T1: -1,
+				}
+				// Peephole: a copy whose source and destination were
+				// colored into the same register is a no-op (it can
+				// only arise from moves coalescing declined).
+				if in.Op == ir.OpMove && mi.Dst == mi.A {
+					continue
+				}
+				if in.Dst != ir.NoReg {
+					mi.Cls = f.RegClass(in.Dst)
+				} else if in.A != ir.NoReg {
+					mi.Cls = f.RegClass(in.A)
+				}
+				if in.A != ir.NoReg {
+					mi.ACls = f.RegClass(in.A)
+				}
+				emit(mi)
+			}
+		}
+	}
+	if lowerErr != nil {
+		return nil, lowerErr
+	}
+	for _, fx := range fixups {
+		out.Code[fx.instr].T0 = blockStart[fx.t0]
+		if fx.t1 >= 0 {
+			out.Code[fx.instr].T1 = blockStart[fx.t1]
+		}
+	}
+	return out, nil
+}
+
+// regStr renders a physical register operand.
+func regStr(r int16, cls ir.Class) string {
+	if r == NoReg {
+		return "_"
+	}
+	if cls == ir.ClassFloat {
+		return fmt.Sprintf("f%d", r)
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Fprint writes a disassembly listing of f.
+func Fprint(w io.Writer, f *Func) {
+	fmt.Fprintf(w, "%s: (%d instructions, %d bytes)\n", f.Name, len(f.Code), f.ObjectSize())
+	for i := range f.Code {
+		fmt.Fprintf(w, "%5d\t%s\n", i, f.Code[i].String())
+	}
+}
+
+// String renders one machine instruction.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case ir.OpParam:
+		fmt.Fprintf(&b, "param %s, #%d", regStr(in.Dst, in.Cls), in.Imm)
+	case ir.OpConst:
+		if in.Cls == ir.ClassFloat {
+			fmt.Fprintf(&b, "fconst %s, %g", regStr(in.Dst, in.Cls), in.FImm)
+		} else {
+			fmt.Fprintf(&b, "const %s, %d", regStr(in.Dst, in.Cls), in.Imm)
+		}
+	case ir.OpMove:
+		fmt.Fprintf(&b, "move %s, %s", regStr(in.Dst, in.Cls), regStr(in.A, in.Cls))
+	case ir.OpLoad:
+		fmt.Fprintf(&b, "load.%s %s, [%s+%s+%d]", in.Cls, regStr(in.Dst, in.Cls),
+			regStr(in.B, ir.ClassInt), regStr(in.C, ir.ClassInt), in.Imm)
+	case ir.OpStore:
+		fmt.Fprintf(&b, "store.%s [%s+%s+%d], %s", in.Cls,
+			regStr(in.B, ir.ClassInt), regStr(in.C, ir.ClassInt), in.Imm, regStr(in.A, in.Cls))
+	case ir.OpBr:
+		fmt.Fprintf(&b, "br %d", in.T0)
+	case ir.OpBrIf:
+		fmt.Fprintf(&b, "brif.%s %s %s %s, %d", in.Cls, regStr(in.A, in.Cls), in.Cmp, regStr(in.B, in.Cls), in.T0)
+	case ir.OpRet:
+		if in.A != NoReg {
+			fmt.Fprintf(&b, "ret %s", regStr(in.A, in.ACls))
+		} else {
+			b.WriteString("ret")
+		}
+	case ir.OpCall:
+		if in.Dst != NoReg {
+			fmt.Fprintf(&b, "call %s, %s(", regStr(in.Dst, in.Cls), in.Callee)
+		} else {
+			fmt.Fprintf(&b, "call %s(", in.Callee)
+		}
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(regStr(a.R, a.Cls))
+		}
+		b.WriteString(")")
+	case ir.OpAddI, ir.OpMulI:
+		fmt.Fprintf(&b, "%s %s, %s, %d", in.Op, regStr(in.Dst, ir.ClassInt), regStr(in.A, ir.ClassInt), in.Imm)
+	default:
+		fmt.Fprintf(&b, "%s %s", in.Op, regStr(in.Dst, in.Cls))
+		for _, r := range [3]int16{in.A, in.B, in.C} {
+			if r != NoReg {
+				fmt.Fprintf(&b, ", %s", regStr(r, in.Cls))
+			}
+		}
+	}
+	return b.String()
+}

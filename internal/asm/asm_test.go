@@ -1,0 +1,226 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc/internal/alloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/ir"
+	"regalloc/internal/irgen"
+	"regalloc/internal/parser"
+	"regalloc/internal/sem"
+	"regalloc/internal/target"
+	"regalloc/internal/vm"
+)
+
+func compileAndAllocate(t *testing.T, src, name string) (*ir.Func, []int16) {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Gen(astProg, info, irgen.DefaultStaticStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(prog.Func(name), alloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Func, res.Colors
+}
+
+const loopSrc = `
+      INTEGER FUNCTION SUMSQ(N)
+      INTEGER I,S,N
+      S = 0
+      DO I = 1,N
+         IF (MOD(I,2) .EQ. 0) THEN
+            S = S + I*I
+         ELSE
+            S = S - I
+         ENDIF
+      ENDDO
+      SUMSQ = S
+      END
+`
+
+func TestLowerAndRun(t *testing.T) {
+	f, colors := compileAndAllocate(t, loopSrc, "SUMSQ")
+	af, err := asm.Lower(f, colors, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.ObjectSize() != len(af.Code)*target.BytesPerInstr {
+		t.Fatal("object size accounting wrong")
+	}
+	p := asm.NewProgram()
+	p.Add(af)
+	m := vm.New(p, 1<<22)
+	v, err := m.Call("SUMSQ", vm.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(1); i <= 10; i++ {
+		if i%2 == 0 {
+			want += i * i
+		} else {
+			want -= i
+		}
+	}
+	if v.I != want {
+		t.Fatalf("got %d, want %d", v.I, want)
+	}
+}
+
+// TestBranchTargetsResolved: every branch in lowered code points at
+// a valid instruction index.
+func TestBranchTargetsResolved(t *testing.T) {
+	f, colors := compileAndAllocate(t, loopSrc, "SUMSQ")
+	af, err := asm.Lower(f, colors, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range af.Code {
+		in := &af.Code[i]
+		if in.Op == ir.OpBr || in.Op == ir.OpBrIf {
+			if in.T0 < 0 || int(in.T0) >= len(af.Code) {
+				t.Fatalf("instr %d: branch target %d out of range", i, in.T0)
+			}
+		}
+	}
+}
+
+// TestFallthroughElision: an unconditional branch to the next block
+// is removed, so lowered code has fewer branch instructions than the
+// IR has.
+func TestFallthroughElision(t *testing.T) {
+	f, colors := compileAndAllocate(t, loopSrc, "SUMSQ")
+	irBrs := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpBr {
+				irBrs++
+			}
+		}
+	}
+	af, err := asm.Lower(f, colors, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmBrs := 0
+	for i := range af.Code {
+		if af.Code[i].Op == ir.OpBr {
+			asmBrs++
+		}
+	}
+	// BrIf false edges that are not lexically next add explicit
+	// jumps, so the total can go either way; the invariant is that
+	// no unconditional branch targets the very next instruction.
+	_ = irBrs
+	_ = asmBrs
+	for i := range af.Code {
+		if af.Code[i].Op == ir.OpBr && int(af.Code[i].T0) == i+1 {
+			t.Fatalf("instr %d: unelided branch to next instruction", i)
+		}
+	}
+}
+
+// TestSpillOpsBecomeAbsolute: spill loads/stores lower to plain
+// memory operations at the function's slot addresses.
+func TestSpillOpsBecomeAbsolute(t *testing.T) {
+	f := &ir.Func{Name: "S", StaticBase: 5000, StaticSize: 10}
+	x := f.NewSpillTemp(ir.ClassInt)
+	b := f.NewBlock()
+	slot := f.NewSlot()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpSpillLoad, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: slot},
+		{Op: ir.OpSpillStore, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg, Imm: slot},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	af, err := asm.Lower(f, []int16{0}, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.Code[0].Op != ir.OpLoad || af.Code[0].Imm != 5010 {
+		t.Fatalf("spill load lowered to %v @%d", af.Code[0].Op, af.Code[0].Imm)
+	}
+	if af.Code[1].Op != ir.OpStore || af.Code[1].Imm != 5010 {
+		t.Fatalf("spill store lowered to %v @%d", af.Code[1].Op, af.Code[1].Imm)
+	}
+}
+
+func TestUncoloredRegisterRejected(t *testing.T) {
+	f := &ir.Func{Name: "U"}
+	x := f.NewReg(ir.ClassInt)
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	if _, err := asm.Lower(f, []int16{-1}, target.RTPC()); err == nil {
+		t.Fatal("expected error for uncolored register")
+	}
+}
+
+func TestDisassemblyListing(t *testing.T) {
+	f, colors := compileAndAllocate(t, loopSrc, "SUMSQ")
+	af, err := asm.Lower(f, colors, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	asm.Fprint(&sb, af)
+	out := sb.String()
+	if !strings.Contains(out, "SUMSQ") || !strings.Contains(out, "brif") {
+		t.Fatalf("listing looks wrong:\n%s", out)
+	}
+	// Physical register names appear (r0...), not virtual (v0...).
+	if strings.Contains(out, " v0") {
+		t.Fatal("listing contains virtual register names")
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	p := asm.NewProgram()
+	if p.Func("X") != nil {
+		t.Fatal("empty program resolved a function")
+	}
+	p.Add(&asm.Func{Name: "X"})
+	if p.Func("X") == nil {
+		t.Fatal("lookup failed")
+	}
+}
+
+// TestIdentityMovePeephole: a move whose operands landed in the same
+// physical register disappears during lowering.
+func TestIdentityMovePeephole(t *testing.T) {
+	f := &ir.Func{Name: "P"}
+	a := f.NewReg(ir.ClassInt)
+	b := f.NewReg(ir.ClassInt)
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpMove, Dst: b, A: a, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: b, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	// Force both into r0 (legal: they do not interfere).
+	af, err := asm.Lower(f, []int16{0, 0}, target.RTPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range af.Code {
+		if af.Code[i].Op == ir.OpMove {
+			t.Fatal("identity move survived lowering")
+		}
+	}
+}

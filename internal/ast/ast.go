@@ -1,0 +1,348 @@
+// Package ast defines the abstract syntax tree for the mini-FORTRAN
+// dialect. The tree is deliberately small: program units, typed
+// declarations, structured statements, and expressions. Semantic
+// information (types, symbols) lives in package sem.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"regalloc/internal/source"
+)
+
+// Type is a scalar data type. The dialect has the two register
+// classes the paper's target machine provides: INTEGER values live
+// in general-purpose registers, REAL values in floating-point
+// registers.
+type Type int
+
+const (
+	// TypeNone marks "no type" (e.g. a SUBROUTINE result).
+	TypeNone Type = iota
+	// TypeInt is INTEGER.
+	TypeInt
+	// TypeReal is REAL (DOUBLE PRECISION is an alias).
+	TypeReal
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	}
+	return "NONE"
+}
+
+// Program is a collection of program units (subroutines/functions).
+type Program struct {
+	Units []*Unit
+}
+
+// Unit finds a unit by (upper-case) name, or nil.
+func (p *Program) Unit(name string) *Unit {
+	for _, u := range p.Units {
+		if u.Name == name {
+			return u
+		}
+	}
+	return nil
+}
+
+// UnitKind distinguishes subroutines from functions.
+type UnitKind int
+
+const (
+	// KindSubroutine is a SUBROUTINE unit (no return value).
+	KindSubroutine UnitKind = iota
+	// KindFunction is a FUNCTION unit returning a scalar.
+	KindFunction
+)
+
+// Unit is a single SUBROUTINE or FUNCTION.
+type Unit struct {
+	Kind    UnitKind
+	Name    string
+	RetType Type // for functions; TypeNone for subroutines
+	Params  []string
+	Decls   []*Decl
+	Body    []Stmt
+	Pos     source.Pos
+}
+
+// Dim is one declared array extent: a constant, a '*' (assumed size,
+// legal only as the last dimension of a parameter array), or the
+// name of an integer parameter (an "adjustable" dimension, as in
+// LINPACK's A(LDA,*)).
+type Dim struct {
+	Const int64
+	Name  string // adjustable dimension; empty if Const or Star
+	Star  bool
+}
+
+func (d Dim) String() string {
+	switch {
+	case d.Star:
+		return "*"
+	case d.Name != "":
+		return d.Name
+	}
+	return fmt.Sprintf("%d", d.Const)
+}
+
+// Decl declares one name with an explicit type, optionally an array.
+type Decl struct {
+	Type Type
+	Name string
+	Dims []Dim
+	Pos  source.Pos
+}
+
+// IsArray reports whether the declaration has dimensions.
+func (d *Decl) IsArray() bool { return len(d.Dims) > 0 }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() source.Pos
+}
+
+// AssignStmt is "lhs = rhs". When the LHS names the enclosing
+// function, it sets the return value.
+type AssignStmt struct {
+	LHS *VarRef
+	RHS Expr
+	Pos source.Pos
+}
+
+// IfStmt is a block IF/ELSEIF/ELSE/ENDIF or a logical IF (single
+// statement Then, no Else).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil; ELSEIF chains nest here
+	Pos  source.Pos
+}
+
+// DoStmt is "DO var = from, to [, step] ... ENDDO". Step must be a
+// (possibly negated) integer constant so the direction of the loop
+// is known at compile time; it defaults to 1.
+type DoStmt struct {
+	Var  string
+	From Expr
+	To   Expr
+	Step int64
+	Body []Stmt
+	Pos  source.Pos
+}
+
+// WhileStmt is "DO WHILE (cond) ... ENDDO".
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Pos  source.Pos
+}
+
+// CallStmt is "CALL name(args)".
+type CallStmt struct {
+	Name string
+	Args []Expr
+	Pos  source.Pos
+}
+
+// ReturnStmt is "RETURN".
+type ReturnStmt struct{ Pos source.Pos }
+
+// ExitStmt is "EXIT" (leave innermost loop).
+type ExitStmt struct{ Pos source.Pos }
+
+// CycleStmt is "CYCLE" (next iteration of innermost loop).
+type CycleStmt struct{ Pos source.Pos }
+
+// ContinueStmt is "CONTINUE" (a no-op).
+type ContinueStmt struct{ Pos source.Pos }
+
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*DoStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*CallStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExitStmt) stmtNode()     {}
+func (*CycleStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// StmtPos returns the statement's source position.
+func (s *AssignStmt) StmtPos() source.Pos   { return s.Pos }
+func (s *IfStmt) StmtPos() source.Pos       { return s.Pos }
+func (s *DoStmt) StmtPos() source.Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() source.Pos    { return s.Pos }
+func (s *CallStmt) StmtPos() source.Pos     { return s.Pos }
+func (s *ReturnStmt) StmtPos() source.Pos   { return s.Pos }
+func (s *ExitStmt) StmtPos() source.Pos     { return s.Pos }
+func (s *CycleStmt) StmtPos() source.Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() source.Pos { return s.Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() source.Pos
+}
+
+// IntLit is an integer constant.
+type IntLit struct {
+	Val int64
+	Pos source.Pos
+}
+
+// RealLit is a real constant.
+type RealLit struct {
+	Val float64
+	Pos source.Pos
+}
+
+// VarRef is a scalar reference (no indexes) or an array element
+// reference (one or two indexes).
+type VarRef struct {
+	Name    string
+	Indexes []Expr
+	Pos     source.Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "**", ".LT.", ".LE.", ".GT.", ".GE.", ".EQ.", ".NE.", ".AND.", ".OR."}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// IsRelational reports whether op compares values.
+func (op BinOp) IsRelational() bool { return op >= OpLT && op <= OpNE }
+
+// IsLogical reports whether op combines conditions.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  source.Pos
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -x
+	OpNot             // .NOT. x
+)
+
+// UnExpr is a unary operation.
+type UnExpr struct {
+	Op  UnOp
+	X   Expr
+	Pos source.Pos
+}
+
+// CallExpr is a function or intrinsic application. The parser cannot
+// always distinguish F(I) from an array reference A(I); it produces
+// VarRef for known-array shapes and CallExpr otherwise, and sem
+// reclassifies as needed.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  source.Pos
+}
+
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*VarRef) exprNode()   {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+func (*CallExpr) exprNode() {}
+
+// ExprPos returns the expression's source position.
+func (e *IntLit) ExprPos() source.Pos   { return e.Pos }
+func (e *RealLit) ExprPos() source.Pos  { return e.Pos }
+func (e *VarRef) ExprPos() source.Pos   { return e.Pos }
+func (e *BinExpr) ExprPos() source.Pos  { return e.Pos }
+func (e *UnExpr) ExprPos() source.Pos   { return e.Pos }
+func (e *CallExpr) ExprPos() source.Pos { return e.Pos }
+
+// Sprint renders an expression in source-like form, for diagnostics
+// and tests.
+func Sprint(e Expr) string {
+	var b strings.Builder
+	sprintExpr(&b, e)
+	return b.String()
+}
+
+func sprintExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.Val)
+	case *RealLit:
+		fmt.Fprintf(b, "%g", e.Val)
+	case *VarRef:
+		b.WriteString(e.Name)
+		if len(e.Indexes) > 0 {
+			b.WriteByte('(')
+			for i, ix := range e.Indexes {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				sprintExpr(b, ix)
+			}
+			b.WriteByte(')')
+		}
+	case *BinExpr:
+		b.WriteByte('(')
+		sprintExpr(b, e.L)
+		b.WriteString(e.Op.String())
+		sprintExpr(b, e.R)
+		b.WriteByte(')')
+	case *UnExpr:
+		if e.Op == OpNeg {
+			b.WriteString("(-")
+		} else {
+			b.WriteString("(.NOT.")
+		}
+		sprintExpr(b, e.X)
+		b.WriteByte(')')
+	case *CallExpr:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			sprintExpr(b, a)
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,89 @@
+package ast_test
+
+import (
+	"testing"
+
+	"regalloc/internal/ast"
+	"regalloc/internal/parser"
+)
+
+func TestSprint(t *testing.T) {
+	src := `
+      SUBROUTINE S(A,N)
+      REAL A(*)
+      X = -A(I+1)*2.0 + MAX(B,C)
+      END
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := prog.Units[0].Body[0].(*ast.AssignStmt).RHS
+	got := ast.Sprint(rhs)
+	want := "(((-A((I+1)))*2)+MAX(B,C))"
+	if got != want {
+		t.Fatalf("Sprint = %s, want %s", got, want)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if ast.TypeInt.String() != "INTEGER" || ast.TypeReal.String() != "REAL" || ast.TypeNone.String() != "NONE" {
+		t.Fatal("Type.String spellings")
+	}
+}
+
+func TestDimString(t *testing.T) {
+	cases := map[string]ast.Dim{
+		"10":  {Const: 10},
+		"*":   {Star: true},
+		"LDA": {Name: "LDA"},
+	}
+	for want, d := range cases {
+		if d.String() != want {
+			t.Errorf("Dim %+v prints %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestBinOpPredicates(t *testing.T) {
+	if !ast.OpLT.IsRelational() || !ast.OpNE.IsRelational() || ast.OpAdd.IsRelational() {
+		t.Fatal("IsRelational")
+	}
+	if !ast.OpAnd.IsLogical() || !ast.OpOr.IsLogical() || ast.OpEQ.IsLogical() {
+		t.Fatal("IsLogical")
+	}
+	if ast.OpPow.String() != "**" || ast.OpAnd.String() != ".AND." {
+		t.Fatal("BinOp.String")
+	}
+}
+
+func TestProgramUnitLookup(t *testing.T) {
+	prog, err := parser.Parse(`
+      SUBROUTINE A(N)
+      RETURN
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Unit("A") == nil || prog.Unit("B") != nil {
+		t.Fatal("Unit lookup")
+	}
+}
+
+func TestStmtPositions(t *testing.T) {
+	prog, err := parser.Parse(`
+      SUBROUTINE A(N)
+      X = 1.0
+      RETURN
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range prog.Units[0].Body {
+		if !s.StmtPos().IsValid() {
+			t.Fatalf("%T has no position", s)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package cfg computes control-flow analyses over IR functions:
+// reverse postorder, immediate dominators (Cooper–Harvey–Kennedy),
+// natural loops, and the loop-nesting depth of every block. Nesting
+// depth drives the allocator's spill-cost estimates: a reference at
+// depth d is weighted by 10^d, following Chaitin.
+package cfg
+
+import (
+	"sort"
+
+	"regalloc/internal/ir"
+)
+
+// Info is the result of Analyze.
+type Info struct {
+	// RPO is the blocks reachable from entry, in reverse postorder.
+	RPO []int
+	// RPONum[b] is the position of block b in RPO, or -1 if
+	// unreachable.
+	RPONum []int
+	// IDom[b] is the immediate dominator of block b (entry's is
+	// itself); -1 for unreachable blocks.
+	IDom []int
+	// Depth[b] is the loop-nesting depth of block b (0 = not in any
+	// loop).
+	Depth []int
+	// Loops lists each natural loop found, outermost first among
+	// nested loops with the same header merged.
+	Loops []Loop
+}
+
+// Loop is a natural loop: a header plus the set of blocks that reach
+// a back edge without leaving the header's dominance region.
+type Loop struct {
+	Header int
+	Blocks []int
+}
+
+// Analyze computes dominators and loop nesting for f, and stamps
+// each block's Depth field.
+func Analyze(f *ir.Func) *Info {
+	n := len(f.Blocks)
+	info := &Info{
+		RPONum: make([]int, n),
+		IDom:   make([]int, n),
+		Depth:  make([]int, n),
+	}
+	for i := range info.RPONum {
+		info.RPONum[i] = -1
+		info.IDom[i] = -1
+	}
+
+	// Depth-first search for postorder.
+	post := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(b int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	info.RPO = make([]int, len(post))
+	for i := range post {
+		info.RPO[i] = post[len(post)-1-i]
+	}
+	for i, b := range info.RPO {
+		info.RPONum[b] = i
+	}
+
+	info.computeIDom(f)
+	info.findLoops(f)
+
+	for _, b := range f.Blocks {
+		b.Depth = info.Depth[b.ID]
+	}
+	return info
+}
+
+// computeIDom is the Cooper–Harvey–Kennedy iterative algorithm.
+func (info *Info) computeIDom(f *ir.Func) {
+	info.IDom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range info.RPO[1:] {
+			var newIdom = -1
+			for _, p := range f.Blocks[b].Preds {
+				if info.RPONum[p] < 0 || info.IDom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = info.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && info.IDom[b] != newIdom {
+				info.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (info *Info) intersect(a, b int) int {
+	for a != b {
+		for info.RPONum[a] > info.RPONum[b] {
+			a = info.IDom[a]
+		}
+		for info.RPONum[b] > info.RPONum[a] {
+			b = info.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b. Unreachable
+// blocks dominate nothing and are dominated by nothing.
+func (info *Info) Dominates(a, b int) bool {
+	if info.RPONum[a] < 0 || info.RPONum[b] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return a == 0
+		}
+		b = info.IDom[b]
+	}
+}
+
+// InsertPreheader redirects every edge into header from outside the
+// loop through a fresh block that branches to the header, and
+// returns that block. The caller must re-run Analyze afterwards if
+// it needs loop information for the modified graph (the new block
+// belongs to every enclosing loop).
+func InsertPreheader(f *ir.Func, inLoop map[int]bool, header int) *ir.Block {
+	pre := f.NewBlock()
+	pre.Instrs = []ir.Instr{{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}}
+	pre.Succs = []int{header}
+	for _, b := range f.Blocks {
+		if b.ID == pre.ID || inLoop[b.ID] {
+			continue
+		}
+		for si, s := range b.Succs {
+			if s == header {
+				b.Succs[si] = pre.ID
+			}
+		}
+	}
+	f.RecomputePreds()
+	return pre
+}
+
+// findLoops detects back edges (s -> h where h dominates s), builds
+// each natural loop body, and accumulates nesting depth: a block in
+// the bodies of d distinct loop headers has depth d.
+func (info *Info) findLoops(f *ir.Func) {
+	// Gather loop bodies per header so multiple back edges to the
+	// same header form one loop.
+	bodies := make(map[int]map[int]bool)
+	var headers []int
+	for _, b := range f.Blocks {
+		if info.RPONum[b.ID] < 0 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !info.Dominates(s, b.ID) {
+				continue
+			}
+			body, ok := bodies[s]
+			if !ok {
+				body = map[int]bool{s: true}
+				bodies[s] = body
+				headers = append(headers, s)
+			}
+			// Walk predecessors backward from the latch.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range f.Blocks[x].Preds {
+					if info.RPONum[p] >= 0 {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	for _, h := range headers {
+		var blocks []int
+		for b := range bodies[h] {
+			blocks = append(blocks, b)
+			info.Depth[b]++
+		}
+		sort.Ints(blocks) // deterministic order for clients (e.g. LICM)
+		info.Loops = append(info.Loops, Loop{Header: h, Blocks: blocks})
+	}
+}

@@ -1,0 +1,163 @@
+// Package coalesce implements Chaitin-style aggressive copy
+// coalescing: any register-to-register move whose source and
+// destination do not interfere is eliminated by merging the two live
+// ranges, and the build/coalesce step repeats until no move can be
+// removed (the inner loop of the paper's Figure 4 "build" box).
+package coalesce
+
+import (
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// Run coalesces moves in f until fixpoint, rewriting registers and
+// deleting the eliminated copies. It returns the number of moves
+// removed and the interference graph of the final program, which the
+// caller may reuse.
+//
+// Moves involving a spill temporary are never coalesced: merging a
+// reload temporary back into a long-lived range would undo the spill
+// and could keep the allocator from converging.
+func Run(f *ir.Func) (int, *ig.Graph) {
+	return run(f, nil)
+}
+
+// RunConservative coalesces with the Briggs conservative test that
+// the same authors published five years after this paper
+// ("Improvements to Graph Coloring Register Allocation", TOPLAS
+// 1994): a move is merged only when the combined node would have
+// fewer than k neighbors of significant degree (degree >= k for
+// their class), which guarantees the merge can never turn a
+// colorable graph into a spilling one. Included as an ablation — the
+// paper's own allocator coalesces aggressively.
+func RunConservative(f *ir.Func, k func(ir.Class) int) (int, *ig.Graph) {
+	return run(f, k)
+}
+
+func run(f *ir.Func, conservativeK func(ir.Class) int) (int, *ig.Graph) {
+	total := 0
+	for {
+		g := ig.Build(f)
+		parent := make([]ir.Reg, f.NumRegs())
+		for i := range parent {
+			parent[i] = ir.Reg(i)
+		}
+		var find func(ir.Reg) ir.Reg
+		find = func(x ir.Reg) ir.Reg {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+
+		merged := 0
+		touched := make([]bool, f.NumRegs())
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if !in.IsMove() || in.A == ir.NoReg {
+					continue
+				}
+				dst, src := in.Dst, in.A
+				if dst == src {
+					continue
+				}
+				// Only coalesce pairs untouched in this round: the
+				// static graph g cannot answer interference queries
+				// about a range merged moments ago (its true
+				// neighbor set is already larger than g records).
+				// Chained copies are picked up by the next
+				// build/coalesce round.
+				if touched[dst] || touched[src] {
+					continue
+				}
+				if f.RegClass(dst) != f.RegClass(src) {
+					continue
+				}
+				if f.RegFlags(dst)&ir.FlagSpillTemp != 0 || f.RegFlags(src)&ir.FlagSpillTemp != 0 {
+					continue
+				}
+				if g.Interfere(int32(dst), int32(src)) {
+					continue
+				}
+				if conservativeK != nil && !briggsTest(g, f, dst, src, conservativeK) {
+					continue
+				}
+				touched[dst] = true
+				touched[src] = true
+				// Merge into the smaller id for determinism.
+				if src < dst {
+					dst, src = src, dst
+				}
+				parent[src] = dst
+				merged++
+			}
+		}
+		if merged == 0 {
+			return total, g
+		}
+		total += merged
+		rewrite(f, find)
+	}
+}
+
+// briggsTest is the conservative-coalescing criterion: merging dst
+// and src is safe when the combined node has fewer than k neighbors
+// of significant degree. A neighbor adjacent to both ends loses one
+// edge in the merge, so its effective degree drops by one.
+func briggsTest(g *ig.Graph, f *ir.Func, dst, src ir.Reg, kOf func(ir.Class) int) bool {
+	k := kOf(f.RegClass(dst))
+	deg := make(map[int32]int)
+	for _, nb := range g.Neighbors(int32(dst)) {
+		deg[nb] = g.Degree(nb)
+	}
+	for _, nb := range g.Neighbors(int32(src)) {
+		if _, common := deg[nb]; common {
+			deg[nb] = g.Degree(nb) - 1
+		} else {
+			deg[nb] = g.Degree(nb)
+		}
+	}
+	delete(deg, int32(dst))
+	delete(deg, int32(src))
+	significant := 0
+	for _, d := range deg {
+		if d >= k {
+			significant++
+		}
+	}
+	return significant < k
+}
+
+// rewrite renames every operand to its representative and deletes
+// moves that became self-copies.
+func rewrite(f *ir.Func, find func(ir.Reg) ir.Reg) {
+	ren := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return find(r)
+	}
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			in.Dst = ren(in.Dst)
+			in.A = ren(in.A)
+			in.B = ren(in.B)
+			in.C = ren(in.C)
+			for j, a := range in.Args {
+				in.Args[j] = ren(a)
+			}
+			if in.IsMove() && in.Dst == in.A {
+				continue // coalesced copy disappears
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	for i, p := range f.Params {
+		f.Params[i] = ren(p)
+	}
+}

@@ -1,0 +1,240 @@
+// Package color implements the three coloring heuristics the paper
+// compares:
+//
+//   - Chaitin's pessimistic heuristic (§2.1): simplify removes
+//     trivially-colorable nodes; when stuck it marks the node with
+//     the smallest cost/degree ratio as spilled and discards it.
+//     If anything was marked, coloring is skipped and spill code is
+//     inserted immediately.
+//   - The Briggs et al. optimistic heuristic (§2.2–2.3): identical
+//     simplification order — including Chaitin's cost/degree choice
+//     when stuck — but spill candidates are pushed on the stack like
+//     every other node. The select phase colors optimistically and
+//     only the nodes that actually receive no color are spilled.
+//   - Matula–Beck smallest-last (§2.2): remove a minimum-degree node
+//     at every step, cost-blind, with optimistic selection. Included
+//     as the linear-time comparator discussed in §3.3.
+//
+// All three share the degree-bucket worklist (ig.Worklist), so the
+// simplification order is identical wherever the heuristics agree,
+// and ties are broken identically (lowest live-range number, the
+// paper's footnote 4).
+package color
+
+import (
+	"fmt"
+	"math"
+
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// Heuristic selects a coloring algorithm.
+type Heuristic int
+
+// Heuristics.
+const (
+	Chaitin Heuristic = iota
+	Briggs
+	MatulaBeck
+)
+
+var heuristicNames = [...]string{"chaitin", "briggs", "matula-beck"}
+
+func (h Heuristic) String() string {
+	if int(h) < len(heuristicNames) {
+		return heuristicNames[h]
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// ParseHeuristic resolves a heuristic by name ("chaitin", "briggs",
+// "matula-beck"/"mb").
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "chaitin", "old":
+		return Chaitin, nil
+	case "briggs", "new", "optimistic":
+		return Briggs, nil
+	case "matula-beck", "mb", "smallest-last":
+		return MatulaBeck, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", s)
+}
+
+// Metric selects the spill-choice figure of merit when simplify is
+// stuck. The paper uses cost/degree; the alternatives exist for the
+// ablation study in EXPERIMENTS.md.
+type Metric int
+
+// Metrics.
+const (
+	CostOverDegree Metric = iota // Chaitin's choice (the default)
+	CostOnly                     // spill the cheapest range outright
+	DegreeOnly                   // spill the highest-degree range
+)
+
+// K maps a register class to the number of available colors.
+type K func(ir.Class) int
+
+// NumColors returns a K for the common two-class machine.
+func NumColors(kInt, kFloat int) K {
+	return func(c ir.Class) int {
+		if c == ir.ClassInt {
+			return kInt
+		}
+		return kFloat
+	}
+}
+
+// SimplifyResult is the output of the simplification phase.
+type SimplifyResult struct {
+	// Stack is the removal order; Select colors from the end.
+	Stack []int32
+	// SpillMarked lists nodes Chaitin's heuristic marked for
+	// spilling (removed from the graph, not stacked). Empty for
+	// Briggs and Matula–Beck.
+	SpillMarked []int32
+	// Candidates lists the nodes removed while stuck (degree >= k at
+	// removal). For Chaitin it equals SpillMarked; for Briggs these
+	// are the optimistically stacked potential spills.
+	Candidates []int32
+	// ScanSteps is the total bucket-scan work, for the linearity
+	// check.
+	ScanSteps int
+}
+
+// Simplify runs the simplification phase of heuristic h over g.
+// cost[n] is the estimated spill cost of node n (ignored by
+// MatulaBeck).
+func Simplify(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric) *SimplifyResult {
+	res := &SimplifyResult{}
+	// The integer and float subgraphs are disjoint; simplify each.
+	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		simplifyClass(g, cost, k(cls), cls, h, metric, res)
+	}
+	return res
+}
+
+func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult) {
+	w := ig.NewWorklist(g, cls)
+	for w.Remaining() > 0 {
+		n := w.MinDegreeNode()
+		if h == MatulaBeck || int(w.Degree(n)) < k {
+			// Trivially colorable (or cost-blind smallest-last).
+			w.Remove(n)
+			res.Stack = append(res.Stack, n)
+			continue
+		}
+		// Stuck: every remaining node has degree >= k. Fall back on
+		// the spill-choice metric (paper §2.3).
+		pick := chooseSpill(w, cost, metric)
+		w.Remove(pick)
+		res.Candidates = append(res.Candidates, pick)
+		if h == Chaitin {
+			res.SpillMarked = append(res.SpillMarked, pick)
+		} else {
+			res.Stack = append(res.Stack, pick)
+		}
+	}
+	res.ScanSteps += w.ScanSteps
+}
+
+// chooseSpill picks the node to remove while stuck. Ties are broken
+// toward the lowest node number.
+func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) int32 {
+	best := int32(-1)
+	bestVal := math.Inf(1)
+	w.ForEachRemaining(func(a int32) {
+		var v float64
+		switch metric {
+		case CostOnly:
+			v = cost[a]
+		case DegreeOnly:
+			v = -float64(w.Degree(a))
+		default:
+			v = cost[a] / float64(w.Degree(a))
+		}
+		if best == -1 || v < bestVal {
+			best = a
+			bestVal = v
+		}
+	})
+	return best
+}
+
+// NoColor marks an uncolored (spilled) node in a color assignment.
+const NoColor int16 = -1
+
+// Select runs the coloring phase: nodes are reinserted in reverse
+// removal order and given the lowest color unused by their already-
+// colored neighbors.
+//
+// With optimistic=false (Chaitin), failure to find a color panics —
+// the caller must only invoke Select when simplification marked
+// nothing for spilling, in which case coloring is guaranteed.
+// With optimistic=true (Briggs, Matula–Beck), colorless nodes stay
+// NoColor and are returned as the spill set.
+func Select(g *ig.Graph, stack []int32, k K, optimistic bool) (colors []int16, uncolored []int32) {
+	colors = make([]int16, g.NumNodes())
+	for i := range colors {
+		colors[i] = NoColor
+	}
+	inserted := make([]bool, g.NumNodes())
+	var used []bool
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		kn := k(g.Class(n))
+		if cap(used) < kn {
+			used = make([]bool, kn)
+		}
+		used = used[:kn]
+		for j := range used {
+			used[j] = false
+		}
+		for _, nb := range g.Neighbors(n) {
+			if inserted[nb] && colors[nb] != NoColor && int(colors[nb]) < kn {
+				used[colors[nb]] = true
+			}
+		}
+		c := int16(NoColor)
+		for j := 0; j < kn; j++ {
+			if !used[j] {
+				c = int16(j)
+				break
+			}
+		}
+		inserted[n] = true
+		if c == NoColor {
+			if !optimistic {
+				panic("color: pessimistic Select ran out of colors; simplify guaranteed this cannot happen")
+			}
+			uncolored = append(uncolored, n)
+			continue
+		}
+		colors[n] = c
+	}
+	return colors, uncolored
+}
+
+// Verify checks that an assignment is a proper coloring: no two
+// interfering nodes share a color and every color is within its
+// class bound. Spilled (NoColor) nodes are ignored. It returns an
+// error describing the first violation.
+func Verify(g *ig.Graph, colors []int16, k K) error {
+	for a := int32(0); a < int32(g.NumNodes()); a++ {
+		if colors[a] == NoColor {
+			continue
+		}
+		if int(colors[a]) >= k(g.Class(a)) {
+			return fmt.Errorf("node %d has color %d, out of range for class %s (k=%d)",
+				a, colors[a], g.Class(a), k(g.Class(a)))
+		}
+		for _, nb := range g.Neighbors(a) {
+			if nb > a && colors[nb] == colors[a] {
+				return fmt.Errorf("interfering nodes %d and %d share color %d", a, nb, colors[a])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"regalloc/internal/bitset"
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ir"
+)
+
+// straightLine builds: b0: a=1; b=a+a; ret b
+func straightLine() (*ir.Func, ir.Reg, ir.Reg) {
+	f := &ir.Func{Name: "T"}
+	a := f.NewReg(ir.ClassInt)
+	b := f.NewReg(ir.ClassInt)
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpAdd, Dst: b, A: a, B: a, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: b, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	return f, a, b
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	f, a, b := straightLine()
+	lv := dataflow.ComputeLiveness(f)
+	if !lv.In[0].Empty() {
+		t.Fatalf("live-in of entry should be empty, got %v", lv.In[0])
+	}
+	if !lv.Out[0].Empty() {
+		t.Fatalf("live-out of exit block should be empty")
+	}
+	_ = a
+	_ = b
+}
+
+// loopFunc builds a loop where x is defined before the loop and used
+// inside it, so x is live around the back edge.
+func loopFunc() (*ir.Func, ir.Reg, ir.Reg) {
+	f := &ir.Func{Name: "L"}
+	x := f.NewReg(ir.ClassInt)
+	i := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock() // x=10; i=0; br b1
+	b1 := f.NewBlock() // i = i+x; brif i lt x -> b1, b2
+	b2 := f.NewBlock() // ret
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 10},
+		{Op: ir.OpConst, Dst: i, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Dst: i, A: i, B: x, C: ir.NoReg},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: i, B: x, C: ir.NoReg, Cmp: ir.CmpLT},
+	}
+	b1.Succs = []int{1, 2}
+	b2.Instrs = []ir.Instr{
+		{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	return f, x, i
+}
+
+func TestLivenessAroundLoop(t *testing.T) {
+	f, x, i := loopFunc()
+	lv := dataflow.ComputeLiveness(f)
+	if !lv.In[1].Has(int(x)) || !lv.In[1].Has(int(i)) {
+		t.Fatalf("x and i must be live into the loop header: %v", lv.In[1])
+	}
+	if !lv.Out[1].Has(int(x)) {
+		t.Fatal("x must be live out of the latch (used next iteration)")
+	}
+	if lv.Out[2].Has(int(x)) || lv.Out[2].Has(int(i)) {
+		t.Fatal("nothing is live out of the exit")
+	}
+}
+
+// TestLiveAcross checks the backward per-instruction traversal: the
+// set passed at each instruction is what is live *after* it.
+func TestLiveAcross(t *testing.T) {
+	f, a, b := straightLine()
+	lv := dataflow.ComputeLiveness(f)
+	lv.LiveAcross(f, f.Blocks[0], func(i int, in *ir.Instr, live *bitset.Set) {
+		switch i {
+		case 0: // after "a = 1": a is live (used by the add)
+			if !live.Has(int(a)) || live.Has(int(b)) {
+				t.Fatalf("after const: %v", live)
+			}
+		case 1: // after "b = a+a": only b lives (ret uses it)
+			if live.Has(int(a)) || !live.Has(int(b)) {
+				t.Fatalf("after add: %v", live)
+			}
+		case 2: // after ret: nothing
+			if !live.Empty() {
+				t.Fatalf("after ret: %v", live)
+			}
+		}
+	})
+}
+
+func TestReachingDefsAndWalkUses(t *testing.T) {
+	// b0: x=1 ; brif -> b1 b2
+	// b1: x=2 ; br b3
+	// b2: br b3 (x=1 flows through)
+	// b3: y=x ; ret
+	f := &ir.Func{Name: "R"}
+	x := f.NewReg(ir.ClassInt)
+	y := f.NewReg(ir.ClassInt)
+	c := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: c, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: c, B: c, C: ir.NoReg, Cmp: ir.CmpEQ},
+	}
+	b0.Succs = []int{1, 2}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 2},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b1.Succs = []int{3}
+	b2.Instrs = []ir.Instr{{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}}
+	b2.Succs = []int{3}
+	b3.Instrs = []ir.Instr{
+		{Op: ir.OpMove, Dst: y, A: x, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: y, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+
+	r := dataflow.ComputeReaching(f)
+	// The use of x in b3 must see BOTH defs (b0 and b1).
+	sawUseOfX := 0
+	r.WalkUses(f, f.Blocks[3], func(i int, in *ir.Instr, use ir.Reg, ds []int) {
+		if use == x {
+			sawUseOfX++
+			if len(ds) != 2 {
+				t.Fatalf("use of x reached by %d defs, want 2", len(ds))
+			}
+			for _, si := range ds {
+				if r.Sites[si].Reg != x {
+					t.Fatal("reaching site for wrong register")
+				}
+			}
+		}
+	})
+	if sawUseOfX != 1 {
+		t.Fatalf("saw %d uses of x in b3", sawUseOfX)
+	}
+	// Inside b1, the use... there is none; but a use of x at b1's
+	// entry would see only the b0 def. Verify via In sets: the b1
+	// entry set must contain exactly one def of x.
+	count := 0
+	for _, si := range r.ByReg[x] {
+		if r.In[1].Has(si) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("defs of x reaching b1 entry = %d, want 1", count)
+	}
+}
+
+// TestEntryPseudoDefs: a register read before any definition gets a
+// fabricated entry def site so renumbering always finds a web.
+func TestEntryPseudoDefs(t *testing.T) {
+	f := &ir.Func{Name: "U"}
+	x := f.NewReg(ir.ClassInt)
+	y := f.NewReg(ir.ClassInt)
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpMove, Dst: y, A: x, B: ir.NoReg, C: ir.NoReg}, // x used, never defined
+		{Op: ir.OpRet, Dst: ir.NoReg, A: y, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	r := dataflow.ComputeReaching(f)
+	found := false
+	for _, s := range r.Sites {
+		if s.Reg == x && s.Index == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no entry pseudo-def for the undefined register")
+	}
+	r.WalkUses(f, f.Blocks[0], func(i int, in *ir.Instr, use ir.Reg, ds []int) {
+		if use == x && len(ds) == 0 {
+			t.Fatal("use of undefined register has no reaching def")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Package dataflow implements the bit-vector dataflow analyses the
+// allocator depends on: live-variable analysis (which builds the
+// interference graph) and reaching definitions (which builds webs in
+// the renumbering pass).
+package dataflow
+
+import (
+	"regalloc/internal/bitset"
+	"regalloc/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out sets over virtual
+// registers.
+type Liveness struct {
+	In  []*bitset.Set // indexed by block ID
+	Out []*bitset.Set
+}
+
+// ComputeLiveness runs backward iterative live-variable analysis.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	nr := f.NumRegs()
+	use := make([]*bitset.Set, n)
+	def := make([]*bitset.Set, n)
+	lv := &Liveness{In: make([]*bitset.Set, n), Out: make([]*bitset.Set, n)}
+
+	var ubuf []ir.Reg
+	for _, b := range f.Blocks {
+		u := bitset.New(nr)
+		d := bitset.New(nr)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			ubuf = in.AppendUses(ubuf[:0])
+			for _, r := range ubuf {
+				if !d.Has(int(r)) {
+					u.Add(int(r))
+				}
+			}
+			if dst := in.Def(); dst != ir.NoReg {
+				d.Add(int(dst))
+			}
+		}
+		use[b.ID] = u
+		def[b.ID] = d
+		lv.In[b.ID] = bitset.New(nr)
+		lv.Out[b.ID] = bitset.New(nr)
+	}
+
+	// Iterate to fixpoint; processing blocks in reverse order makes
+	// the backward problem converge in very few passes for reducible
+	// flow graphs.
+	tmp := bitset.New(nr)
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b.ID]
+			for _, s := range b.Succs {
+				if out.Union(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.CopyFrom(out)
+			tmp.Subtract(def[b.ID])
+			tmp.Union(use[b.ID])
+			if !tmp.Equal(lv.In[b.ID]) {
+				lv.In[b.ID].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAcross walks block b backward from its last instruction,
+// calling visit with the live set *after* each instruction (i.e. the
+// set of registers whose current values are needed later). The
+// callback must not retain the set. This is the traversal the
+// interference-graph builder uses.
+func (lv *Liveness) LiveAcross(f *ir.Func, b *ir.Block, visit func(i int, in *ir.Instr, liveAfter *bitset.Set)) {
+	live := lv.Out[b.ID].Copy()
+	var ubuf []ir.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		visit(i, in, live)
+		if dst := in.Def(); dst != ir.NoReg {
+			live.Remove(int(dst))
+		}
+		ubuf = in.AppendUses(ubuf[:0])
+		for _, r := range ubuf {
+			live.Add(int(r))
+		}
+	}
+}

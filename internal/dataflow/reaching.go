@@ -1,0 +1,174 @@
+package dataflow
+
+import (
+	"regalloc/internal/bitset"
+	"regalloc/internal/ir"
+)
+
+// DefSite identifies one definition occurrence: instruction Index of
+// block Block defines register Reg. The renumbering pass also
+// fabricates one "entry" def site (Block = 0, Index = -1) for any
+// register with an upward-exposed use at function entry, so every
+// use has at least one reaching definition.
+type DefSite struct {
+	Block int
+	Index int // -1 for a fabricated entry definition
+	Reg   ir.Reg
+}
+
+// Reaching is the result of reaching-definitions analysis.
+type Reaching struct {
+	Sites  []DefSite     // all def sites, in discovery order
+	ByReg  [][]int       // def-site indices per register
+	In     []*bitset.Set // per block: sites reaching block entry
+	numReg int
+}
+
+// ComputeReaching runs forward iterative reaching-definitions
+// analysis over def sites.
+func ComputeReaching(f *ir.Func) *Reaching {
+	nr := f.NumRegs()
+	r := &Reaching{ByReg: make([][]int, nr), numReg: nr}
+
+	// Enumerate def sites. Fabricated entry defs come first so that
+	// uses of never-defined registers (possible for uninitialized
+	// scalars) still resolve.
+	liveIn := ComputeLiveness(f).In[0]
+	defined := make([]bool, nr)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				defined[d] = true
+			}
+		}
+	}
+	for reg := 0; reg < nr; reg++ {
+		if liveIn.Has(reg) || !defined[reg] {
+			r.addSite(DefSite{Block: 0, Index: -1, Reg: ir.Reg(reg)})
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				r.addSite(DefSite{Block: b.ID, Index: i, Reg: d})
+			}
+		}
+	}
+
+	ns := len(r.Sites)
+	gen := make([]*bitset.Set, len(f.Blocks))
+	kill := make([]*bitset.Set, len(f.Blocks))
+	r.In = make([]*bitset.Set, len(f.Blocks))
+	out := make([]*bitset.Set, len(f.Blocks))
+	for _, b := range f.Blocks {
+		gen[b.ID] = bitset.New(ns)
+		kill[b.ID] = bitset.New(ns)
+		r.In[b.ID] = bitset.New(ns)
+		out[b.ID] = bitset.New(ns)
+	}
+
+	// Per-block gen/kill: the last def of a register in the block
+	// generates; every def kills all other sites of that register.
+	for _, b := range f.Blocks {
+		last := make(map[ir.Reg]int)
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				last[d] = i
+			}
+		}
+		for si, s := range r.Sites {
+			if s.Block != b.ID {
+				continue
+			}
+			li, ok := last[s.Reg]
+			isLast := ok && (s.Index == li || (s.Index == -1 && false))
+			if s.Index == -1 {
+				// Entry pseudo-def generates only if block 0 has no
+				// real def of the register.
+				isLast = b.ID == 0 && !ok
+			}
+			if isLast {
+				gen[b.ID].Add(si)
+			}
+			// Kill every other site of the same register.
+			if s.Index >= 0 || b.ID == 0 {
+				for _, other := range r.ByReg[s.Reg] {
+					if other != si {
+						kill[b.ID].Add(other)
+					}
+				}
+			}
+		}
+	}
+
+	// Entry pseudo-defs reach block 0's entry.
+	for si, s := range r.Sites {
+		if s.Index == -1 {
+			r.In[0].Add(si)
+		}
+	}
+
+	tmp := bitset.New(ns)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			in := r.In[b.ID]
+			for _, p := range b.Preds {
+				if in.Union(out[p]) {
+					changed = true
+				}
+			}
+			// out = gen ∪ (in − kill)
+			tmp.CopyFrom(in)
+			tmp.Subtract(kill[b.ID])
+			tmp.Union(gen[b.ID])
+			if !tmp.Equal(out[b.ID]) {
+				out[b.ID].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+func (r *Reaching) addSite(s DefSite) {
+	idx := len(r.Sites)
+	r.Sites = append(r.Sites, s)
+	r.ByReg[s.Reg] = append(r.ByReg[s.Reg], idx)
+}
+
+// WalkUses traverses block b forward, maintaining the set of def
+// sites that reach each instruction. For every register use it calls
+// visit with the indices (into Sites) of the defs of that register
+// that reach the use. The slice passed to visit is reused.
+func (r *Reaching) WalkUses(f *ir.Func, b *ir.Block, visit func(i int, in *ir.Instr, use ir.Reg, reachingDefs []int)) {
+	cur := r.In[b.ID].Copy()
+	var ubuf []ir.Reg
+	var dbuf []int
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		ubuf = in.AppendUses(ubuf[:0])
+		for _, u := range ubuf {
+			dbuf = dbuf[:0]
+			for _, si := range r.ByReg[u] {
+				if cur.Has(si) {
+					dbuf = append(dbuf, si)
+				}
+			}
+			visit(i, in, u, dbuf)
+		}
+		if d := in.Def(); d != ir.NoReg {
+			for _, si := range r.ByReg[d] {
+				cur.Remove(si)
+			}
+			// Find this instruction's own site and add it.
+			for _, si := range r.ByReg[d] {
+				s := r.Sites[si]
+				if s.Block == b.ID && s.Index == i {
+					cur.Add(si)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package encode serializes assembled programs (package asm) to a
+// compact binary object format and back. This is the repository's
+// "object file" layer: a compiled benchmark can be written to disk
+// and executed later without recompiling, and the decoder doubles as
+// an independent check that lowered code is fully described by its
+// printable fields (the round-trip tests run decoded programs and
+// compare results).
+//
+// Format (little-endian):
+//
+//	file   := magic u32 | version u8 | nfuncs uvarint | func*
+//	func   := name str | flags u8 | retcls u8 | gpr uvarint | fpr uvarint
+//	          | nparams uvarint | paramcls u8* | ninstr uvarint | instr*
+//	instr  := op u8 | layout-specific operands
+//	str    := len uvarint | bytes
+//
+// Register operands are one byte (0xFF = absent); immediates are
+// zigzag varints; float immediates are 8 raw bytes; branch targets
+// are uvarints. The per-op operand layout is table-driven and shared
+// by the encoder and decoder.
+package encode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"regalloc/internal/asm"
+	"regalloc/internal/ir"
+	"regalloc/internal/target"
+)
+
+const (
+	magic   = 0x52414C43 // "CLAR"
+	version = 1
+)
+
+// field identifies one operand slot of an instruction.
+type field uint8
+
+const (
+	fDst field = iota
+	fA
+	fB
+	fC
+	fCls
+	fACls
+	fImm
+	fFImm
+	fCmp
+	fT0
+	fCallee
+	fArgs
+)
+
+// layouts maps each opcode to the operand fields it carries, in
+// encoding order.
+var layouts = map[ir.Op][]field{
+	ir.OpNop:   {},
+	ir.OpParam: {fDst, fCls, fImm},
+	ir.OpConst: {fDst, fCls, fImm, fFImm},
+	ir.OpMove:  {fDst, fA, fCls},
+	ir.OpItoF:  {fDst, fA},
+	ir.OpFtoI:  {fDst, fA},
+	ir.OpAdd:   {fDst, fA, fB},
+	ir.OpSub:   {fDst, fA, fB},
+	ir.OpMul:   {fDst, fA, fB},
+	ir.OpDiv:   {fDst, fA, fB},
+	ir.OpMod:   {fDst, fA, fB},
+	ir.OpNeg:   {fDst, fA},
+	ir.OpIMin:  {fDst, fA, fB},
+	ir.OpIMax:  {fDst, fA, fB},
+	ir.OpIAbs:  {fDst, fA},
+	ir.OpISign: {fDst, fA, fB},
+	ir.OpIPow:  {fDst, fA, fB},
+	ir.OpAddI:  {fDst, fA, fImm},
+	ir.OpMulI:  {fDst, fA, fImm},
+	ir.OpFAdd:  {fDst, fA, fB},
+	ir.OpFSub:  {fDst, fA, fB},
+	ir.OpFMul:  {fDst, fA, fB},
+	ir.OpFDiv:  {fDst, fA, fB},
+	ir.OpFNeg:  {fDst, fA},
+	ir.OpFMin:  {fDst, fA, fB},
+	ir.OpFMax:  {fDst, fA, fB},
+	ir.OpFAbs:  {fDst, fA},
+	ir.OpFSqrt: {fDst, fA},
+	ir.OpFExp:  {fDst, fA},
+	ir.OpFLog:  {fDst, fA},
+	ir.OpFSin:  {fDst, fA},
+	ir.OpFCos:  {fDst, fA},
+	ir.OpFSign: {fDst, fA, fB},
+	ir.OpFMod:  {fDst, fA, fB},
+	ir.OpFPow:  {fDst, fA, fB},
+	ir.OpLoad:  {fDst, fB, fC, fCls, fImm},
+	ir.OpStore: {fA, fB, fC, fCls, fACls, fImm},
+	ir.OpBr:    {fT0},
+	ir.OpBrIf:  {fA, fB, fCmp, fCls, fT0},
+	ir.OpRet:   {fA, fACls},
+	ir.OpCall:  {fDst, fCls, fCallee, fArgs},
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+func (w *writer) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) reg(r int16) {
+	if r == asm.NoReg {
+		w.u8(0xFF)
+		return
+	}
+	w.u8(uint8(r))
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail("encode: truncated input at %d", r.off)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("encode: truncated input at %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("encode: bad uvarint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("encode: bad varint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("encode: truncated float at %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil || r.off+int(n) > len(r.buf) {
+		r.fail("encode: truncated string at %d", r.off)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) reg() int16 {
+	v := r.u8()
+	if v == 0xFF {
+		return asm.NoReg
+	}
+	return int16(v)
+}
+
+// EncodeProgram serializes every function of p.
+func EncodeProgram(p *asm.Program) ([]byte, error) {
+	w := &writer{}
+	w.u32(magic)
+	w.u8(version)
+	w.uvarint(uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		if err := encodeFunc(w, f); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+func encodeFunc(w *writer, f *asm.Func) error {
+	w.str(f.Name)
+	flags := uint8(0)
+	if f.HasRet {
+		flags |= 1
+	}
+	w.u8(flags)
+	w.u8(uint8(f.RetCls))
+	w.uvarint(uint64(f.Machine.NumGPR))
+	w.uvarint(uint64(f.Machine.NumFPR))
+	w.uvarint(uint64(len(f.ParamCls)))
+	for _, c := range f.ParamCls {
+		w.u8(uint8(c))
+	}
+	w.uvarint(uint64(len(f.Code)))
+	for i := range f.Code {
+		in := &f.Code[i]
+		lay, ok := layouts[in.Op]
+		if !ok {
+			return fmt.Errorf("encode: %s: no layout for op %s", f.Name, in.Op)
+		}
+		w.u8(uint8(in.Op))
+		for _, fd := range lay {
+			switch fd {
+			case fDst:
+				w.reg(in.Dst)
+			case fA:
+				w.reg(in.A)
+			case fB:
+				w.reg(in.B)
+			case fC:
+				w.reg(in.C)
+			case fCls:
+				w.u8(uint8(in.Cls))
+			case fACls:
+				w.u8(uint8(in.ACls))
+			case fImm:
+				w.varint(in.Imm)
+			case fFImm:
+				w.f64(in.FImm)
+			case fCmp:
+				w.u8(uint8(in.Cmp))
+			case fT0:
+				w.uvarint(uint64(in.T0))
+			case fCallee:
+				w.str(in.Callee)
+			case fArgs:
+				w.uvarint(uint64(len(in.Args)))
+				for _, a := range in.Args {
+					w.reg(a.R)
+					w.u8(uint8(a.Cls))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeProgram parses a serialized program.
+func DecodeProgram(data []byte) (*asm.Program, error) {
+	r := &reader{buf: data}
+	if r.u32() != magic {
+		return nil, fmt.Errorf("encode: bad magic")
+	}
+	if v := r.u8(); v != version {
+		return nil, fmt.Errorf("encode: unsupported version %d", v)
+	}
+	n := r.uvarint()
+	p := asm.NewProgram()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		f := decodeFunc(r)
+		if r.err == nil {
+			p.Add(f)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("encode: %d trailing bytes", len(data)-r.off)
+	}
+	return p, nil
+}
+
+func decodeFunc(r *reader) *asm.Func {
+	f := &asm.Func{Name: r.str(), Machine: target.Machine{Name: "decoded"}}
+	flags := r.u8()
+	f.HasRet = flags&1 != 0
+	f.RetCls = ir.Class(r.u8())
+	f.Machine.NumGPR = int(r.uvarint())
+	f.Machine.NumFPR = int(r.uvarint())
+	np := r.uvarint()
+	for i := uint64(0); i < np && r.err == nil; i++ {
+		f.ParamCls = append(f.ParamCls, ir.Class(r.u8()))
+	}
+	ni := r.uvarint()
+	for i := uint64(0); i < ni && r.err == nil; i++ {
+		op := ir.Op(r.u8())
+		lay, ok := layouts[op]
+		if !ok {
+			r.fail("encode: unknown op %d", op)
+			return f
+		}
+		in := asm.Instr{Op: op, Dst: asm.NoReg, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, T1: -1}
+		for _, fd := range lay {
+			switch fd {
+			case fDst:
+				in.Dst = r.reg()
+			case fA:
+				in.A = r.reg()
+			case fB:
+				in.B = r.reg()
+			case fC:
+				in.C = r.reg()
+			case fCls:
+				in.Cls = ir.Class(r.u8())
+			case fACls:
+				in.ACls = ir.Class(r.u8())
+			case fImm:
+				in.Imm = r.varint()
+			case fFImm:
+				in.FImm = r.f64()
+			case fCmp:
+				in.Cmp = ir.Cmp(r.u8())
+			case fT0:
+				in.T0 = int32(r.uvarint())
+			case fCallee:
+				in.Callee = r.str()
+			case fArgs:
+				na := r.uvarint()
+				for j := uint64(0); j < na && r.err == nil; j++ {
+					reg := r.reg()
+					cls := ir.Class(r.u8())
+					in.Args = append(in.Args, asm.ArgRef{R: reg, Cls: cls})
+				}
+			}
+		}
+		normalizeClasses(&in)
+		f.Code = append(f.Code, in)
+	}
+	return f
+}
+
+// normalizeClasses reconstructs the Cls/ACls fields that are implied
+// by the opcode and therefore not encoded. The lowering pass sets
+// them on every instruction; reproducing them keeps
+// decode(encode(f)) structurally identical to f.
+func normalizeClasses(in *asm.Instr) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpNeg,
+		ir.OpIMin, ir.OpIMax, ir.OpIAbs, ir.OpISign, ir.OpIPow,
+		ir.OpAddI, ir.OpMulI:
+		in.Cls = ir.ClassInt
+		if in.A != asm.NoReg {
+			in.ACls = ir.ClassInt
+		}
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFNeg,
+		ir.OpFMin, ir.OpFMax, ir.OpFAbs, ir.OpFSqrt, ir.OpFExp,
+		ir.OpFLog, ir.OpFSin, ir.OpFCos, ir.OpFSign, ir.OpFMod, ir.OpFPow:
+		in.Cls = ir.ClassFloat
+		if in.A != asm.NoReg {
+			in.ACls = ir.ClassFloat
+		}
+	case ir.OpItoF:
+		in.Cls = ir.ClassFloat
+		in.ACls = ir.ClassInt
+	case ir.OpFtoI:
+		in.Cls = ir.ClassInt
+		in.ACls = ir.ClassFloat
+	case ir.OpMove:
+		in.ACls = in.Cls
+	}
+}

@@ -1,0 +1,144 @@
+package encode_test
+
+import (
+	"reflect"
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/encode"
+	"regalloc/internal/experiments"
+	"regalloc/internal/workloads"
+)
+
+func assemble(t *testing.T, source string) (*regalloc.Program, *asm.Program) {
+	t.Helper()
+	prog, err := regalloc.Compile(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := prog.Assemble(regalloc.RTPC(), regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, code
+}
+
+// TestRoundTripStructural: decode(encode(p)) reproduces every
+// instruction field of every function for the whole benchmark suite.
+func TestRoundTripStructural(t *testing.T) {
+	for _, w := range append(workloads.All(), workloads.Quicksort(), workloads.IntegerKernels()) {
+		w := w
+		t.Run(w.Program, func(t *testing.T) {
+			_, code := assemble(t, w.Source)
+			data, err := encode.EncodeProgram(code)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			back, err := encode.DecodeProgram(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(back.Funcs) != len(code.Funcs) {
+				t.Fatalf("func count %d vs %d", len(back.Funcs), len(code.Funcs))
+			}
+			for i, f := range code.Funcs {
+				g := back.Funcs[i]
+				if g.Name != f.Name || g.HasRet != f.HasRet || g.RetCls != f.RetCls {
+					t.Fatalf("%s: header mismatch", f.Name)
+				}
+				if g.Machine.NumGPR != f.Machine.NumGPR || g.Machine.NumFPR != f.Machine.NumFPR {
+					t.Fatalf("%s: machine mismatch", f.Name)
+				}
+				if !reflect.DeepEqual(g.ParamCls, f.ParamCls) {
+					t.Fatalf("%s: params mismatch", f.Name)
+				}
+				if len(g.Code) != len(f.Code) {
+					t.Fatalf("%s: %d vs %d instructions", f.Name, len(g.Code), len(f.Code))
+				}
+				for j := range f.Code {
+					a, b := f.Code[j], g.Code[j]
+					// T1 is always -1 in lowered code and not encoded.
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("%s[%d]: %+v vs %+v", f.Name, j, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripExecutable: a decoded program runs and produces the
+// same results as the original.
+func TestRoundTripExecutable(t *testing.T) {
+	prog, code := assemble(t, workloads.Quicksort().Source)
+	data, err := encode.EncodeProgram(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := encode.DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.RunQuicksortN(experiments.VMEngine{M: regalloc.NewVM(code, prog.MemWords())}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiments.RunQuicksortN(experiments.VMEngine{M: regalloc.NewVM(back, prog.MemWords())}, 3000)
+	if err != nil {
+		t.Fatalf("decoded program failed: %v", err)
+	}
+	if got != want {
+		t.Fatalf("decoded program computed %x, want %x", got, want)
+	}
+}
+
+// TestDecodeRejectsGarbage: corrupted inputs produce errors, never
+// panics.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	_, code := assemble(t, workloads.Quicksort().Source)
+	data, err := encode.EncodeProgram(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		data[:len(data)/2],
+		append([]byte{9, 9, 9, 9}, data[4:]...), // bad magic
+	}
+	for i, c := range cases {
+		if _, err := encode.DecodeProgram(c); err == nil {
+			t.Errorf("case %d: corrupted input decoded without error", i)
+		}
+	}
+	// Flipping the version byte must fail cleanly.
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	if _, err := encode.DecodeProgram(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Trailing garbage detected.
+	if _, err := encode.DecodeProgram(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestEncodedDensity: the variable-length object format should beat
+// a naive fixed 4-bytes-per-instruction image on real code.
+func TestEncodedDensity(t *testing.T) {
+	_, code := assemble(t, workloads.SVD().Source)
+	data, err := encode.EncodeProgram(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := 0
+	for _, f := range code.Funcs {
+		instrs += len(f.Code)
+	}
+	perInstr := float64(len(data)) / float64(instrs)
+	if perInstr > 8 {
+		t.Fatalf("encoding too loose: %.1f bytes/instruction", perInstr)
+	}
+	t.Logf("encoded %d instructions into %d bytes (%.2f B/instr)", instrs, len(data), perInstr)
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regalloc/internal/vm"
+	"regalloc/internal/workloads"
+)
+
+// A DriverFunc runs one program's representative dynamic workload on
+// an engine and returns a result digest. The digest must be
+// identical across engines (simulator vs reference interpreter) and
+// across allocators (Chaitin vs Briggs): register allocation must
+// not change observable behaviour.
+type DriverFunc func(e Engine) (uint64, error)
+
+// Driver couples a workload with its dynamic scenario.
+type Driver struct {
+	Workload workloads.Workload
+	Run      DriverFunc
+}
+
+// Drivers returns the dynamic scenario for every Figure 5 program
+// plus quicksort. CEDETA has no driver: the paper reports "n/a" for
+// its dynamic column.
+func Drivers() []Driver {
+	return []Driver{
+		{Workload: workloads.SVD(), Run: runSVD},
+		{Workload: workloads.LINPACK(), Run: runLinpack},
+		{Workload: workloads.Simplex(), Run: runSimplex},
+		{Workload: workloads.Euler(), Run: runEuler},
+		{Workload: workloads.Quicksort(), Run: func(e Engine) (uint64, error) { return runQuicksort(e, 20000) }},
+	}
+}
+
+func ints(vals ...int64) []vm.Value {
+	out := make([]vm.Value, len(vals))
+	for i, v := range vals {
+		out[i] = vm.Int(v)
+	}
+	return out
+}
+
+// runSVD decomposes a deterministic 20x15 matrix.
+func runSVD(e Engine) (uint64, error) {
+	const (
+		nm, m, n = 20, 20, 15
+		aBase    = int64(0)
+		wBase    = int64(1000)
+		uBase    = int64(2000)
+		vBase    = int64(3000)
+		ierrBase = int64(4000)
+		rv1Base  = int64(4100)
+	)
+	r := &lcg{s: 7}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			e.StoreFloat(aBase+int64(i)+int64(j)*nm, r.float())
+		}
+	}
+	args := ints(nm, m, n, aBase, wBase, uBase, vBase, ierrBase, rv1Base)
+	if _, err := e.Call("SVD", args...); err != nil {
+		return 0, err
+	}
+	var d digest
+	d.addInt(e.LoadInt(ierrBase))
+	for i := 0; i < n; i++ {
+		d.addFloat(e.LoadFloat(wBase + int64(i)))
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			d.addFloat(e.LoadFloat(uBase + int64(i) + int64(j)*nm))
+		}
+	}
+	return d.sum(), nil
+}
+
+// runLinpack generates, factors, and solves a 40x40 system, then
+// exercises DMXPY and the Level-1 routines directly.
+func runLinpack(e Engine) (uint64, error) {
+	const (
+		lda, n  = 50, 40
+		aBase   = int64(0)
+		bBase   = int64(3000)
+		ipvt    = int64(4000)
+		info    = int64(4200)
+		yBase   = int64(5000)
+		xBase   = int64(6000)
+		matBase = int64(10000)
+		n1, n2  = 40, 33
+	)
+	if _, err := e.Call("MATGEN", ints(aBase, lda, n, bBase)...); err != nil {
+		return 0, check("MATGEN", err)
+	}
+	if _, err := e.Call("DGEFA", ints(aBase, lda, n, ipvt, info)...); err != nil {
+		return 0, check("DGEFA", err)
+	}
+	if e.LoadInt(info) != 0 {
+		return 0, fmt.Errorf("DGEFA: matrix singular at %d", e.LoadInt(info))
+	}
+	if _, err := e.Call("DGESL", ints(aBase, lda, n, ipvt, bBase, 0)...); err != nil {
+		return 0, check("DGESL", err)
+	}
+	// DMXPY on a fresh deterministic system.
+	r := &lcg{s: 99}
+	for i := int64(0); i < n1; i++ {
+		e.StoreFloat(yBase+i, r.float())
+	}
+	for j := int64(0); j < n2; j++ {
+		e.StoreFloat(xBase+j, r.float())
+		for i := int64(0); i < n1; i++ {
+			e.StoreFloat(matBase+i+j*lda, r.float())
+		}
+	}
+	if _, err := e.Call("DMXPY", ints(n1, yBase, n2, lda, xBase, matBase)...); err != nil {
+		return 0, check("DMXPY", err)
+	}
+	// Level-1 BLAS and EPSLON, both increment paths.
+	dot, err := e.Call("DDOT", ints(n1, yBase, 1, yBase, 1)...)
+	if err != nil {
+		return 0, check("DDOT", err)
+	}
+	if _, err := e.Call("DAXPY", []vm.Value{vm.Int(n1 / 2), vm.Float(0.5), vm.Int(yBase), vm.Int(2), vm.Int(xBase), vm.Int(1)}...); err != nil {
+		return 0, check("DAXPY", err)
+	}
+	if _, err := e.Call("DSCAL", []vm.Value{vm.Int(n1), vm.Float(1.01), vm.Int(yBase), vm.Int(1)}...); err != nil {
+		return 0, check("DSCAL", err)
+	}
+	imax, err := e.Call("IDAMAX", ints(n1, yBase, 1)...)
+	if err != nil {
+		return 0, check("IDAMAX", err)
+	}
+	eps, err := e.Call("EPSLON", []vm.Value{vm.Float(1.0)}...)
+	if err != nil {
+		return 0, check("EPSLON", err)
+	}
+	var d digest
+	d.addFloat(dot.F)
+	d.addInt(imax.I)
+	d.addFloat(eps.F * 1e18)
+	for i := int64(0); i < n; i++ {
+		d.addFloat(e.LoadFloat(bBase + i))
+	}
+	for i := int64(0); i < n1; i++ {
+		d.addFloat(e.LoadFloat(yBase + i))
+	}
+	return d.sum(), nil
+}
+
+// runSimplex minimizes an 8-dimensional chained Rosenbrock function.
+func runSimplex(e Engine) (uint64, error) {
+	const (
+		lds, n = 10, 8
+		np1    = n + 1
+		sBase  = int64(0)
+		srBase = int64(200)
+		seBase = int64(400)
+		fvBase = int64(600)
+		frBase = int64(700)
+		feBase = int64(800)
+		iter   = int64(900)
+	)
+	// Initial simplex: a perturbed point near the valley.
+	for j := 0; j < np1; j++ {
+		for i := 0; i < n; i++ {
+			v := -1.2
+			if i%2 == 1 {
+				v = 1.0
+			}
+			if j == i+1 {
+				v += 0.5
+			}
+			e.StoreFloat(sBase+int64(i)+int64(j)*lds, v)
+		}
+	}
+	args := []vm.Value{
+		vm.Int(sBase), vm.Int(lds), vm.Int(n), vm.Int(150), vm.Float(1e-6),
+		vm.Int(srBase), vm.Int(seBase), vm.Int(fvBase), vm.Int(frBase), vm.Int(feBase), vm.Int(iter),
+	}
+	if _, err := e.Call("SIMPLEX", args...); err != nil {
+		return 0, err
+	}
+	var d digest
+	d.addInt(e.LoadInt(iter))
+	for j := 0; j < np1; j++ {
+		d.addFloat(e.LoadFloat(fvBase + int64(j)))
+		for i := 0; i < n; i++ {
+			d.addFloat(e.LoadFloat(sBase + int64(i) + int64(j)*lds))
+		}
+	}
+	return d.sum(), nil
+}
+
+// runEuler initializes a 64-cell shock tube and advances it 10
+// steps, exercising every routine.
+func runEuler(e Engine) (uint64, error) {
+	const (
+		ld, n  = 80, 64
+		nc, np = 16, 32
+		xBase  = int64(0)
+		uBase  = int64(100)
+		dBase  = int64(400)
+		wBase  = int64(700)
+		fBase  = int64(1000)
+		uhBase = int64(1300)
+		fhBase = int64(1600)
+		cBase  = int64(1900)
+		pBase  = int64(2000)
+		smax   = int64(2100)
+		dfBase = int64(2200)
+		dwBase = int64(2500)
+		xrBase = int64(3000)
+		xiBase = int64(3100)
+		duBase = int64(3200)
+		chBase = int64(3300)
+		cwBase = int64(3400)
+	)
+	gamma := vm.Float(1.4)
+	dt := vm.Float(0.001)
+	dx := vm.Float(1.0 / 63.0)
+	if _, err := e.Call("INIT", vm.Int(xBase), vm.Int(uBase), vm.Int(dBase), vm.Int(cBase),
+		vm.Int(pBase), vm.Int(ld), vm.Int(n), vm.Int(nc), vm.Int(np), gamma, dt, dx); err != nil {
+		return 0, check("INIT", err)
+	}
+	if _, err := e.Call("INPUT", vm.Int(pBase), vm.Int(np), vm.Int(uBase), vm.Int(ld), vm.Int(n), gamma); err != nil {
+		return 0, check("INPUT", err)
+	}
+	if _, err := e.Call("SHOCK", vm.Int(dBase), vm.Int(n)); err != nil {
+		return 0, check("SHOCK", err)
+	}
+	for step := 0; step < 10; step++ {
+		if _, err := e.Call("CODE", vm.Int(uBase), vm.Int(fBase), vm.Int(cBase), vm.Int(ld), vm.Int(n), gamma, vm.Int(smax)); err != nil {
+			return 0, check("CODE", err)
+		}
+		if _, err := e.Call("CODE", vm.Int(uBase), vm.Int(fhBase), vm.Int(cBase), vm.Int(ld), vm.Int(n), gamma, vm.Int(smax)); err != nil {
+			return 0, check("CODE/half", err)
+		}
+		if _, err := e.Call("FINDIF", vm.Int(uBase), vm.Int(uhBase), vm.Int(fBase), vm.Int(fhBase),
+			vm.Int(ld), vm.Int(n), dt, dx, vm.Float(0.8)); err != nil {
+			return 0, check("FINDIF", err)
+		}
+		if _, err := e.Call("DISSIP", vm.Int(uBase), vm.Int(dBase), vm.Int(wBase),
+			vm.Int(ld), vm.Int(n), vm.Float(0.25), vm.Float(0.015625), dt, dx); err != nil {
+			return 0, check("DISSIP", err)
+		}
+		if _, err := e.Call("BNDRY", vm.Int(uBase), vm.Int(ld), vm.Int(n), vm.Int(0)); err != nil {
+			return 0, check("BNDRY", err)
+		}
+	}
+	if _, err := e.Call("DIFFR", vm.Int(uBase), vm.Int(fBase), vm.Int(dfBase), vm.Int(dwBase),
+		vm.Int(ld), vm.Int(n), vm.Float(1e-6)); err != nil {
+		return 0, check("DIFFR", err)
+	}
+	if _, err := e.Call("DERIV", vm.Int(uBase), vm.Int(duBase), vm.Int(n), dx); err != nil {
+		return 0, check("DERIV", err)
+	}
+	// Spectral probe of the density field.
+	for i := int64(0); i < 32; i++ {
+		e.StoreFloat(xrBase+i, e.LoadFloat(uBase+i))
+		e.StoreFloat(xiBase+i, 0)
+	}
+	if _, err := e.Call("FFTB", vm.Int(xrBase), vm.Int(xiBase), vm.Int(32), vm.Int(5)); err != nil {
+		return 0, check("FFTB", err)
+	}
+	if _, err := e.Call("CHEB", vm.Int(chBase), vm.Int(8), vm.Float(0.0), vm.Float(1.0), vm.Int(cwBase)); err != nil {
+		return 0, check("CHEB", err)
+	}
+	var d digest
+	for k := int64(0); k < 3; k++ {
+		for i := int64(0); i < n; i++ {
+			d.addFloat(e.LoadFloat(uBase + i + k*ld))
+		}
+	}
+	for i := int64(0); i < 32; i++ {
+		d.addFloat(e.LoadFloat(xrBase + i))
+		d.addFloat(e.LoadFloat(xiBase + i))
+	}
+	for i := int64(0); i < 8; i++ {
+		d.addFloat(e.LoadFloat(chBase + i))
+	}
+	return d.sum(), nil
+}
+
+// runQuicksort sorts n deterministic pseudo-random integers and
+// verifies the result is a non-decreasing permutation.
+func runQuicksort(e Engine, n int64) (uint64, error) {
+	const base = int64(0)
+	r := &lcg{s: 3}
+	var sum int64
+	for i := int64(0); i < n; i++ {
+		v := r.intn(1000000)
+		e.StoreInt(base+i, v)
+		sum += v
+	}
+	if _, err := e.Call("QSORT", vm.Int(base), vm.Int(n)); err != nil {
+		return 0, err
+	}
+	var after int64
+	var d digest
+	prev := int64(-1)
+	for i := int64(0); i < n; i++ {
+		v := e.LoadInt(base + i)
+		if v < prev {
+			return 0, fmt.Errorf("quicksort: out of order at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+		after += v
+		d.addInt(v)
+	}
+	if after != sum {
+		return 0, fmt.Errorf("quicksort: element sum changed (%d -> %d)", sum, after)
+	}
+	return d.sum(), nil
+}
+
+// RunQuicksortN exposes the quicksort driver with a configurable
+// element count for the Figure 6 study.
+func RunQuicksortN(e Engine, n int64) (uint64, error) { return runQuicksort(e, n) }

@@ -1,0 +1,132 @@
+// Package experiments regenerates the paper's evaluation: Figure 5
+// (static spill improvements and dynamic gains across five
+// programs), Figure 6 (the quicksort register-set study), and
+// Figure 7 (CPU time per allocator phase). Each figure has a
+// function returning a typed table plus a formatter that prints rows
+// shaped like the paper's.
+package experiments
+
+import (
+	"fmt"
+
+	"regalloc"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/vm"
+)
+
+// Engine abstracts the two execution backends — the cycle-counting
+// simulator (vm) and the reference IR interpreter (irinterp) — so a
+// single driver script produces both the dynamic measurements and
+// the ground-truth results they are validated against.
+type Engine interface {
+	Call(name string, args ...vm.Value) (vm.Value, error)
+	LoadInt(addr int64) int64
+	StoreInt(addr, v int64)
+	LoadFloat(addr int64) float64
+	StoreFloat(addr int64, v float64)
+}
+
+// VMEngine adapts *vm.VM.
+type VMEngine struct{ M *vm.VM }
+
+// Call runs a function on the simulator.
+func (e VMEngine) Call(name string, args ...vm.Value) (vm.Value, error) {
+	return e.M.Call(name, args...)
+}
+
+// LoadInt reads an integer word.
+func (e VMEngine) LoadInt(a int64) int64 { return e.M.LoadInt(a) }
+
+// StoreInt writes an integer word.
+func (e VMEngine) StoreInt(a, v int64) { e.M.StoreInt(a, v) }
+
+// LoadFloat reads a float word.
+func (e VMEngine) LoadFloat(a int64) float64 { return e.M.LoadFloat(a) }
+
+// StoreFloat writes a float word.
+func (e VMEngine) StoreFloat(a int64, v float64) { e.M.StoreFloat(a, v) }
+
+// InterpEngine adapts *irinterp.Interp.
+type InterpEngine struct{ I *irinterp.Interp }
+
+// Call runs a function on the reference interpreter.
+func (e InterpEngine) Call(name string, args ...vm.Value) (vm.Value, error) {
+	conv := make([]irinterp.Value, len(args))
+	for i, a := range args {
+		conv[i] = irinterp.Value{Cls: a.Cls, I: a.I, F: a.F}
+	}
+	r, err := e.I.Call(name, conv...)
+	return vm.Value{Cls: r.Cls, I: r.I, F: r.F}, err
+}
+
+// LoadInt reads an integer word.
+func (e InterpEngine) LoadInt(a int64) int64 { return e.I.LoadInt(a) }
+
+// StoreInt writes an integer word.
+func (e InterpEngine) StoreInt(a, v int64) { e.I.StoreInt(a, v) }
+
+// LoadFloat reads a float word.
+func (e InterpEngine) LoadFloat(a int64) float64 { return e.I.LoadFloat(a) }
+
+// StoreFloat writes a float word.
+func (e InterpEngine) StoreFloat(a int64, v float64) { e.I.StoreFloat(a, v) }
+
+// NewVMEngine assembles prog with the given heuristic on the paper's
+// machine and returns a simulator engine.
+func NewVMEngine(prog *regalloc.Program, h regalloc.Heuristic, m regalloc.Machine) (VMEngine, error) {
+	opt := regalloc.DefaultOptions()
+	opt.Heuristic = h
+	code, _, err := prog.Assemble(m, opt)
+	if err != nil {
+		return VMEngine{}, err
+	}
+	return VMEngine{M: regalloc.NewVM(code, prog.MemWords())}, nil
+}
+
+// NewInterpEngine returns the reference engine for prog.
+func NewInterpEngine(prog *regalloc.Program) InterpEngine {
+	return InterpEngine{I: prog.NewInterp(prog.MemWords())}
+}
+
+// lcg is the deterministic generator drivers use for input data.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+func (r *lcg) float() float64 { return float64(r.next()%2000000)/1000000.0 - 1.0 }
+
+func (r *lcg) intn(n int64) int64 { return int64(r.next() % uint64(n)) }
+
+// digest accumulates a simple order-sensitive checksum for
+// cross-engine result comparison.
+type digest struct{ h uint64 }
+
+func (d *digest) addInt(v int64) { d.h = d.h*1099511628211 ^ uint64(v) }
+
+func (d *digest) addFloat(v float64) {
+	// Quantize so the two engines (identical arithmetic) agree and
+	// tiny formatting differences cannot creep in.
+	d.addInt(int64(v * 1e6))
+}
+
+func (d *digest) sum() uint64 { return d.h }
+
+// check fails with a labeled error when err is non-nil.
+func check(label string, err error) error {
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	return nil
+}
+
+// NewVMEngineWith assembles prog with fully custom options on m.
+func NewVMEngineWith(prog *regalloc.Program, m regalloc.Machine, opt regalloc.Options) (VMEngine, error) {
+	code, _, err := prog.Assemble(m, opt)
+	if err != nil {
+		return VMEngine{}, err
+	}
+	return VMEngine{M: regalloc.NewVM(code, prog.MemWords())}, nil
+}

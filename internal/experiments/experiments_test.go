@@ -1,0 +1,460 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/experiments"
+)
+
+// TestSemanticsPreserved is the repository's most important
+// integration test: for every dynamic workload, the result digest of
+// the register-allocated machine code on the simulator must equal
+// the digest of the reference IR interpreter — under every
+// heuristic. Allocation (including spill code) must not change
+// program behaviour.
+func TestSemanticsPreserved(t *testing.T) {
+	machine := regalloc.RTPC()
+	for _, d := range experiments.Drivers() {
+		d := d
+		t.Run(d.Workload.Program, func(t *testing.T) {
+			prog, err := regalloc.Compile(d.Workload.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, err := d.Run(experiments.NewInterpEngine(prog))
+			if err != nil {
+				t.Fatalf("reference interpreter: %v", err)
+			}
+			for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs, regalloc.MatulaBeck} {
+				eng, err := experiments.NewVMEngine(prog, h, machine)
+				if err != nil {
+					t.Fatalf("%s: assemble: %v", h, err)
+				}
+				got, err := d.Run(eng)
+				if err != nil {
+					t.Fatalf("%s: run: %v", h, err)
+				}
+				if got != want {
+					t.Errorf("%s: digest %x, want %x (allocation changed behaviour)", h, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSemanticsPreservedNoOpt repeats the check on unoptimized code:
+// the optimizer must not be load-bearing for correctness.
+func TestSemanticsPreservedNoOpt(t *testing.T) {
+	machine := regalloc.RTPC()
+	for _, d := range experiments.Drivers() {
+		d := d
+		t.Run(d.Workload.Program, func(t *testing.T) {
+			optProg, err := regalloc.Compile(d.Workload.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			noProg, err := regalloc.CompileNoOpt(d.Workload.Source)
+			if err != nil {
+				t.Fatalf("compile (no opt): %v", err)
+			}
+			want, err := d.Run(experiments.NewInterpEngine(optProg))
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			// The optimizer itself must preserve semantics...
+			gotNoOpt, err := d.Run(experiments.NewInterpEngine(noProg))
+			if err != nil {
+				t.Fatalf("reference (no opt): %v", err)
+			}
+			if gotNoOpt != want {
+				t.Fatalf("optimizer changed behaviour: %x vs %x", gotNoOpt, want)
+			}
+			// ...and unoptimized code must allocate and run
+			// correctly too.
+			eng, err := experiments.NewVMEngine(noProg, regalloc.Briggs, machine)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			got, err := d.Run(eng)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got != want {
+				t.Errorf("digest %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+// TestSemanticsAcrossRegisterCounts runs quicksort at every Figure 6
+// register count under both heuristics: spill code under extreme
+// pressure must still compute the same answer.
+func TestSemanticsAcrossRegisterCounts(t *testing.T) {
+	w := experiments.Drivers()[4] // quicksort
+	prog, err := regalloc.Compile(w.Workload.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want, err := experiments.RunQuicksortN(experiments.NewInterpEngine(prog), 5000)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for _, k := range []int{16, 14, 12, 10, 8, 6, 5} {
+		for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs, regalloc.MatulaBeck} {
+			eng, err := experiments.NewVMEngine(prog, h, regalloc.RTPC().WithGPR(k))
+			if err != nil {
+				if h == regalloc.MatulaBeck && k < 8 {
+					// Smallest-last ordering is cost-blind, so under
+					// extreme pressure its optimistic select can
+					// leave a spill temporary uncolored — a
+					// legitimate, clearly-reported failure mode.
+					t.Logf("k=%d %s: %v (expected for cost-blind ordering)", k, h, err)
+					continue
+				}
+				t.Fatalf("k=%d %s: assemble: %v", k, h, err)
+			}
+			got, err := experiments.RunQuicksortN(eng, 5000)
+			if err != nil {
+				t.Fatalf("k=%d %s: %v", k, h, err)
+			}
+			if got != want {
+				t.Errorf("k=%d %s: digest %x, want %x", k, h, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure5Shape checks the qualitative claims of Figure 5 on our
+// regenerated table: the new heuristic never spills more ranges or
+// more estimated cost than the old one, at least one routine
+// improves strictly, routines with no spilling show no difference,
+// and the per-program dynamic improvement is never negative.
+func TestFigure5Shape(t *testing.T) {
+	res, err := experiments.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, p := range res.Programs {
+		for _, row := range p.Rows {
+			if row.SpilledNew > row.SpilledOld {
+				t.Errorf("%s/%s: new spills %d > old %d", p.Program, row.Routine, row.SpilledNew, row.SpilledOld)
+			}
+			if row.CostNew > row.CostOld+1e-9 {
+				t.Errorf("%s/%s: new cost %.0f > old %.0f", p.Program, row.Routine, row.CostNew, row.CostOld)
+			}
+			if row.SpilledNew < row.SpilledOld {
+				improved++
+			}
+		}
+		if p.HasDynamic && p.CyclesNew > p.CyclesOld {
+			t.Errorf("%s: new code slower (%d > %d cycles)", p.Program, p.CyclesNew, p.CyclesOld)
+		}
+	}
+	if improved == 0 {
+		t.Error("no routine improved; the optimistic heuristic should win somewhere")
+	}
+	// The SVD headline: a strict improvement in both spilled ranges
+	// and estimated cost (§3: 51% and 22% in the paper).
+	svd := res.Programs[0].Rows[0]
+	if svd.SpilledNew >= svd.SpilledOld {
+		t.Errorf("SVD: expected strict spill improvement, got %d vs %d", svd.SpilledNew, svd.SpilledOld)
+	}
+	if svd.CostNew >= svd.CostOld {
+		t.Errorf("SVD: expected strict cost improvement, got %.0f vs %.0f", svd.CostNew, svd.CostOld)
+	}
+}
+
+// TestFigure6Shape checks the quicksort study's qualitative claims:
+// identical behaviour with ample registers, monotonically growing
+// spill pressure as registers shrink, the new heuristic never worse
+// on any metric, and strictly better somewhere in the constrained
+// region (§3.2: "greater improvement in highly constrained
+// situations").
+func TestFigure6Shape(t *testing.T) {
+	res, err := experiments.Figure6(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(res.Rows))
+	}
+	first := res.Rows[0]
+	if first.K != 16 || first.SpilledOld != first.SpilledNew || first.CyclesOld != first.CyclesNew {
+		t.Errorf("at 16 registers the methods should coincide: %+v", first)
+	}
+	prevOld := -1
+	strictly := false
+	for _, row := range res.Rows {
+		if row.SpilledNew > row.SpilledOld {
+			t.Errorf("k=%d: new spills more (%d > %d)", row.K, row.SpilledNew, row.SpilledOld)
+		}
+		if row.CyclesNew > row.CyclesOld {
+			t.Errorf("k=%d: new code slower", row.K)
+		}
+		if row.SizeNew > row.SizeOld {
+			t.Errorf("k=%d: new code larger", row.K)
+		}
+		if row.SpilledOld < prevOld {
+			t.Errorf("k=%d: spills should not decrease as registers shrink", row.K)
+		}
+		prevOld = row.SpilledOld
+		if row.SpilledNew < row.SpilledOld {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Error("expected a strict improvement at some constrained register count")
+	}
+	// The §3.2 observation: with few registers the program runs
+	// noticeably slower than with the full set.
+	last := res.Rows[len(res.Rows)-1]
+	if last.CyclesOld <= first.CyclesOld {
+		t.Error("8-register code should be slower than 16-register code")
+	}
+}
+
+// TestFigure7Shape checks the phase-time table's structural claims:
+// both heuristics converge within a few passes (the paper never saw
+// more than three; we allow a small margin), per-pass spill counts
+// shrink, and the new heuristic's first pass always has a color
+// phase while Chaitin's spilling passes do not.
+func TestFigure7Shape(t *testing.T) {
+	res, err := experiments.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routines) != 4 {
+		t.Fatalf("want 4 routines, got %d", len(res.Routines))
+	}
+	for _, rt := range res.Routines {
+		for _, r := range []*regalloc.Result{rt.Old, rt.New} {
+			if len(r.Passes) > 5 {
+				t.Errorf("%s: %d passes; expected rapid convergence", rt.Name, len(r.Passes))
+			}
+			for i := 1; i < len(r.Passes); i++ {
+				if r.Passes[i].Spilled > r.Passes[i-1].Spilled {
+					t.Errorf("%s: pass %d spills grew (%d > %d)", rt.Name, i+1,
+						r.Passes[i].Spilled, r.Passes[i-1].Spilled)
+				}
+			}
+			if r.Passes[len(r.Passes)-1].Spilled != 0 {
+				t.Errorf("%s: final pass still spilled", rt.Name)
+			}
+		}
+		if rt.New.FirstPassSpilled() > rt.Old.FirstPassSpilled() {
+			t.Errorf("%s: new heuristic spilled more ranges than old", rt.Name)
+		}
+	}
+}
+
+// TestAblationsShape sanity-checks the design-choice studies: the
+// paper's cost/degree metric never has higher estimated spill cost
+// than degree-only (which ignores cost), coalescing never increases
+// object size, and the density sweep shows optimism's savings
+// concentrated at constrained densities.
+func TestAblationsShape(t *testing.T) {
+	res, err := experiments.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Metric {
+		if !row.CostOverDegree.OK {
+			t.Fatalf("%s: the default metric failed", row.Routine)
+		}
+		if row.DegreeOnly.OK && row.DegreeOnly.SpillCost < row.CostOverDegree.SpillCost {
+			t.Errorf("%s: degree-only beat cost/degree on cost (%.0f < %.0f)?",
+				row.Routine, row.DegreeOnly.SpillCost, row.CostOverDegree.SpillCost)
+		}
+	}
+	for _, row := range res.Coalesce {
+		if row.OnObjectSize > row.OffObjectSize {
+			t.Errorf("%s: coalescing grew the code (%d > %d)", row.Routine, row.OnObjectSize, row.OffObjectSize)
+		}
+		if row.OnCoalescedMoves == 0 {
+			t.Errorf("%s: no moves coalesced", row.Routine)
+		}
+	}
+	saved := 0
+	for _, row := range res.Density {
+		if row.BriggsSpilled > row.ChaitinSpilled {
+			t.Errorf("p=%.2f: briggs spilled more on random graphs", row.P)
+		}
+		saved += row.ChaitinSpilled - row.BriggsSpilled
+	}
+	if saved == 0 {
+		t.Error("optimism saved nothing across the density sweep")
+	}
+}
+
+// TestIntegerStudyShape runs the §3.2-requested integer-kernel sweep
+// and checks its qualitative behaviour: results identical across
+// heuristics (enforced inside IntegerStudy), the new heuristic never
+// spills more, pressure grows as registers shrink, and the new code
+// is never slower.
+func TestIntegerStudyShape(t *testing.T) {
+	res, err := experiments.IntegerStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := false
+	for _, row := range res.Rows {
+		if row.SpilledNew > row.SpilledOld {
+			t.Errorf("%s k=%d: new spills more (%d > %d)", row.Routine, row.K, row.SpilledNew, row.SpilledOld)
+		}
+		if row.SpilledNew < row.SpilledOld {
+			improved = true
+		}
+		if row.CyclesNew > row.CyclesOld {
+			t.Errorf("k=%d: new code slower", row.K)
+		}
+	}
+	if !improved {
+		t.Error("no improvement anywhere in the integer sweep")
+	}
+}
+
+// TestSemanticsPreservedWithRemat reruns the differential check with
+// Chaitin's rematerialization refinement enabled: recomputing
+// constants instead of reloading them must not change any program's
+// results.
+func TestSemanticsPreservedWithRemat(t *testing.T) {
+	machine := regalloc.RTPC()
+	for _, d := range experiments.Drivers() {
+		d := d
+		t.Run(d.Workload.Program, func(t *testing.T) {
+			prog, err := regalloc.Compile(d.Workload.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, err := d.Run(experiments.NewInterpEngine(prog))
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			opt := regalloc.DefaultOptions()
+			opt.Rematerialize = true
+			eng, err := experiments.NewVMEngineWith(prog, machine, opt)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			got, err := d.Run(eng)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got != want {
+				t.Errorf("rematerialization changed behaviour: %x vs %x", got, want)
+			}
+		})
+	}
+}
+
+// TestSemanticsPreservedWithSplit reruns the differential check with
+// live-range splitting (the paper's §4 future work) enabled, at both
+// full and constrained register counts.
+func TestSemanticsPreservedWithSplit(t *testing.T) {
+	for _, d := range experiments.Drivers() {
+		d := d
+		t.Run(d.Workload.Program, func(t *testing.T) {
+			prog, err := regalloc.Compile(d.Workload.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, err := d.Run(experiments.NewInterpEngine(prog))
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, m := range []regalloc.Machine{regalloc.RTPC(), regalloc.RTPC().WithGPR(10)} {
+				opt := regalloc.DefaultOptions()
+				opt.Split = true
+				opt.KInt = m.NumGPR
+				eng, err := experiments.NewVMEngineWith(prog, m, opt)
+				if err != nil {
+					t.Fatalf("k=%d: assemble: %v", m.NumGPR, err)
+				}
+				got, err := d.Run(eng)
+				if err != nil {
+					t.Fatalf("k=%d: run: %v", m.NumGPR, err)
+				}
+				if got != want {
+					t.Errorf("k=%d: splitting changed behaviour: %x vs %x", m.NumGPR, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTableRenderers smoke-tests every table's String method (the
+// output cmd/bench prints).
+func TestTableRenderers(t *testing.T) {
+	f5, err := experiments.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f5.String(); !strings.Contains(s, "SVD") || !strings.Contains(s, "Spill Cost") {
+		t.Fatalf("figure 5 rendering:\n%s", s)
+	}
+	f6, err := experiments.Figure6(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f6.String(); !strings.Contains(s, "quicksort") || !strings.Contains(s, "Running Time") {
+		t.Fatalf("figure 6 rendering:\n%s", s)
+	}
+	f7, err := experiments.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f7.String(); !strings.Contains(s, "Build") || !strings.Contains(s, "GRADNT/Old") {
+		t.Fatalf("figure 7 rendering:\n%s", s)
+	}
+	ab, err := experiments.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ab.String(); !strings.Contains(s, "ablation 1") || !strings.Contains(s, "ablation 6") {
+		t.Fatalf("ablation rendering:\n%s", s)
+	}
+	is, err := experiments.IntegerStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := is.String(); !strings.Contains(s, "HASH") {
+		t.Fatalf("integer study rendering:\n%s", s)
+	}
+}
+
+// TestPassStudy checks the §3.3 convergence claims on the whole
+// suite: spill counts decay monotonically pass over pass, the final
+// pass is always spill-free, the two heuristics differ by at most
+// one pass on any routine, and nothing needs more than a handful of
+// passes (the paper saw at most 3; our HSSIAN occasionally takes 4).
+func TestPassStudy(t *testing.T) {
+	res, err := experiments.PassStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 30 {
+		t.Fatalf("only %d routines studied", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, spills := range [][]int{row.OldSpills, row.NewSpills} {
+			for i := 1; i < len(spills); i++ {
+				if spills[i] > spills[i-1] {
+					t.Errorf("%s/%s: spills grew between passes: %v", row.Program, row.Routine, spills)
+				}
+			}
+			if len(spills) > 0 && spills[len(spills)-1] != 0 {
+				t.Errorf("%s/%s: final pass spilled: %v", row.Program, row.Routine, spills)
+			}
+		}
+		if d := row.NewPasses - row.OldPasses; d < -1 || d > 1 {
+			t.Errorf("%s/%s: pass counts differ by %d (old %d, new %d)",
+				row.Program, row.Routine, d, row.OldPasses, row.NewPasses)
+		}
+	}
+	if res.MaxPasses() > 5 {
+		t.Errorf("max passes %d; expected rapid convergence", res.MaxPasses())
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"regalloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/workloads"
+)
+
+// Fig5Row is one routine's line of Figure 5.
+type Fig5Row struct {
+	Program    string
+	Routine    string
+	ObjectSize int // bytes, compiled with the new heuristic
+	LiveRanges int
+	SpilledOld int
+	SpilledNew int
+	SpillPct   float64
+	CostOld    float64
+	CostNew    float64
+	CostPct    float64
+}
+
+// Fig5Program groups a program's rows with its dynamic improvement.
+type Fig5Program struct {
+	Program    string
+	Rows       []Fig5Row
+	HasDynamic bool
+	CyclesOld  uint64
+	CyclesNew  uint64
+	DynamicPct float64
+}
+
+// Figure5Result is the full table.
+type Figure5Result struct {
+	Programs []Fig5Program
+}
+
+// Figure5 regenerates the paper's Figure 5: for every routine of the
+// five benchmark programs, the number of live ranges, the live
+// ranges spilled and their estimated cost under Chaitin's heuristic
+// (Old) and the optimistic heuristic (New), and per program the
+// measured dynamic improvement on the simulator.
+func Figure5() (*Figure5Result, error) {
+	out := &Figure5Result{}
+	machine := regalloc.RTPC()
+	drivers := make(map[string]DriverFunc)
+	for _, d := range Drivers() {
+		drivers[d.Workload.Program] = d.Run
+	}
+	for _, w := range workloads.All() {
+		prog, err := regalloc.Compile(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("figure5: compile %s: %w", w.Program, err)
+		}
+		pr := Fig5Program{Program: w.Program}
+		for _, routine := range w.Routines {
+			row, err := staticRow(prog, w.Program, routine, machine)
+			if err != nil {
+				return nil, err
+			}
+			pr.Rows = append(pr.Rows, row)
+		}
+		if run, ok := drivers[w.Program]; ok {
+			old, new_, err := dynamicPair(prog, machine, run)
+			if err != nil {
+				return nil, fmt.Errorf("figure5: dynamic %s: %w", w.Program, err)
+			}
+			pr.HasDynamic = true
+			pr.CyclesOld = old
+			pr.CyclesNew = new_
+			pr.DynamicPct = pct(float64(old), float64(new_))
+		}
+		out.Programs = append(out.Programs, pr)
+	}
+	return out, nil
+}
+
+// staticRow allocates one routine under both heuristics.
+func staticRow(prog *regalloc.Program, program, routine string, m regalloc.Machine) (Fig5Row, error) {
+	row := Fig5Row{Program: program, Routine: routine}
+	oldOpt := regalloc.DefaultOptions()
+	oldOpt.Heuristic = regalloc.Chaitin
+	oldRes, err := prog.Allocate(routine, oldOpt)
+	if err != nil {
+		return row, fmt.Errorf("figure5: %s (chaitin): %w", routine, err)
+	}
+	newOpt := regalloc.DefaultOptions()
+	newOpt.Heuristic = regalloc.Briggs
+	newRes, err := prog.Allocate(routine, newOpt)
+	if err != nil {
+		return row, fmt.Errorf("figure5: %s (briggs): %w", routine, err)
+	}
+	lowered, err := asm.Lower(newRes.Func, newRes.Colors, m)
+	if err != nil {
+		return row, fmt.Errorf("figure5: %s: %w", routine, err)
+	}
+	row.ObjectSize = lowered.ObjectSize()
+	row.LiveRanges = newRes.LiveRanges()
+	row.SpilledOld = oldRes.FirstPassSpilled()
+	row.SpilledNew = newRes.FirstPassSpilled()
+	row.SpillPct = pct(float64(row.SpilledOld), float64(row.SpilledNew))
+	row.CostOld = oldRes.FirstPassSpillCost()
+	row.CostNew = newRes.FirstPassSpillCost()
+	row.CostPct = pct(row.CostOld, row.CostNew)
+	return row, nil
+}
+
+// dynamicPair runs the program's driver compiled with each heuristic
+// and checks that both produce identical results.
+func dynamicPair(prog *regalloc.Program, m regalloc.Machine, run DriverFunc) (old, new_ uint64, err error) {
+	oldEng, err := NewVMEngine(prog, regalloc.Chaitin, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	oldDigest, err := run(oldEng)
+	if err != nil {
+		return 0, 0, fmt.Errorf("chaitin run: %w", err)
+	}
+	newEng, err := NewVMEngine(prog, regalloc.Briggs, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	newDigest, err := run(newEng)
+	if err != nil {
+		return 0, 0, fmt.Errorf("briggs run: %w", err)
+	}
+	if oldDigest != newDigest {
+		return 0, 0, fmt.Errorf("allocators disagree on program results (%x vs %x)", oldDigest, newDigest)
+	}
+	return oldEng.M.Cycles, newEng.M.Cycles, nil
+}
+
+// pct is the paper's improvement percentage: how much smaller new is
+// than old, as a percentage of old (0 when old is 0).
+func pct(old, new_ float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (old - new_) / old * 100
+}
+
+// String renders the table in the paper's layout.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %8s %6s | %5s %5s %5s | %10s %10s %5s | %8s\n",
+		"Program", "Routine", "ObjSize", "Live",
+		"Old", "New", "Pct",
+		"Old", "New", "Pct", "Dyn.Pct")
+	fmt.Fprintf(&b, "%-8s %-10s %8s %6s | %17s | %27s |\n",
+		"", "", "(bytes)", "Ranges", "Registers Spilled", "Spill Cost")
+	b.WriteString(strings.Repeat("-", 108) + "\n")
+	for _, p := range r.Programs {
+		for i, row := range p.Rows {
+			dyn := ""
+			if i == 0 {
+				if p.HasDynamic {
+					dyn = fmt.Sprintf("%.2f", p.DynamicPct)
+				} else {
+					dyn = "n/a"
+				}
+			}
+			name := ""
+			if i == 0 {
+				name = p.Program
+			}
+			fmt.Fprintf(&b, "%-8s %-10s %8d %6d | %5d %5d %5.0f | %10.0f %10.0f %5.0f | %8s\n",
+				name, row.Routine, row.ObjectSize, row.LiveRanges,
+				row.SpilledOld, row.SpilledNew, row.SpillPct,
+				row.CostOld, row.CostNew, row.CostPct, dyn)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"regalloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/workloads"
+)
+
+// Fig6Row is one register-count line of the quicksort study.
+type Fig6Row struct {
+	K          int
+	SpilledOld int
+	SpilledNew int
+	SpillPct   float64
+	CostOld    float64
+	CostNew    float64
+	CostPct    float64
+	SizeOld    int
+	SizeNew    int
+	SizePct    float64
+	CyclesOld  uint64
+	CyclesNew  uint64
+	TimePct    float64
+}
+
+// Figure6Result is the full quicksort table.
+type Figure6Result struct {
+	Elements int64
+	Rows     []Fig6Row
+}
+
+// Figure6 regenerates the paper's Figure 6: quicksort compiled with
+// each heuristic and with the allocator restricted to 16, 14, 12,
+// 10, and 8 general-purpose registers, reporting spills, estimated
+// spill cost, object size, and simulated running time for sorting
+// the given number of integers (the paper used 200,000).
+func Figure6(elements int64) (*Figure6Result, error) {
+	w := workloads.Quicksort()
+	prog, err := regalloc.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("figure6: compile: %w", err)
+	}
+	out := &Figure6Result{Elements: elements}
+	for _, k := range []int{16, 14, 12, 10, 8} {
+		machine := regalloc.RTPC().WithGPR(k)
+		row := Fig6Row{K: k}
+
+		type side struct {
+			spills int
+			cost   float64
+			size   int
+			cycles uint64
+			digest uint64
+		}
+		run := func(h regalloc.Heuristic) (side, error) {
+			var s side
+			opt := regalloc.DefaultOptions()
+			opt.Heuristic = h
+			opt.KInt = k
+			res, err := prog.Allocate("QSORT", opt)
+			if err != nil {
+				return s, err
+			}
+			s.spills = res.FirstPassSpilled()
+			s.cost = res.FirstPassSpillCost()
+			lowered, err := asm.Lower(res.Func, res.Colors, machine)
+			if err != nil {
+				return s, err
+			}
+			s.size = lowered.ObjectSize()
+			eng, err := NewVMEngine(prog, h, machine)
+			if err != nil {
+				return s, err
+			}
+			s.digest, err = RunQuicksortN(eng, elements)
+			if err != nil {
+				return s, err
+			}
+			s.cycles = eng.M.Cycles
+			return s, nil
+		}
+		oldS, err := run(regalloc.Chaitin)
+		if err != nil {
+			return nil, fmt.Errorf("figure6: k=%d chaitin: %w", k, err)
+		}
+		newS, err := run(regalloc.Briggs)
+		if err != nil {
+			return nil, fmt.Errorf("figure6: k=%d briggs: %w", k, err)
+		}
+		if oldS.digest != newS.digest {
+			return nil, fmt.Errorf("figure6: k=%d: allocators disagree on sorted output", k)
+		}
+		row.SpilledOld, row.SpilledNew = oldS.spills, newS.spills
+		row.SpillPct = pct(float64(oldS.spills), float64(newS.spills))
+		row.CostOld, row.CostNew = oldS.cost, newS.cost
+		row.CostPct = pct(oldS.cost, newS.cost)
+		row.SizeOld, row.SizeNew = oldS.size, newS.size
+		row.SizePct = pct(float64(oldS.size), float64(newS.size))
+		row.CyclesOld, row.CyclesNew = oldS.cycles, newS.cycles
+		row.TimePct = pct(float64(oldS.cycles), float64(newS.cycles))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the table in the paper's layout, with simulated
+// cycles standing in for wall-clock seconds.
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quicksort, %d elements (running time in simulated cycles)\n", r.Elements)
+	fmt.Fprintf(&b, "%4s | %5s %5s %4s | %9s %9s %4s | %6s %6s %4s | %11s %11s %4s\n",
+		"Regs", "Old", "New", "Pct", "Old", "New", "Pct", "Old", "New", "Pct", "Old", "New", "Pct")
+	fmt.Fprintf(&b, "%4s | %16s | %24s | %18s | %28s\n",
+		"", "Registers Spilled", "Spill Cost", "Object Size", "Running Time")
+	b.WriteString(strings.Repeat("-", 112) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d | %5d %5d %4.0f | %9.0f %9.0f %4.0f | %6d %6d %4.0f | %11d %11d %4.0f\n",
+			row.K,
+			row.SpilledOld, row.SpilledNew, row.SpillPct,
+			row.CostOld, row.CostNew, row.CostPct,
+			row.SizeOld, row.SizeNew, row.SizePct,
+			row.CyclesOld, row.CyclesNew, row.TimePct)
+	}
+	return b.String()
+}

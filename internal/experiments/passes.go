@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"regalloc"
+	"regalloc/internal/workloads"
+)
+
+// §3.3 of the paper discusses how many times the
+// build–simplify–color–spill cycle repeats: "the process seems to
+// converge very rapidly; a typical large routine might spill fifty
+// live ranges during the first pass, but only two live ranges during
+// the second ... We have never observed either method needing more
+// than three passes", and notes the methods can differ by one pass
+// in either direction (their DMXPY: new took 3 where old took 2).
+// PassStudy measures that across the whole suite.
+
+// PassRow records one routine's pass behaviour.
+type PassRow struct {
+	Program   string
+	Routine   string
+	OldPasses int
+	NewPasses int
+	// Per-pass spill counts, demonstrating the rapid decay.
+	OldSpills []int
+	NewSpills []int
+}
+
+// PassStudyResult is the suite-wide convergence table.
+type PassStudyResult struct {
+	Rows []PassRow
+}
+
+// PassStudy allocates every routine with both heuristics and
+// collects pass counts and per-pass spill decays.
+func PassStudy() (*PassStudyResult, error) {
+	out := &PassStudyResult{}
+	for _, w := range append(workloads.All(), workloads.Quicksort(), workloads.IntegerKernels()) {
+		prog, err := regalloc.Compile(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		for _, rt := range w.Routines {
+			row := PassRow{Program: w.Program, Routine: rt}
+			for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
+				opt := regalloc.DefaultOptions()
+				opt.Heuristic = h
+				res, err := prog.Allocate(rt, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s %s: %w", w.Program, rt, h, err)
+				}
+				var spills []int
+				for _, p := range res.Passes {
+					spills = append(spills, p.Spilled)
+				}
+				if h == regalloc.Chaitin {
+					row.OldPasses = len(res.Passes)
+					row.OldSpills = spills
+				} else {
+					row.NewPasses = len(res.Passes)
+					row.NewSpills = spills
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// MaxPasses returns the largest pass count either heuristic needed.
+func (r *PassStudyResult) MaxPasses() int {
+	max := 0
+	for _, row := range r.Rows {
+		if row.OldPasses > max {
+			max = row.OldPasses
+		}
+		if row.NewPasses > max {
+			max = row.NewPasses
+		}
+	}
+	return max
+}
+
+// String renders the convergence table; routines that finish in one
+// pass (no spills) are summarized rather than listed.
+func (r *PassStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("build-simplify-color-spill convergence (per-pass spill counts)\n")
+	fmt.Fprintf(&b, "%-8s %-10s | %-6s %-20s | %-6s %-20s\n",
+		"program", "routine", "passes", "old spills by pass", "passes", "new spills by pass")
+	onePass := 0
+	for _, row := range r.Rows {
+		if row.OldPasses == 1 && row.NewPasses == 1 {
+			onePass++
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %-10s | %-6d %-20s | %-6d %-20s\n",
+			row.Program, row.Routine,
+			row.OldPasses, fmt.Sprint(row.OldSpills),
+			row.NewPasses, fmt.Sprint(row.NewSpills))
+	}
+	fmt.Fprintf(&b, "(%d routines allocate in a single spill-free pass)\n", onePass)
+	fmt.Fprintf(&b, "maximum passes observed: %d (the paper observed at most 3)\n", r.MaxPasses())
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package fuzzgen_test
+
+import (
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/alloc"
+	"regalloc/internal/fuzzgen"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/vm"
+)
+
+// seedMemory writes the deterministic initial array images.
+func seedArrays(storeInt func(int64, int64), storeFloat func(int64, float64), iaBase, raBase int64) {
+	for i := int64(0); i < fuzzgen.ArraySize; i++ {
+		storeInt(iaBase+i, (i*7+3)%23-11)
+		storeFloat(raBase+i, float64(i)*0.375-4.0)
+	}
+}
+
+// digestArrays folds the final array images into one value.
+func digestArrays(loadInt func(int64) int64, loadFloat func(int64) float64, iaBase, raBase int64) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v int64) {
+		h = h*1099511628211 ^ uint64(v)
+	}
+	for i := int64(0); i < fuzzgen.ArraySize; i++ {
+		mix(loadInt(iaBase + i))
+		mix(int64(loadFloat(raBase+i) * 4096))
+	}
+	return h
+}
+
+const iaBase, raBase = int64(0), int64(100)
+
+// TestDifferential generates random programs and demands that the
+// reference interpreter and the allocated machine code agree, across
+// heuristics and register counts. This is the allocator's fuzzing
+// net: every seed is a fresh program shape.
+func TestDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		src := fuzzgen.Generate(uint64(seed), fuzzgen.Config{})
+		prog, err := regalloc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile failed:\n%s\n%v", seed, src, err)
+		}
+		// Reference result.
+		it := irinterp.New(prog.IR, 1<<22)
+		seedArrays(it.StoreInt, it.StoreFloat, iaBase, raBase)
+		if _, err := it.Call("FZ", irinterp.Int(iaBase), irinterp.Int(raBase), irinterp.Int(5)); err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+		want := digestArrays(it.LoadInt, it.LoadFloat, iaBase, raBase)
+
+		for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
+			for _, k := range []int{16, 8} {
+				opt := regalloc.DefaultOptions()
+				opt.Heuristic = h
+				opt.KInt = k
+				m := regalloc.RTPC().WithGPR(k)
+				code, results, err := prog.Assemble(m, opt)
+				if err != nil {
+					t.Fatalf("seed %d %s k=%d: assemble: %v\n%s", seed, h, k, err, src)
+				}
+				for name, res := range results {
+					if err := alloc.VerifyAssignment(res.Func, res.Colors); err != nil {
+						t.Fatalf("seed %d %s k=%d %s: %v\n%s", seed, h, k, name, err, src)
+					}
+				}
+				machine := regalloc.NewVM(code, prog.MemWords())
+				seedArrays(machine.StoreInt, machine.StoreFloat, iaBase, raBase)
+				if _, err := machine.Call("FZ", vm.Int(iaBase), vm.Int(raBase), vm.Int(5)); err != nil {
+					t.Fatalf("seed %d %s k=%d: run: %v\n%s", seed, h, k, err, src)
+				}
+				got := digestArrays(machine.LoadInt, machine.LoadFloat, iaBase, raBase)
+				if got != want {
+					t.Fatalf("seed %d %s k=%d: allocated code diverged from the reference\n%s", seed, h, k, src)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialWithVariants repeats a smaller sweep with the
+// optimizer off and with remat/split spilling on.
+func TestDifferentialWithVariants(t *testing.T) {
+	for seed := 100; seed < 120; seed++ {
+		src := fuzzgen.Generate(uint64(seed), fuzzgen.Config{})
+		ref, err := regalloc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		it := irinterp.New(ref.IR, 1<<22)
+		seedArrays(it.StoreInt, it.StoreFloat, iaBase, raBase)
+		if _, err := it.Call("FZ", irinterp.Int(iaBase), irinterp.Int(raBase), irinterp.Int(5)); err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		want := digestArrays(it.LoadInt, it.LoadFloat, iaBase, raBase)
+
+		type variant struct {
+			name string
+			prog func() (*regalloc.Program, error)
+			mut  func(*regalloc.Options)
+		}
+		variants := []variant{
+			{"noopt", func() (*regalloc.Program, error) { return regalloc.CompileNoOpt(src) }, func(*regalloc.Options) {}},
+			{"remat", func() (*regalloc.Program, error) { return regalloc.Compile(src) }, func(o *regalloc.Options) { o.Rematerialize = true }},
+			{"split", func() (*regalloc.Program, error) { return regalloc.Compile(src) }, func(o *regalloc.Options) { o.Split = true }},
+		}
+		for _, v := range variants {
+			prog, err := v.prog()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v.name, err)
+			}
+			opt := regalloc.DefaultOptions()
+			opt.KInt = 8
+			v.mut(&opt)
+			m := regalloc.RTPC().WithGPR(8)
+			code, _, err := prog.Assemble(m, opt)
+			if err != nil {
+				t.Fatalf("seed %d %s: assemble: %v", seed, v.name, err)
+			}
+			machine := regalloc.NewVM(code, prog.MemWords())
+			seedArrays(machine.StoreInt, machine.StoreFloat, iaBase, raBase)
+			if _, err := machine.Call("FZ", vm.Int(iaBase), vm.Int(raBase), vm.Int(5)); err != nil {
+				t.Fatalf("seed %d %s: run: %v\n%s", seed, v.name, err, src)
+			}
+			if got := digestArrays(machine.LoadInt, machine.LoadFloat, iaBase, raBase); got != want {
+				t.Fatalf("seed %d %s: diverged\n%s", seed, v.name, src)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: same seed, same program.
+func TestGenerateDeterministic(t *testing.T) {
+	a := fuzzgen.Generate(42, fuzzgen.Config{})
+	b := fuzzgen.Generate(42, fuzzgen.Config{})
+	if a != b {
+		t.Fatal("generation not deterministic")
+	}
+	c := fuzzgen.Generate(43, fuzzgen.Config{})
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

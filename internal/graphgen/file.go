@@ -1,0 +1,104 @@
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// The .ig text format lets interference graphs travel between tools
+// (cmd/regalloc reads it; tests and external generators write it):
+//
+//	n <nodes>          must come first
+//	e <a> <b>          interference edge, 0-based
+//	c <a> <cost>       spill cost (default 1)
+//	# comment          (and blank lines) ignored
+
+// ReadGraph parses the .ig format.
+func ReadGraph(rd io.Reader) (*ig.Graph, []float64, error) {
+	var g *ig.Graph
+	var costs []float64
+	sc := bufio.NewScanner(rd)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		bad := func(why string) (*ig.Graph, []float64, error) {
+			return nil, nil, fmt.Errorf("line %d: %s: %q", line, why, sc.Text())
+		}
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return bad("duplicate n directive")
+			}
+			if len(fields) != 2 {
+				return bad("malformed")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return bad("bad node count")
+			}
+			g = ig.New(make([]ir.Class, n))
+			costs = make([]float64, n)
+			for i := range costs {
+				costs[i] = 1
+			}
+		case "e":
+			if g == nil || len(fields) != 3 {
+				return bad("malformed edge")
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || a < 0 || b < 0 || a >= g.NumNodes() || b >= g.NumNodes() {
+				return bad("edge out of range")
+			}
+			g.AddEdge(int32(a), int32(b))
+		case "c":
+			if g == nil || len(fields) != 3 {
+				return bad("malformed cost")
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			c, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || a < 0 || a >= g.NumNodes() {
+				return bad("cost out of range")
+			}
+			costs[a] = c
+		default:
+			return bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if g == nil {
+		return nil, nil, fmt.Errorf("no 'n' directive")
+	}
+	return g, costs, nil
+}
+
+// WriteGraph emits the .ig format.
+func WriteGraph(w io.Writer, g *ig.Graph, costs []float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.NumNodes())
+	for a := int32(0); a < int32(g.NumNodes()); a++ {
+		for _, b := range g.Neighbors(a) {
+			if b > a {
+				fmt.Fprintf(bw, "e %d %d\n", a, b)
+			}
+		}
+	}
+	for i, c := range costs {
+		if c != 1 {
+			fmt.Fprintf(bw, "c %d %g\n", i, c)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,165 @@
+// Package graphgen builds interference graphs directly — random
+// G(n,p) graphs and structured graphs mimicking the paper's
+// workloads — for property tests and for benchmarking the coloring
+// heuristics beyond the compiled suite.
+package graphgen
+
+import (
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// RNG is a small deterministic generator (xorshift64*), so graph
+// corpora are reproducible.
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator; seed 0 is remapped to a fixed odd
+// constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Random returns a G(n,p) interference graph over a single register
+// class, plus deterministic pseudo-random spill costs in [1, 1000).
+func Random(n int, p float64, seed uint64) (*ig.Graph, []float64) {
+	rng := NewRNG(seed)
+	classes := make([]ir.Class, n)
+	g := ig.New(classes)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float() < p {
+				g.AddEdge(int32(a), int32(b))
+			}
+		}
+	}
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + float64(rng.Intn(999))
+	}
+	return g, costs
+}
+
+// TwoClass returns a G(n,p) graph whose nodes alternate between the
+// integer and float classes (edges only join same-class nodes, as in
+// real interference graphs).
+func TwoClass(n int, p float64, seed uint64) (*ig.Graph, []float64) {
+	rng := NewRNG(seed)
+	classes := make([]ir.Class, n)
+	for i := range classes {
+		if i%2 == 1 {
+			classes[i] = ir.ClassFloat
+		}
+	}
+	g := ig.New(classes)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float() < p {
+				g.AddEdge(int32(a), int32(b)) // cross-class pairs are ignored by AddEdge
+			}
+		}
+	}
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + float64(rng.Intn(999))
+	}
+	return g, costs
+}
+
+// SVDLike builds the paper's §1.2 pressure pattern directly, with
+// k = 16 in mind:
+//
+//   - nLong long live ranges (pairwise interfering, expensive) — the
+//     values carried from initialization across every loop nest;
+//   - nCopy cheap "array copy loop" nodes (the indices and limits I,
+//     J, M, N of Figure 1) that interfere with the long ranges, with
+//     each other, and — through temporal adjacency — with `overlap`
+//     members of the first big nest, giving them the high degree and
+//     low cost/degree ratio that makes Chaitin's heuristic pick them
+//     first when stuck;
+//   - nCliques dense nests of cliqueSize expensive nodes, each
+//     interfering with every long range.
+//
+// Spilling the copy nodes does not relieve the nests, so Chaitin's
+// pessimistic pass spills them *and* the nest overflow. Optimistic
+// coloring reconsiders: the copy nodes are reinserted last, find
+// their nest neighbors sharing (or lacking) colors, and are colored
+// — the paper's §3 narrative.
+func SVDLike(nLong, nCopy, nCliques, cliqueSize, overlap int, seed uint64) (*ig.Graph, []float64) {
+	rng := NewRNG(seed)
+	n := nLong + nCopy + nCliques*cliqueSize
+	classes := make([]ir.Class, n)
+	g := ig.New(classes)
+	costs := make([]float64, n)
+
+	// Long ranges: pairwise interference and expensive to spill.
+	for a := 0; a < nLong; a++ {
+		for b := a + 1; b < nLong; b++ {
+			g.AddEdge(int32(a), int32(b))
+		}
+		costs[a] = 50000 + float64(rng.Intn(10000))
+	}
+	// Copy-loop nodes.
+	copyBase := nLong
+	for i := 0; i < nCopy; i++ {
+		for j := i + 1; j < nCopy; j++ {
+			g.AddEdge(int32(copyBase+i), int32(copyBase+j))
+		}
+		for l := 0; l < nLong; l++ {
+			g.AddEdge(int32(copyBase+i), int32(l))
+		}
+		costs[copyBase+i] = 20 + float64(rng.Intn(10))
+	}
+	// Nests.
+	for c := 0; c < nCliques; c++ {
+		base := nLong + nCopy + c*cliqueSize
+		for i := 0; i < cliqueSize; i++ {
+			for j := i + 1; j < cliqueSize; j++ {
+				g.AddEdge(int32(base+i), int32(base+j))
+			}
+			for l := 0; l < nLong; l++ {
+				g.AddEdge(int32(base+i), int32(l))
+			}
+			costs[base+i] = 2000 + float64(rng.Intn(500))
+		}
+	}
+	// Temporal adjacency between the copy loop and the start of the
+	// first nest.
+	firstNest := nLong + nCopy
+	for i := 0; i < nCopy; i++ {
+		for j := 0; j < overlap && j < cliqueSize; j++ {
+			g.AddEdge(int32(copyBase+i), int32(firstNest+j))
+		}
+	}
+	return g, costs
+}
+
+// Cycle returns the n-cycle (Figure 3 of the paper is Cycle(4)).
+func Cycle(n int) (*ig.Graph, []float64) {
+	classes := make([]ir.Class, n)
+	g := ig.New(classes)
+	for i := 0; i < n; i++ {
+		g.AddEdge(int32(i), int32((i+1)%n))
+	}
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 100 // equal costs, as in the paper's example
+	}
+	return g, costs
+}

@@ -1,0 +1,160 @@
+package graphgen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"regalloc/internal/graphgen"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a, costsA := graphgen.Random(50, 0.2, 7)
+	b, costsB := graphgen.Random(50, 0.2, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range costsA {
+		if costsA[i] != costsB[i] {
+			t.Fatal("same seed produced different costs")
+		}
+	}
+	c, _ := graphgen.Random(50, 0.2, 8)
+	if a.NumEdges() == c.NumEdges() {
+		t.Log("different seeds happened to coincide in edge count (fine), checking adjacency")
+		same := true
+		for n := int32(0); n < 50 && same; n++ {
+			if len(a.Neighbors(n)) != len(c.Neighbors(n)) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	g, _ := graphgen.Random(100, 0.5, 3)
+	maxEdges := 100 * 99 / 2
+	got := float64(g.NumEdges()) / float64(maxEdges)
+	if got < 0.4 || got > 0.6 {
+		t.Fatalf("density %g too far from 0.5", got)
+	}
+}
+
+func TestTwoClassEdgesSameClassOnly(t *testing.T) {
+	g, _ := graphgen.TwoClass(60, 0.5, 5)
+	for a := int32(0); a < 60; a++ {
+		for _, b := range g.Neighbors(a) {
+			if g.Class(a) != g.Class(b) {
+				t.Fatal("cross-class edge present")
+			}
+		}
+	}
+}
+
+func TestCycleShape(t *testing.T) {
+	g, costs := graphgen.Cycle(4)
+	if g.NumEdges() != 4 {
+		t.Fatalf("C4 has %d edges", g.NumEdges())
+	}
+	for n := int32(0); n < 4; n++ {
+		if g.Degree(n) != 2 {
+			t.Fatalf("C4 node degree %d", g.Degree(n))
+		}
+		if costs[n] != costs[0] {
+			t.Fatal("paper example needs equal costs")
+		}
+	}
+}
+
+func TestSVDLikeStructure(t *testing.T) {
+	nLong, nCopy, nCliques, cs, ov := 10, 4, 3, 10, 8
+	g, costs := graphgen.SVDLike(nLong, nCopy, nCliques, cs, ov, 1)
+	if g.NumNodes() != nLong+nCopy+nCliques*cs {
+		t.Fatal("node count")
+	}
+	// Long ranges: degree = (nLong-1) + nCopy + all clique members.
+	wantLong := nLong - 1 + nCopy + nCliques*cs
+	if got := g.Degree(0); got != wantLong {
+		t.Fatalf("long-range degree %d, want %d", got, wantLong)
+	}
+	// Copy nodes are cheap, nests expensive, longs most expensive.
+	if costs[nLong] > costs[nLong+nCopy] {
+		t.Fatal("copy nodes must be cheaper than nest nodes")
+	}
+	if costs[0] < costs[nLong+nCopy] {
+		t.Fatal("long ranges must be the most expensive")
+	}
+	// Copy node degree includes the overlap into the first nest.
+	wantCopy := nLong + (nCopy - 1) + ov
+	if got := g.Degree(int32(nLong)); got != wantCopy {
+		t.Fatalf("copy-node degree %d, want %d", got, wantCopy)
+	}
+}
+
+func TestRNG(t *testing.T) {
+	r := graphgen.NewRNG(0) // remapped, must not be all zeros
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Intn(10)] = true
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %g", f)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatal("Intn not covering its range")
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	g, costs := graphgen.Random(40, 0.2, 9)
+	var buf bytes.Buffer
+	if err := graphgen.WriteGraph(&buf, g, costs); err != nil {
+		t.Fatal(err)
+	}
+	g2, costs2, err := graphgen.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", g2, g)
+	}
+	for a := int32(0); a < 40; a++ {
+		for _, b := range g.Neighbors(a) {
+			if !g2.Interfere(a, b) {
+				t.Fatalf("edge %d-%d lost", a, b)
+			}
+		}
+	}
+	for i := range costs {
+		if costs[i] != costs2[i] {
+			t.Fatalf("cost[%d] changed: %g vs %g", i, costs2[i], costs[i])
+		}
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	bad := []string{
+		"",               // no n
+		"e 0 1\n",        // edge before n
+		"n 2\ne 0 5\n",   // edge out of range
+		"n 2\nc 9 1.5\n", // cost out of range
+		"n 2\nz 1 2\n",   // unknown directive
+		"n two\n",        // bad count
+		"n 2\nn 3\n",     // duplicate n
+	}
+	for _, src := range bad {
+		if _, _, err := graphgen.ReadGraph(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# hello\n\nn 3\ne 0 1\nc 1 2.5\n"
+	g, costs, err := graphgen.ReadGraph(strings.NewReader(ok))
+	if err != nil || g.NumEdges() != 1 || costs[1] != 2.5 || costs[0] != 1 {
+		t.Fatalf("good input rejected: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package ig implements the interference graph and the degree-bucket
+// removal machinery of Matula and Beck that both coloring heuristics
+// use for their linear-time simplification scans.
+//
+// Following Chaitin's implementation notes, the graph keeps a dual
+// representation: a hashed edge set for O(1) membership tests
+// (standing in for the bit matrix) and per-node adjacency vectors
+// for iteration. Nodes are virtual registers; an edge joins two live
+// ranges that are simultaneously live. Registers of different
+// classes (integer vs floating point) never interfere — they compete
+// for different register files.
+package ig
+
+import (
+	"fmt"
+
+	"regalloc/internal/bitset"
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ir"
+)
+
+// bitMatrixLimit bounds the dense representation: up to this many
+// nodes the membership test uses a triangular bit matrix (Chaitin's
+// actual data structure — n(n-1)/2 bits is 256 KiB at 2048 nodes);
+// beyond it, a hash set of edge keys.
+const bitMatrixLimit = 2048
+
+// Graph is an interference graph over n live ranges. Membership
+// testing uses Chaitin's dual representation: a (triangular) bit
+// matrix for graphs small enough to afford one, a hashed edge set
+// otherwise; iteration always uses the adjacency vectors.
+type Graph struct {
+	n     int
+	class []ir.Class
+	adj   [][]int32
+
+	nedges int
+	bits   []uint64 // triangular bit matrix, nil when hashing
+	edges  map[uint64]struct{}
+}
+
+// New returns an empty graph whose node classes are given by class.
+func New(class []ir.Class) *Graph {
+	g := &Graph{
+		n:     len(class),
+		class: class,
+		adj:   make([][]int32, len(class)),
+	}
+	if g.n <= bitMatrixLimit {
+		g.bits = make([]uint64, (g.n*(g.n-1)/2+63)/64)
+	} else {
+		g.edges = make(map[uint64]struct{})
+	}
+	return g
+}
+
+// triIndex maps an unordered pair (a < b) to its bit position in the
+// lower-triangular matrix.
+func triIndex(a, b int32) int {
+	// row b (b >= 1) starts at b(b-1)/2.
+	return int(b)*(int(b)-1)/2 + int(a)
+}
+
+// NumNodes returns the number of nodes (live ranges).
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of interference edges.
+func (g *Graph) NumEdges() int { return g.nedges }
+
+// Class returns the register class of node a.
+func (g *Graph) Class(a int32) ir.Class { return g.class[a] }
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// AddEdge records an interference between a and b. Self-edges and
+// cross-class pairs are ignored; duplicate edges are not recorded
+// twice.
+func (g *Graph) AddEdge(a, b int32) {
+	if a == b || g.class[a] != g.class[b] {
+		return
+	}
+	if g.bits != nil {
+		if a > b {
+			a, b = b, a
+		}
+		i := triIndex(a, b)
+		if g.bits[i/64]&(1<<uint(i%64)) != 0 {
+			return
+		}
+		g.bits[i/64] |= 1 << uint(i%64)
+	} else {
+		k := edgeKey(a, b)
+		if _, dup := g.edges[k]; dup {
+			return
+		}
+		g.edges[k] = struct{}{}
+	}
+	g.nedges++
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Interfere reports whether a and b interfere.
+func (g *Graph) Interfere(a, b int32) bool {
+	if a == b {
+		return false
+	}
+	if g.bits != nil {
+		if a > b {
+			a, b = b, a
+		}
+		i := triIndex(a, b)
+		return g.bits[i/64]&(1<<uint(i%64)) != 0
+	}
+	_, ok := g.edges[edgeKey(a, b)]
+	return ok
+}
+
+// Neighbors returns a's adjacency vector. The caller must not
+// modify it.
+func (g *Graph) Neighbors(a int32) []int32 { return g.adj[a] }
+
+// Degree returns the full degree of a (ignoring any removals done by
+// a Worklist).
+func (g *Graph) Degree(a int32) int { return len(g.adj[a]) }
+
+// Build constructs the interference graph of f. A register defined
+// at a point interferes with every register (of its class) live
+// after that point, except — for a copy instruction — the copy's
+// source. That exception is Chaitin's: the move dst/src pair should
+// be coalescable, not conflicting, when dst's value is just src's.
+func Build(f *ir.Func) *Graph {
+	classes := make([]ir.Class, f.NumRegs())
+	for i := range classes {
+		classes[i] = f.RegClass(ir.Reg(i))
+	}
+	g := New(classes)
+	lv := dataflow.ComputeLiveness(f)
+	for _, b := range f.Blocks {
+		lv.LiveAcross(f, b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+			d := in.Def()
+			if d == ir.NoReg {
+				return
+			}
+			moveSrc := ir.NoReg
+			if in.IsMove() {
+				moveSrc = in.A
+			}
+			liveAfter.ForEach(func(l int) {
+				if ir.Reg(l) != d && ir.Reg(l) != moveSrc {
+					g.AddEdge(int32(d), int32(l))
+				}
+			})
+		})
+	}
+	return g
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("ig.Graph{nodes: %d, edges: %d}", g.n, g.nedges)
+}

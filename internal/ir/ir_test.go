@@ -1,0 +1,205 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc/internal/ir"
+)
+
+func validFunc() *ir.Func {
+	f := &ir.Func{Name: "F"}
+	a := f.NewReg(ir.ClassInt)
+	x := f.NewReg(ir.ClassFloat)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpItoF, Dst: x, A: a, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	return f
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := ir.Validate(validFunc()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	// Terminator in the middle.
+	f := validFunc()
+	f.Blocks[0].Instrs[1] = ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}
+	if err := ir.Validate(f); err == nil {
+		t.Fatal("mid-block terminator accepted")
+	}
+
+	// Class mismatch: float op on int register.
+	f = validFunc()
+	f.Blocks[0].Instrs[1] = ir.Instr{Op: ir.OpFAdd, Dst: 1, A: 0, B: 0, C: ir.NoReg}
+	if err := ir.Validate(f); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+
+	// Successor count mismatch.
+	f = validFunc()
+	f.Blocks[0].Succs = []int{1, 1}
+	if err := ir.Validate(f); err == nil {
+		t.Fatal("bad successor count accepted")
+	}
+
+	// Out-of-range register.
+	f = validFunc()
+	f.Blocks[1].Instrs[0].A = 99
+	if err := ir.Validate(f); err == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := validFunc()
+	f.Params = []ir.Reg{0}
+	g := f.Clone()
+	g.Blocks[0].Instrs[0].Imm = 99
+	g.Params[0] = 1
+	g.NewReg(ir.ClassInt)
+	if f.Blocks[0].Instrs[0].Imm == 99 || f.Params[0] == 1 || f.NumRegs() == g.NumRegs() {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestAppendUsesAndDef(t *testing.T) {
+	in := ir.Instr{Op: ir.OpAdd, Dst: 2, A: 0, B: 1, C: ir.NoReg}
+	uses := in.AppendUses(nil)
+	if len(uses) != 2 || uses[0] != 0 || uses[1] != 1 {
+		t.Fatalf("uses: %v", uses)
+	}
+	if in.Def() != 2 {
+		t.Fatal("def wrong")
+	}
+	call := ir.Instr{Op: ir.OpCall, Dst: 3, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Args: []ir.Reg{0, 1, 2}}
+	if got := call.AppendUses(nil); len(got) != 3 {
+		t.Fatalf("call uses: %v", got)
+	}
+}
+
+func TestCmpNegate(t *testing.T) {
+	pairs := map[ir.Cmp]ir.Cmp{
+		ir.CmpEQ: ir.CmpNE, ir.CmpLT: ir.CmpGE, ir.CmpLE: ir.CmpGT,
+	}
+	for c, n := range pairs {
+		if c.Negate() != n || n.Negate() != c {
+			t.Fatalf("negate %v", c)
+		}
+	}
+}
+
+func TestSlotAddressing(t *testing.T) {
+	f := &ir.Func{Name: "S", StaticBase: 1000, StaticSize: 50}
+	s0 := f.NewSlot()
+	s1 := f.NewSlot()
+	if s0 != 0 || s1 != 1 || f.NumSlots != 2 {
+		t.Fatal("slot numbering wrong")
+	}
+	if f.SlotAddr(s1) != 1051 {
+		t.Fatalf("slot addr = %d", f.SlotAddr(s1))
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	f := validFunc()
+	var sb strings.Builder
+	ir.Fprint(&sb, f)
+	out := sb.String()
+	for _, want := range []string{"func F", "b0:", "itof", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramRegistry(t *testing.T) {
+	p := ir.NewProgram(4096)
+	if p.Func("F") != nil {
+		t.Fatal("lookup on empty program")
+	}
+	f := validFunc()
+	p.Add(f)
+	if p.Func("F") != f {
+		t.Fatal("lookup failed")
+	}
+	if p.StaticStart != 4096 {
+		t.Fatal("static start lost")
+	}
+}
+
+func TestSpillTempFlag(t *testing.T) {
+	f := &ir.Func{Name: "T"}
+	r := f.NewSpillTemp(ir.ClassFloat)
+	if f.RegFlags(r)&ir.FlagSpillTemp == 0 {
+		t.Fatal("flag not set")
+	}
+	if f.RegClass(r) != ir.ClassFloat {
+		t.Fatal("class wrong")
+	}
+}
+
+// TestSprintInstrAllForms exercises every printer branch.
+func TestSprintInstrAllForms(t *testing.T) {
+	f := &ir.Func{Name: "P"}
+	i0 := f.NewReg(ir.ClassInt)
+	i1 := f.NewReg(ir.ClassInt)
+	f0 := f.NewReg(ir.ClassFloat)
+	b := f.NewBlock()
+	b.Succs = []int{0, 0}
+	cases := []struct {
+		in   ir.Instr
+		want string
+	}{
+		{ir.Instr{Op: ir.OpParam, Dst: i0, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 2}, "v0 = param #2"},
+		{ir.Instr{Op: ir.OpConst, Dst: i0, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 7}, "v0 = const 7"},
+		{ir.Instr{Op: ir.OpConst, Dst: f0, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, FImm: 2.5}, "v2 = const 2.5"},
+		{ir.Instr{Op: ir.OpAddI, Dst: i0, A: i1, B: ir.NoReg, C: ir.NoReg, Imm: -3}, "v0 = addi v1, -3"},
+		{ir.Instr{Op: ir.OpLoad, Dst: i0, A: ir.NoReg, B: i1, C: ir.NoReg, Imm: 4}, "v0 = load [v1+_+4]"},
+		{ir.Instr{Op: ir.OpStore, Dst: ir.NoReg, A: i0, B: i1, C: ir.NoReg, Imm: 4}, "store [v1+_+4] = v0"},
+		{ir.Instr{Op: ir.OpSpillLoad, Dst: i0, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 3}, "v0 = spld slot3"},
+		{ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, A: i0, B: ir.NoReg, C: ir.NoReg, Imm: 3}, "spst slot3 = v0"},
+		{ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}, "br b0"},
+		{ir.Instr{Op: ir.OpBrIf, Dst: ir.NoReg, A: i0, B: i1, C: ir.NoReg, Cmp: ir.CmpLE}, "brif.int v0 le v1 -> b0 b0"},
+		{ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, A: i0, B: ir.NoReg, C: ir.NoReg}, "ret v0"},
+		{ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}, "ret"},
+		{ir.Instr{Op: ir.OpCall, Dst: i0, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: "G", Args: []ir.Reg{i1, f0}}, "v0 = call G(v1, v2)"},
+		{ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: "G"}, "call G()"},
+		{ir.Instr{Op: ir.OpFAdd, Dst: f0, A: f0, B: f0, C: ir.NoReg}, "v2 = fadd v2 v2"},
+	}
+	for _, c := range cases {
+		if got := ir.SprintInstr(f, &c.in, b); got != c.want {
+			t.Errorf("SprintInstr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestOpAndCmpStrings covers the name tables.
+func TestOpAndCmpStrings(t *testing.T) {
+	if ir.OpFSqrt.String() != "fsqrt" || ir.OpAddI.String() != "addi" {
+		t.Fatal("op names")
+	}
+	if ir.Op(250).String() == "" {
+		t.Fatal("unknown op should still print")
+	}
+	for c := ir.CmpEQ; c <= ir.CmpGE; c++ {
+		if c.String() == "" {
+			t.Fatal("cmp name missing")
+		}
+	}
+	if ir.ClassInt.String() != "int" || ir.ClassFloat.String() != "flt" {
+		t.Fatal("class names")
+	}
+	if !ir.OpBr.IsTerminator() || ir.OpAdd.IsTerminator() {
+		t.Fatal("IsTerminator")
+	}
+}

@@ -1,0 +1,812 @@
+// Package irgen lowers the typed AST into the three-address IR.
+//
+// Lowering decisions that matter to the register allocator:
+//
+//   - Every scalar variable gets exactly one virtual register for the
+//     whole unit; the later renumbering pass (Chaitin's "renumber")
+//     splits it into webs, so a variable whose def–use chains are
+//     disjoint becomes several live ranges.
+//   - DO-loop limits are evaluated once into a temporary before the
+//     loop (FORTRAN trip semantics), producing the "loop index and
+//     limit" live ranges whose spilling motivates the paper (§1.2).
+//   - Constants are materialized at each use; small integer address
+//     arithmetic uses immediate forms (addi/muli), mirroring the
+//     RT/PC's immediate instructions.
+//   - Local arrays get static storage (FORTRAN 77 style); array
+//     parameters are passed as base addresses in integer registers.
+package irgen
+
+import (
+	"fmt"
+
+	"regalloc/internal/ast"
+	"regalloc/internal/ir"
+	"regalloc/internal/sem"
+	"regalloc/internal/source"
+)
+
+// SpillReserve is the per-function headroom (in words) left after
+// the static area for spill slots added during allocation.
+const SpillReserve = 1 << 14
+
+// DefaultStaticStart is the first word address used for static data
+// unless the caller chooses another; addresses below it are free for
+// driver-managed argument arrays.
+const DefaultStaticStart = 1 << 21
+
+// Gen lowers a checked program. staticStart is the first memory word
+// available for static data (local arrays and spill slots).
+func Gen(prog *ast.Program, info *sem.Info, staticStart int64) (*ir.Program, error) {
+	p := ir.NewProgram(staticStart)
+	cursor := staticStart
+	for _, u := range prog.Units {
+		ui := info.Units[u.Name]
+		if ui == nil {
+			return nil, fmt.Errorf("irgen: no semantic info for unit %s", u.Name)
+		}
+		g := &gen{info: info, ui: ui, unit: u}
+		f, err := g.genUnit(cursor)
+		if err != nil {
+			return nil, err
+		}
+		cursor = f.StaticBase + f.StaticSize + SpillReserve
+		p.Add(f)
+	}
+	p.StaticEnd = cursor
+	return p, nil
+}
+
+type gen struct {
+	info *sem.Info
+	ui   *sem.UnitInfo
+	unit *ast.Unit
+
+	f   *ir.Func
+	cur *ir.Block
+
+	vreg      map[string]ir.Reg // scalar symbol -> virtual register
+	arrayBase map[string]int64  // local array -> absolute base address
+	arrayReg  map[string]ir.Reg // parameter array -> base-address register
+	loops     []loopCtx         // innermost last
+	err       source.ErrorList
+}
+
+type loopCtx struct {
+	exit  *ir.Block
+	latch *ir.Block // CYCLE target (increment block for DO, header for WHILE)
+}
+
+func (g *gen) errorf(pos source.Pos, format string, args ...interface{}) {
+	g.err.Add(pos, format, args...)
+}
+
+func (g *gen) emit(in ir.Instr) {
+	g.cur.Instrs = append(g.cur.Instrs, in)
+}
+
+// terminated reports whether the current block already ends in a
+// terminator (because of RETURN/EXIT/CYCLE).
+func (g *gen) terminated() bool {
+	n := len(g.cur.Instrs)
+	return n > 0 && g.cur.Instrs[n-1].Op.IsTerminator()
+}
+
+// br terminates the current block with an unconditional branch and
+// makes target the current block... callers switch blocks themselves.
+func (g *gen) br(target *ir.Block) {
+	if g.terminated() {
+		return
+	}
+	g.emit(ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg})
+	g.cur.Succs = append(g.cur.Succs, target.ID)
+}
+
+func (g *gen) brIf(cls ir.Class, cmp ir.Cmp, a, b ir.Reg, t, f *ir.Block) {
+	if g.terminated() {
+		return
+	}
+	g.emit(ir.Instr{Op: ir.OpBrIf, Dst: ir.NoReg, A: a, B: b, C: ir.NoReg, Cmp: cmp, Cls: cls})
+	g.cur.Succs = append(g.cur.Succs, t.ID, f.ID)
+}
+
+func (g *gen) ret() {
+	if g.terminated() {
+		return
+	}
+	v := ir.NoReg
+	if g.f.HasRet {
+		v = g.vreg[g.unit.Name]
+	}
+	g.emit(ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, A: v, B: ir.NoReg, C: ir.NoReg})
+}
+
+func clsOf(t ast.Type) ir.Class {
+	if t == ast.TypeReal {
+		return ir.ClassFloat
+	}
+	return ir.ClassInt
+}
+
+func (g *gen) genUnit(staticBase int64) (*ir.Func, error) {
+	u := g.unit
+	f := &ir.Func{Name: u.Name, StaticBase: staticBase}
+	g.f = f
+	g.vreg = make(map[string]ir.Reg)
+	g.arrayBase = make(map[string]int64)
+	g.arrayReg = make(map[string]ir.Reg)
+
+	entry := f.NewBlock()
+	g.cur = entry
+
+	// Parameters.
+	for i, pname := range u.Params {
+		sym := g.ui.Sym(pname)
+		var r ir.Reg
+		if sym.IsArray() {
+			r = f.NewReg(ir.ClassInt) // base address
+			g.arrayReg[pname] = r
+		} else {
+			r = f.NewReg(clsOf(sym.Type))
+			g.vreg[pname] = r
+		}
+		f.Params = append(f.Params, r)
+		g.emit(ir.Instr{Op: ir.OpParam, Dst: r, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: int64(i)})
+	}
+
+	// Return-value register.
+	if u.Kind == ast.KindFunction {
+		f.HasRet = true
+		f.RetCls = clsOf(g.info.Sigs[u.Name].Ret)
+		g.vreg[u.Name] = f.NewReg(f.RetCls)
+	}
+
+	// Static storage for local arrays.
+	var size int64
+	for _, d := range u.Decls {
+		sym := g.ui.Sym(d.Name)
+		if sym == nil || !sym.IsArray() || sym.Kind == sem.SymParam {
+			continue
+		}
+		n := int64(1)
+		for _, dim := range d.Dims {
+			n *= dim.Const
+		}
+		g.arrayBase[d.Name] = staticBase + size
+		size += n
+	}
+	f.StaticSize = size
+
+	g.genStmts(u.Body)
+	g.ret()
+
+	// Terminate any block left open (e.g. an unreachable join after
+	// both branches returned).
+	for _, b := range f.Blocks {
+		n := len(b.Instrs)
+		if n == 0 || !b.Instrs[n-1].Op.IsTerminator() {
+			saved := g.cur
+			g.cur = b
+			g.ret()
+			g.cur = saved
+		}
+	}
+	f.RecomputePreds()
+	if err := g.err.Err(); err != nil {
+		return nil, err
+	}
+	if err := ir.Validate(f); err != nil {
+		return nil, fmt.Errorf("irgen: produced invalid IR: %w", err)
+	}
+	return f, nil
+}
+
+// scalarReg returns the register of a scalar symbol, creating one on
+// first reference (implicit locals).
+func (g *gen) scalarReg(name string) ir.Reg {
+	if r, ok := g.vreg[name]; ok {
+		return r
+	}
+	sym := g.ui.Sym(name)
+	r := g.f.NewReg(clsOf(sym.Type))
+	g.vreg[name] = r
+	return r
+}
+
+func (g *gen) genStmts(list []ast.Stmt) {
+	for _, s := range list {
+		if g.terminated() {
+			// Unreachable code after RETURN/EXIT/CYCLE: keep
+			// generating into a fresh block so the code is preserved
+			// (it may contain loops the source author counts on for
+			// structure), though nothing branches to it.
+			g.cur = g.f.NewBlock()
+		}
+		g.genStmt(s)
+	}
+}
+
+func (g *gen) genStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		g.genAssign(s)
+	case *ast.IfStmt:
+		g.genIf(s)
+	case *ast.DoStmt:
+		g.genDo(s)
+	case *ast.WhileStmt:
+		g.genWhile(s)
+	case *ast.CallStmt:
+		g.genCall(ir.NoReg, s.Name, s.Args, s.Pos)
+	case *ast.ReturnStmt:
+		g.ret()
+	case *ast.ExitStmt:
+		if len(g.loops) == 0 {
+			g.errorf(s.Pos, "EXIT outside of a loop")
+			return
+		}
+		g.br(g.loops[len(g.loops)-1].exit)
+	case *ast.CycleStmt:
+		if len(g.loops) == 0 {
+			g.errorf(s.Pos, "CYCLE outside of a loop")
+			return
+		}
+		g.br(g.loops[len(g.loops)-1].latch)
+	case *ast.ContinueStmt:
+		// no-op
+	}
+}
+
+func (g *gen) genAssign(s *ast.AssignStmt) {
+	sym := g.ui.Sym(s.LHS.Name)
+	if sym == nil {
+		return
+	}
+	if len(s.LHS.Indexes) > 0 {
+		// Array element store.
+		base, index, imm := g.genAddr(s.LHS.Name, s.LHS.Indexes, s.Pos)
+		v := g.genExprAs(s.RHS, sym.Type)
+		g.emit(ir.Instr{Op: ir.OpStore, Dst: ir.NoReg, A: v, B: base, C: index, Imm: imm})
+		return
+	}
+	dst := g.scalarReg(s.LHS.Name)
+	v := g.genExprAs(s.RHS, sym.Type)
+	g.emit(ir.Instr{Op: ir.OpMove, Dst: dst, A: v, B: ir.NoReg, C: ir.NoReg})
+}
+
+func (g *gen) genIf(s *ast.IfStmt) {
+	thenB := g.f.NewBlock()
+	var elseB *ir.Block
+	join := g.f.NewBlock()
+	if len(s.Else) > 0 {
+		elseB = g.f.NewBlock()
+	} else {
+		elseB = join
+	}
+	g.genCond(s.Cond, thenB, elseB)
+	g.cur = thenB
+	g.genStmts(s.Then)
+	g.br(join)
+	if len(s.Else) > 0 {
+		g.cur = elseB
+		g.genStmts(s.Else)
+		g.br(join)
+	}
+	g.cur = join
+}
+
+// genDo lowers "DO v = from, to, step" in the inverted (bottom-test)
+// form that optimizing compilers of the era produced:
+//
+//	limit = to; v = from
+//	if v <= limit goto body else exit     (guard, outside the loop)
+//	body:  ...                            (loop header)
+//	latch: v += step; if v <= limit goto body else exit
+//	exit:
+//
+// The limit is evaluated once before the loop (FORTRAN trip
+// semantics); the constant step fixes the test direction. Inversion
+// matters to the reproduction: the body executes whenever the loop
+// is entered, which licenses the optimizer to hoist loop-invariant
+// loads into the preheader (see package opt).
+func (g *gen) genDo(s *ast.DoStmt) {
+	iv := g.scalarReg(s.Var)
+	from := g.genExprAs(s.From, ast.TypeInt)
+	limit := g.newTemp(ir.ClassInt)
+	toV := g.genExprAs(s.To, ast.TypeInt)
+	g.emit(ir.Instr{Op: ir.OpMove, Dst: limit, A: toV, B: ir.NoReg, C: ir.NoReg})
+	g.emit(ir.Instr{Op: ir.OpMove, Dst: iv, A: from, B: ir.NoReg, C: ir.NoReg})
+
+	body := g.f.NewBlock()
+	latch := g.f.NewBlock()
+	exit := g.f.NewBlock()
+
+	cmp := ir.CmpLE
+	if s.Step < 0 {
+		cmp = ir.CmpGE
+	}
+	g.brIf(ir.ClassInt, cmp, iv, limit, body, exit) // guard
+
+	g.loops = append(g.loops, loopCtx{exit: exit, latch: latch})
+	g.cur = body
+	g.genStmts(s.Body)
+	g.br(latch)
+	g.loops = g.loops[:len(g.loops)-1]
+
+	g.cur = latch
+	g.emit(ir.Instr{Op: ir.OpAddI, Dst: iv, A: iv, B: ir.NoReg, C: ir.NoReg, Imm: s.Step})
+	g.brIf(ir.ClassInt, cmp, iv, limit, body, exit)
+
+	g.cur = exit
+}
+
+// genWhile lowers "DO WHILE" in rotated form, duplicating the
+// (side-effect-free) condition at the bottom so the body is the loop
+// header, for the same reason as genDo.
+func (g *gen) genWhile(s *ast.WhileStmt) {
+	body := g.f.NewBlock()
+	latch := g.f.NewBlock()
+	exit := g.f.NewBlock()
+	g.genCond(s.Cond, body, exit) // guard
+	g.loops = append(g.loops, loopCtx{exit: exit, latch: latch})
+	g.cur = body
+	g.genStmts(s.Body)
+	g.br(latch)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.cur = latch
+	g.genCond(s.Cond, body, exit)
+	g.cur = exit
+}
+
+// genCond lowers a condition with short-circuit control flow.
+func (g *gen) genCond(e ast.Expr, t, f *ir.Block) {
+	switch e := e.(type) {
+	case *ast.BinExpr:
+		switch {
+		case e.Op == ast.OpAnd:
+			mid := g.f.NewBlock()
+			g.genCond(e.L, mid, f)
+			g.cur = mid
+			g.genCond(e.R, t, f)
+			return
+		case e.Op == ast.OpOr:
+			mid := g.f.NewBlock()
+			g.genCond(e.L, t, mid)
+			g.cur = mid
+			g.genCond(e.R, t, f)
+			return
+		case e.Op.IsRelational():
+			lt := g.ui.TypeOf(e.L)
+			rt := g.ui.TypeOf(e.R)
+			typ := ast.TypeInt
+			if lt == ast.TypeReal || rt == ast.TypeReal {
+				typ = ast.TypeReal
+			}
+			a := g.genExprAs(e.L, typ)
+			b := g.genExprAs(e.R, typ)
+			g.brIf(clsOf(typ), relCmp(e.Op), a, b, t, f)
+			return
+		}
+	case *ast.UnExpr:
+		if e.Op == ast.OpNot {
+			g.genCond(e.X, f, t)
+			return
+		}
+	case *ast.IntLit:
+		if e.Val != 0 {
+			g.br(t)
+		} else {
+			g.br(f)
+		}
+		return
+	}
+	// General integer expression: nonzero is true.
+	v := g.genExprAs(e, ast.TypeInt)
+	zero := g.newTemp(ir.ClassInt)
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: zero, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0})
+	g.brIf(ir.ClassInt, ir.CmpNE, v, zero, t, f)
+}
+
+func relCmp(op ast.BinOp) ir.Cmp {
+	switch op {
+	case ast.OpLT:
+		return ir.CmpLT
+	case ast.OpLE:
+		return ir.CmpLE
+	case ast.OpGT:
+		return ir.CmpGT
+	case ast.OpGE:
+		return ir.CmpGE
+	case ast.OpEQ:
+		return ir.CmpEQ
+	default:
+		return ir.CmpNE
+	}
+}
+
+func (g *gen) newTemp(c ir.Class) ir.Reg { return g.f.NewReg(c) }
+
+// genExprAs evaluates e and converts the result to the given type.
+func (g *gen) genExprAs(e ast.Expr, t ast.Type) ir.Reg {
+	r, rt := g.genExpr(e)
+	return g.convert(r, rt, t)
+}
+
+func (g *gen) convert(r ir.Reg, from, to ast.Type) ir.Reg {
+	if from == to || to == ast.TypeNone || from == ast.TypeNone {
+		return r
+	}
+	if to == ast.TypeReal {
+		d := g.newTemp(ir.ClassFloat)
+		g.emit(ir.Instr{Op: ir.OpItoF, Dst: d, A: r, B: ir.NoReg, C: ir.NoReg})
+		return d
+	}
+	d := g.newTemp(ir.ClassInt)
+	g.emit(ir.Instr{Op: ir.OpFtoI, Dst: d, A: r, B: ir.NoReg, C: ir.NoReg})
+	return d
+}
+
+// genExpr evaluates e, returning the result register and its type.
+func (g *gen) genExpr(e ast.Expr) (ir.Reg, ast.Type) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: r, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: e.Val})
+		return r, ast.TypeInt
+	case *ast.RealLit:
+		r := g.newTemp(ir.ClassFloat)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: r, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, FImm: e.Val})
+		return r, ast.TypeReal
+	case *ast.VarRef:
+		sym := g.ui.Sym(e.Name)
+		if len(e.Indexes) > 0 {
+			return g.genArrayLoad(e.Name, e.Indexes, e.Pos), sym.Type
+		}
+		return g.scalarReg(e.Name), sym.Type
+	case *ast.UnExpr:
+		return g.genUnary(e)
+	case *ast.BinExpr:
+		return g.genBinary(e)
+	case *ast.CallExpr:
+		switch g.ui.CallKind[e] {
+		case sem.CallArray:
+			sym := g.ui.Sym(e.Name)
+			return g.genArrayLoad(e.Name, e.Args, e.Pos), sym.Type
+		case sem.CallIntrinsic:
+			return g.genIntrinsic(e)
+		default:
+			sig := g.info.Sigs[e.Name]
+			dst := g.newTemp(clsOf(sig.Ret))
+			g.genCall(dst, e.Name, e.Args, e.Pos)
+			return dst, sig.Ret
+		}
+	}
+	g.errorf(e.ExprPos(), "irgen: unhandled expression")
+	r := g.newTemp(ir.ClassInt)
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: r, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg})
+	return r, ast.TypeInt
+}
+
+func (g *gen) genUnary(e *ast.UnExpr) (ir.Reg, ast.Type) {
+	if e.Op == ast.OpNot {
+		// .NOT. x  ==  1 - x  for 0/1 conditions.
+		x := g.genExprAs(e.X, ast.TypeInt)
+		one := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: one, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1})
+		d := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpSub, Dst: d, A: one, B: x, C: ir.NoReg})
+		return d, ast.TypeInt
+	}
+	x, t := g.genExpr(e.X)
+	if t == ast.TypeReal {
+		d := g.newTemp(ir.ClassFloat)
+		g.emit(ir.Instr{Op: ir.OpFNeg, Dst: d, A: x, B: ir.NoReg, C: ir.NoReg})
+		return d, t
+	}
+	d := g.newTemp(ir.ClassInt)
+	g.emit(ir.Instr{Op: ir.OpNeg, Dst: d, A: x, B: ir.NoReg, C: ir.NoReg})
+	return d, t
+}
+
+func (g *gen) genBinary(e *ast.BinExpr) (ir.Reg, ast.Type) {
+	switch {
+	case e.Op.IsRelational():
+		// Relational in value position: materialize 0/1 via a small
+		// diamond.
+		lt, rt := g.ui.TypeOf(e.L), g.ui.TypeOf(e.R)
+		typ := ast.TypeInt
+		if lt == ast.TypeReal || rt == ast.TypeReal {
+			typ = ast.TypeReal
+		}
+		a := g.genExprAs(e.L, typ)
+		b := g.genExprAs(e.R, typ)
+		d := g.newTemp(ir.ClassInt)
+		tB := g.f.NewBlock()
+		fB := g.f.NewBlock()
+		join := g.f.NewBlock()
+		g.brIf(clsOf(typ), relCmp(e.Op), a, b, tB, fB)
+		g.cur = tB
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1})
+		g.br(join)
+		g.cur = fB
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0})
+		g.br(join)
+		g.cur = join
+		return d, ast.TypeInt
+	case e.Op.IsLogical():
+		a := g.genExprAs(e.L, ast.TypeInt)
+		b := g.genExprAs(e.R, ast.TypeInt)
+		d := g.newTemp(ir.ClassInt)
+		if e.Op == ast.OpAnd {
+			// a AND b == min(a,b) for 0/1 values.
+			g.emit(ir.Instr{Op: ir.OpIMin, Dst: d, A: a, B: b, C: ir.NoReg})
+		} else {
+			g.emit(ir.Instr{Op: ir.OpIMax, Dst: d, A: a, B: b, C: ir.NoReg})
+		}
+		return d, ast.TypeInt
+	case e.Op == ast.OpPow:
+		return g.genPow(e)
+	}
+	lt, rt := g.ui.TypeOf(e.L), g.ui.TypeOf(e.R)
+	typ := ast.TypeInt
+	if lt == ast.TypeReal || rt == ast.TypeReal {
+		typ = ast.TypeReal
+	}
+	a := g.genExprAs(e.L, typ)
+	b := g.genExprAs(e.R, typ)
+	var op ir.Op
+	if typ == ast.TypeReal {
+		switch e.Op {
+		case ast.OpAdd:
+			op = ir.OpFAdd
+		case ast.OpSub:
+			op = ir.OpFSub
+		case ast.OpMul:
+			op = ir.OpFMul
+		default:
+			op = ir.OpFDiv
+		}
+	} else {
+		switch e.Op {
+		case ast.OpAdd:
+			op = ir.OpAdd
+		case ast.OpSub:
+			op = ir.OpSub
+		case ast.OpMul:
+			op = ir.OpMul
+		default:
+			op = ir.OpDiv
+		}
+	}
+	d := g.newTemp(clsOf(typ))
+	g.emit(ir.Instr{Op: op, Dst: d, A: a, B: b, C: ir.NoReg})
+	return d, typ
+}
+
+func (g *gen) genPow(e *ast.BinExpr) (ir.Reg, ast.Type) {
+	lt, rt := g.ui.TypeOf(e.L), g.ui.TypeOf(e.R)
+	// x**2 and x**1 expand to multiplies, as any 1980s code
+	// generator would do.
+	if ilit, ok := e.R.(*ast.IntLit); ok && ilit.Val >= 1 && ilit.Val <= 3 {
+		x, t := g.genExpr(e.L)
+		mul := ir.OpMul
+		if t == ast.TypeReal {
+			mul = ir.OpFMul
+		}
+		acc := x
+		for i := int64(1); i < ilit.Val; i++ {
+			d := g.newTemp(clsOf(t))
+			g.emit(ir.Instr{Op: mul, Dst: d, A: acc, B: x, C: ir.NoReg})
+			acc = d
+		}
+		return acc, t
+	}
+	if lt == ast.TypeInt && rt == ast.TypeInt {
+		a := g.genExprAs(e.L, ast.TypeInt)
+		b := g.genExprAs(e.R, ast.TypeInt)
+		d := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpIPow, Dst: d, A: a, B: b, C: ir.NoReg})
+		return d, ast.TypeInt
+	}
+	a := g.genExprAs(e.L, ast.TypeReal)
+	b := g.genExprAs(e.R, ast.TypeReal)
+	d := g.newTemp(ir.ClassFloat)
+	g.emit(ir.Instr{Op: ir.OpFPow, Dst: d, A: a, B: b, C: ir.NoReg})
+	return d, ast.TypeReal
+}
+
+func (g *gen) genIntrinsic(e *ast.CallExpr) (ir.Reg, ast.Type) {
+	in := g.ui.Intrinsic[e]
+	retT := g.ui.TypeOf(e)
+	un := func(op ir.Op, argT ast.Type) (ir.Reg, ast.Type) {
+		a := g.genExprAs(e.Args[0], argT)
+		d := g.newTemp(clsOf(retT))
+		g.emit(ir.Instr{Op: op, Dst: d, A: a, B: ir.NoReg, C: ir.NoReg})
+		return d, retT
+	}
+	bin := func(op ir.Op, t ast.Type) (ir.Reg, ast.Type) {
+		a := g.genExprAs(e.Args[0], t)
+		b := g.genExprAs(e.Args[1], t)
+		d := g.newTemp(clsOf(t))
+		g.emit(ir.Instr{Op: op, Dst: d, A: a, B: b, C: ir.NoReg})
+		return d, t
+	}
+	switch in {
+	case sem.IntrAbs:
+		if retT == ast.TypeReal {
+			return un(ir.OpFAbs, ast.TypeReal)
+		}
+		return un(ir.OpIAbs, ast.TypeInt)
+	case sem.IntrSqrt:
+		return un(ir.OpFSqrt, ast.TypeReal)
+	case sem.IntrExp:
+		return un(ir.OpFExp, ast.TypeReal)
+	case sem.IntrLog:
+		return un(ir.OpFLog, ast.TypeReal)
+	case sem.IntrSin:
+		return un(ir.OpFSin, ast.TypeReal)
+	case sem.IntrCos:
+		return un(ir.OpFCos, ast.TypeReal)
+	case sem.IntrMod:
+		if retT == ast.TypeReal {
+			return bin(ir.OpFMod, ast.TypeReal)
+		}
+		return bin(ir.OpMod, ast.TypeInt)
+	case sem.IntrSign:
+		if retT == ast.TypeReal {
+			return bin(ir.OpFSign, ast.TypeReal)
+		}
+		return bin(ir.OpISign, ast.TypeInt)
+	case sem.IntrMin, sem.IntrMax:
+		op := ir.OpIMin
+		if in == sem.IntrMax {
+			op = ir.OpIMax
+		}
+		if retT == ast.TypeReal {
+			if in == sem.IntrMax {
+				op = ir.OpFMax
+			} else {
+				op = ir.OpFMin
+			}
+		}
+		acc := g.genExprAs(e.Args[0], retT)
+		for _, arg := range e.Args[1:] {
+			b := g.genExprAs(arg, retT)
+			d := g.newTemp(clsOf(retT))
+			g.emit(ir.Instr{Op: op, Dst: d, A: acc, B: b, C: ir.NoReg})
+			acc = d
+		}
+		return acc, retT
+	case sem.IntrInt:
+		a, t := g.genExpr(e.Args[0])
+		return g.convert(a, t, ast.TypeInt), ast.TypeInt
+	case sem.IntrFloat:
+		a, t := g.genExpr(e.Args[0])
+		return g.convert(a, t, ast.TypeReal), ast.TypeReal
+	}
+	g.errorf(e.Pos, "irgen: unhandled intrinsic %s", e.Name)
+	r := g.newTemp(ir.ClassInt)
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: r, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg})
+	return r, ast.TypeInt
+}
+
+// genAddr computes the effective address of an array element as
+// (base, index, imm) suitable for OpLoad/OpStore: the address is the
+// sum of the non-NoReg registers plus imm.
+//
+// FORTRAN arrays are 1-based and column-major:
+//
+//	A(i)   -> base + i - 1
+//	A(i,j) -> base + (i-1) + (j-1)*ld   (ld = leading dimension)
+func (g *gen) genAddr(name string, indexes []ast.Expr, pos source.Pos) (base, index ir.Reg, imm int64) {
+	sym := g.ui.Sym(name)
+	var ofs ir.Reg
+	imm = -1
+	if len(indexes) >= 1 {
+		ofs = g.genExprAs(indexes[0], ast.TypeInt)
+	}
+	if len(indexes) == 2 {
+		ld := sym.Dims[0]
+		j := g.genExprAs(indexes[1], ast.TypeInt)
+		var jld ir.Reg
+		switch {
+		case ld.Name != "":
+			// Adjustable leading dimension: (j-1)*ld.
+			jm1 := g.newTemp(ir.ClassInt)
+			g.emit(ir.Instr{Op: ir.OpAddI, Dst: jm1, A: j, B: ir.NoReg, C: ir.NoReg, Imm: -1})
+			jld = g.newTemp(ir.ClassInt)
+			g.emit(ir.Instr{Op: ir.OpMul, Dst: jld, A: jm1, B: g.scalarReg(ld.Name), C: ir.NoReg})
+		default:
+			// Constant leading dimension: j*ld, folding -ld into imm.
+			jld = g.newTemp(ir.ClassInt)
+			g.emit(ir.Instr{Op: ir.OpMulI, Dst: jld, A: j, B: ir.NoReg, C: ir.NoReg, Imm: ld.Const})
+			imm -= ld.Const
+		}
+		sum := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpAdd, Dst: sum, A: ofs, B: jld, C: ir.NoReg})
+		ofs = sum
+	}
+	if baseReg, ok := g.arrayReg[name]; ok {
+		return baseReg, ofs, imm
+	}
+	if baseAddr, ok := g.arrayBase[name]; ok {
+		return ofs, ir.NoReg, imm + baseAddr
+	}
+	g.errorf(pos, "irgen: %s has no storage", name)
+	return ir.NoReg, ofs, imm
+}
+
+func (g *gen) genArrayLoad(name string, indexes []ast.Expr, pos source.Pos) ir.Reg {
+	sym := g.ui.Sym(name)
+	base, index, imm := g.genAddr(name, indexes, pos)
+	d := g.newTemp(clsOf(sym.Type))
+	g.emit(ir.Instr{Op: ir.OpLoad, Dst: d, A: ir.NoReg, B: base, C: index, Imm: imm})
+	return d
+}
+
+// genCall lowers CALL statements and function-call expressions.
+// Scalar arguments are passed by value (converted to the parameter
+// type); array arguments pass the address of the array or of the
+// referenced element.
+func (g *gen) genCall(dst ir.Reg, name string, args []ast.Expr, pos source.Pos) {
+	sig := g.info.Sigs[name]
+	if sig == nil {
+		g.errorf(pos, "irgen: unknown callee %s", name)
+		return
+	}
+	regs := make([]ir.Reg, 0, len(args))
+	for i, arg := range args {
+		if i >= len(sig.Params) {
+			break
+		}
+		ps := sig.Params[i]
+		if ps.IsArray {
+			regs = append(regs, g.genArrayArg(arg, pos))
+			continue
+		}
+		regs = append(regs, g.genExprAs(arg, ps.Type))
+	}
+	g.emit(ir.Instr{Op: ir.OpCall, Dst: dst, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: name, Args: regs})
+}
+
+// genArrayArg materializes the address of an array (or array
+// element) into an integer register.
+func (g *gen) genArrayArg(arg ast.Expr, pos source.Pos) ir.Reg {
+	var name string
+	var indexes []ast.Expr
+	switch a := arg.(type) {
+	case *ast.VarRef:
+		name, indexes = a.Name, a.Indexes
+	case *ast.CallExpr:
+		name, indexes = a.Name, a.Args
+	default:
+		g.errorf(pos, "irgen: bad array argument")
+		return g.newTemp(ir.ClassInt)
+	}
+	if len(indexes) == 0 {
+		// Whole array: its base address.
+		if baseReg, ok := g.arrayReg[name]; ok {
+			return baseReg
+		}
+		base := g.arrayBase[name]
+		d := g.newTemp(ir.ClassInt)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: base})
+		return d
+	}
+	// Element address: fold base+index+imm into one register.
+	base, index, imm := g.genAddr(name, indexes, pos)
+	d := g.newTemp(ir.ClassInt)
+	switch {
+	case base != ir.NoReg && index != ir.NoReg:
+		g.emit(ir.Instr{Op: ir.OpAdd, Dst: d, A: base, B: index, C: ir.NoReg})
+		if imm != 0 {
+			d2 := g.newTemp(ir.ClassInt)
+			g.emit(ir.Instr{Op: ir.OpAddI, Dst: d2, A: d, B: ir.NoReg, C: ir.NoReg, Imm: imm})
+			d = d2
+		}
+	case base != ir.NoReg:
+		g.emit(ir.Instr{Op: ir.OpAddI, Dst: d, A: base, B: ir.NoReg, C: ir.NoReg, Imm: imm})
+	default:
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: imm})
+	}
+	return d
+}

@@ -1,0 +1,388 @@
+package irgen_test
+
+import (
+	"math"
+	"testing"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/irgen"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/parser"
+	"regalloc/internal/sem"
+)
+
+// lower compiles source to IR without the optimizer.
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Gen(astProg, info, irgen.DefaultStaticStart)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	for _, f := range prog.Funcs {
+		if err := ir.Validate(f); err != nil {
+			t.Fatalf("invalid IR: %v", err)
+		}
+	}
+	return prog
+}
+
+// run lowers and executes a FUNCTION named F with the given values.
+func run(t *testing.T, src string, args ...irinterp.Value) irinterp.Value {
+	t.Helper()
+	prog := lower(t, src)
+	it := irinterp.New(prog, 1<<22)
+	v, err := it.Call("F", args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func wantF(t *testing.T, src string, want float64, args ...irinterp.Value) {
+	t.Helper()
+	got := run(t, src, args...)
+	if got.Cls != ir.ClassFloat || math.Abs(got.F-want) > 1e-12 {
+		t.Fatalf("got %v (%g), want %g", got.Cls, got.F, want)
+	}
+}
+
+func wantI(t *testing.T, src string, want int64, args ...irinterp.Value) {
+	t.Helper()
+	got := run(t, src, args...)
+	if got.Cls != ir.ClassInt || got.I != want {
+		t.Fatalf("got %v (%d), want %d", got.Cls, got.I, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantF(t, `
+      REAL FUNCTION F(X,Y)
+      F = (X + Y)*(X - Y)/2.0
+      END
+`, (7.0+3.0)*(7.0-3.0)/2.0, irinterp.Float(7), irinterp.Float(3))
+
+	wantI(t, `
+      INTEGER FUNCTION F(I,J)
+      F = (I + J)*(I - J)/2 + MOD(I,J)
+      END
+`, (10+3)*(10-3)/2+10%3, irinterp.Int(10), irinterp.Int(3))
+}
+
+func TestPower(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(I)
+      F = I**3 + 2**I
+      END
+`, 5*5*5+32, irinterp.Int(5))
+	wantF(t, `
+      REAL FUNCTION F(X)
+      F = X**2 + X**0.5
+      END
+`, 16.0+2.0, irinterp.Float(4))
+}
+
+func TestConversions(t *testing.T) {
+	wantF(t, `
+      REAL FUNCTION F(I)
+      F = FLOAT(I)/4.0
+      END
+`, 2.5, irinterp.Int(10))
+	wantI(t, `
+      INTEGER FUNCTION F(X)
+      F = INT(X) + INT(-X)
+      END
+`, 0, irinterp.Float(2.75)) // truncation toward zero: 2 + (-2)
+	wantF(t, `
+      REAL FUNCTION F(I)
+      F = I + 0.5
+      END
+`, 7.5, irinterp.Int(7)) // implicit conversion in mixed arithmetic
+}
+
+func TestIntrinsics(t *testing.T) {
+	wantF(t, `
+      REAL FUNCTION F(X,Y)
+      F = SQRT(X) + ABS(Y) + SIGN(3.0,Y) + MAX(X,Y,0.5) + MIN(X,Y)
+      END
+`, 3.0+2.0-3.0+9.0-2.0, irinterp.Float(9), irinterp.Float(-2))
+	wantI(t, `
+      INTEGER FUNCTION F(I,J)
+      F = IABS(J) + ISIGN(2,J) + MAX(I,J) + MIN(I,J,-9)
+      END
+`, 4-2+3-9, irinterp.Int(3), irinterp.Int(-4))
+	wantF(t, `
+      REAL FUNCTION F(X)
+      F = EXP(LOG(X)) + SIN(0.0) + COS(0.0)
+      END
+`, 5.0+0.0+1.0, irinterp.Float(5))
+}
+
+func TestDoLoop(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      INTEGER S,I
+      S = 0
+      DO I = 1,N
+         S = S + I
+      ENDDO
+      F = S
+      END
+`, 55, irinterp.Int(10))
+	// Negative step.
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      INTEGER S,I
+      S = 0
+      DO I = N,1,-3
+         S = S + I
+      ENDDO
+      F = S
+      END
+`, 10+7+4+1, irinterp.Int(10))
+	// Zero-trip loop: body must not run; index semantics preserved.
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      INTEGER S,I
+      S = 0
+      DO I = 5,N
+         S = S + 100
+      ENDDO
+      F = S
+      END
+`, 0, irinterp.Int(1))
+}
+
+// TestDoLimitEvaluatedOnce: FORTRAN evaluates the loop bound once;
+// changing its variable inside the loop must not affect the trip
+// count (this is also what creates the "loop limit" live range).
+func TestDoLimitEvaluatedOnce(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      INTEGER S,I
+      S = 0
+      DO I = 1,N
+         S = S + 1
+         N = 0
+      ENDDO
+      F = S
+      END
+`, 4, irinterp.Int(4))
+}
+
+func TestWhileExitCycle(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      INTEGER S,I
+      S = 0
+      I = 0
+      DO WHILE (I .LT. N)
+         I = I + 1
+         IF (MOD(I,2) .EQ. 0) CYCLE
+         IF (I .GT. 7) EXIT
+         S = S + I
+      ENDDO
+      F = S
+      END
+`, 1+3+5+7, irinterp.Int(100))
+}
+
+func TestNestedLoopsAndArrays(t *testing.T) {
+	wantF(t, `
+      REAL FUNCTION F(N)
+      REAL A(10,10)
+      INTEGER I,J,N
+      DO I = 1,N
+         DO J = 1,N
+            A(I,J) = FLOAT(I*10 + J)
+         ENDDO
+      ENDDO
+      F = A(2,3) + A(3,2)
+      END
+`, 23.0+32.0, irinterp.Int(5))
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The .AND. right operand would divide by zero if evaluated.
+	wantI(t, `
+      INTEGER FUNCTION F(I)
+      INTEGER J
+      J = 0
+      IF (I .GT. 0 .AND. 10/I .GT. 1) J = 1
+      F = J
+      END
+`, 0, irinterp.Int(0))
+}
+
+func TestRelationalValue(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(I,J)
+      F = (I .LT. J) + (I .GT. J)*10 + (I .EQ. J)*100
+      END
+`, 1, irinterp.Int(1), irinterp.Int(2))
+}
+
+func TestFunctionCallAndRecursionDepth(t *testing.T) {
+	wantF(t, `
+      REAL FUNCTION G(X)
+      G = X*2.0
+      END
+      REAL FUNCTION F(X)
+      F = G(X) + G(X + 1.0)
+      END
+`, 6.0+8.0, irinterp.Float(3))
+}
+
+func TestSubroutineArrayArgs(t *testing.T) {
+	wantF(t, `
+      SUBROUTINE FILL(A,N,V)
+      REAL A(*),V
+      INTEGER I,N
+      DO I = 1,N
+         A(I) = V
+      ENDDO
+      END
+      REAL FUNCTION F(N)
+      REAL B(20)
+      INTEGER N
+      CALL FILL(B,N,2.5)
+      CALL FILL(B(3),2,7.0)
+      F = B(1) + B(3) + B(4) + B(5)
+      END
+`, 2.5+7.0+7.0+2.5, irinterp.Int(10))
+}
+
+func TestAdjustable2DColumnMajor(t *testing.T) {
+	wantF(t, `
+      SUBROUTINE SETCOL(A,LDA,J,N)
+      REAL A(LDA,*)
+      INTEGER I,J,LDA,N
+      DO I = 1,N
+         A(I,J) = FLOAT(100*J + I)
+      ENDDO
+      END
+      REAL FUNCTION F(N)
+      REAL M(8,8)
+      INTEGER N
+      CALL SETCOL(M,8,2,N)
+      CALL SETCOL(M,8,3,N)
+      F = M(4,2) + M(1,3)
+      END
+`, 204.0+301.0, irinterp.Int(5))
+}
+
+// TestLoopShape checks the inverted-DO lowering documented in
+// irgen: a guard branch before the loop and a bottom test, so the
+// body block is the loop header.
+func TestLoopShape(t *testing.T) {
+	prog := lower(t, `
+      SUBROUTINE FOO(N)
+      INTEGER I,S
+      S = 0
+      DO I = 1,N
+         S = S + I
+      ENDDO
+      END
+`)
+	f := prog.Func("FOO")
+	brifs := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpBrIf {
+				brifs++
+			}
+		}
+	}
+	if brifs != 2 {
+		t.Fatalf("inverted DO should compile to guard + bottom test (2 brif), got %d", brifs)
+	}
+}
+
+func TestStaticLayout(t *testing.T) {
+	prog := lower(t, `
+      SUBROUTINE A(N)
+      REAL X(100)
+      X(1) = 1.0
+      END
+      SUBROUTINE B(N)
+      REAL Y(50,2)
+      Y(1,1) = 1.0
+      END
+`)
+	fa, fb := prog.Func("A"), prog.Func("B")
+	if fa.StaticSize != 100 || fb.StaticSize != 100 {
+		t.Fatalf("static sizes: %d, %d", fa.StaticSize, fb.StaticSize)
+	}
+	if fb.StaticBase < fa.StaticBase+fa.StaticSize+irgen.SpillReserve {
+		t.Fatal("function static areas overlap (no spill headroom)")
+	}
+	if prog.StaticEnd <= fb.StaticBase {
+		t.Fatal("StaticEnd not advanced")
+	}
+}
+
+func TestParamClasses(t *testing.T) {
+	prog := lower(t, `
+      SUBROUTINE FOO(A,X,N)
+      REAL A(*),X
+      INTEGER N
+      A(1) = X
+      END
+`)
+	f := prog.Func("FOO")
+	if len(f.Params) != 3 {
+		t.Fatalf("params: %d", len(f.Params))
+	}
+	// Array base is an integer (address); X is float; N is int.
+	if f.RegClass(f.Params[0]) != ir.ClassInt ||
+		f.RegClass(f.Params[1]) != ir.ClassFloat ||
+		f.RegClass(f.Params[2]) != ir.ClassInt {
+		t.Fatal("parameter register classes wrong")
+	}
+}
+
+func TestFunctionReturnDefault(t *testing.T) {
+	// Falling off END returns the current value of the result
+	// variable.
+	wantI(t, `
+      INTEGER FUNCTION F(N)
+      F = N*2
+      END
+`, 14, irinterp.Int(7))
+}
+
+func TestDotProductStyle(t *testing.T) {
+	// Unrolled-by-2 loop with cleanup, as the BLAS sources do.
+	wantF(t, `
+      REAL FUNCTION F(N)
+      REAL A(16),B(16),S
+      INTEGER I,M,N
+      DO I = 1,N
+         A(I) = FLOAT(I)
+         B(I) = 2.0
+      ENDDO
+      S = 0.0
+      M = MOD(N,2)
+      IF (M .NE. 0) S = A(1)*B(1)
+      DO I = M+1,N,2
+         S = S + A(I)*B(I) + A(I+1)*B(I+1)
+      ENDDO
+      F = S
+      END
+`, 2*(1+2+3+4+5+6+7), irinterp.Int(7))
+}
+
+func TestUnaryNegAndNot(t *testing.T) {
+	wantI(t, `
+      INTEGER FUNCTION F(I)
+      F = -I + (.NOT. (I .GT. 0))*10
+      END
+`, -3, irinterp.Int(3))
+}

@@ -1,0 +1,360 @@
+// Package irinterp is a reference interpreter for the IR. It
+// executes functions directly over virtual registers, before any
+// register allocation, and therefore defines the ground-truth
+// semantics that allocated machine code (packages asm + vm) must
+// preserve. The end-to-end tests compare the two on every workload
+// and register count.
+package irinterp
+
+import (
+	"fmt"
+	"math"
+
+	"regalloc/internal/ir"
+)
+
+// Value mirrors vm.Value without importing it, keeping the reference
+// interpreter independent of the backend.
+type Value struct {
+	Cls ir.Class
+	I   int64
+	F   float64
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{Cls: ir.ClassInt, I: v} }
+
+// Float returns a floating-point Value.
+func Float(v float64) Value { return Value{Cls: ir.ClassFloat, F: v} }
+
+// Interp executes IR programs over a shared memory image.
+type Interp struct {
+	prog *ir.Program
+	Mem  []uint64
+	// Steps counts executed instructions across calls.
+	Steps uint64
+	// MaxSteps aborts runaway programs (default 2e9).
+	MaxSteps uint64
+	MaxDepth int
+
+	depth int
+}
+
+// New returns an interpreter for prog with the given memory size.
+func New(prog *ir.Program, memWords int) *Interp {
+	return &Interp{prog: prog, Mem: make([]uint64, memWords), MaxSteps: 2e9, MaxDepth: 64}
+}
+
+// LoadFloat reads the float at word address a.
+func (it *Interp) LoadFloat(a int64) float64 { return math.Float64frombits(it.Mem[a]) }
+
+// StoreFloat writes the float v at word address a.
+func (it *Interp) StoreFloat(a int64, v float64) { it.Mem[a] = math.Float64bits(v) }
+
+// LoadInt reads the integer at word address a.
+func (it *Interp) LoadInt(a int64) int64 { return int64(it.Mem[a]) }
+
+// StoreInt writes the integer v at word address a.
+func (it *Interp) StoreInt(a int64, v int64) { it.Mem[a] = uint64(v) }
+
+// Call runs the named function.
+func (it *Interp) Call(name string, args ...Value) (Value, error) {
+	f := it.prog.Func(name)
+	if f == nil {
+		return Value{}, fmt.Errorf("irinterp: no function %s", name)
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("irinterp: %s expects %d args, got %d", name, len(f.Params), len(args))
+	}
+	it.depth++
+	defer func() { it.depth-- }()
+	if it.depth > it.MaxDepth {
+		return Value{}, fmt.Errorf("irinterp: call depth exceeded at %s", name)
+	}
+	return it.run(f, args)
+}
+
+func (it *Interp) run(f *ir.Func, args []Value) (Value, error) {
+	iv := make([]int64, f.NumRegs())
+	fv := make([]float64, f.NumRegs())
+	b := f.Entry()
+	pc := 0
+
+	addr := func(in *ir.Instr) (int64, error) {
+		a := in.Imm
+		if in.B != ir.NoReg {
+			a += iv[in.B]
+		}
+		if in.C != ir.NoReg {
+			a += iv[in.C]
+		}
+		if a < 0 || a >= int64(len(it.Mem)) {
+			return 0, fmt.Errorf("irinterp: %s b%d/%d: address %d out of range", f.Name, b.ID, pc, a)
+		}
+		return a, nil
+	}
+	branch := func(succ int) {
+		b = f.Blocks[b.Succs[succ]]
+		pc = 0
+	}
+
+	for {
+		if pc >= len(b.Instrs) {
+			return Value{}, fmt.Errorf("irinterp: %s: fell off block b%d", f.Name, b.ID)
+		}
+		in := &b.Instrs[pc]
+		it.Steps++
+		if it.Steps > it.MaxSteps {
+			return Value{}, fmt.Errorf("irinterp: step limit exceeded in %s", f.Name)
+		}
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpParam:
+			v := args[in.Imm]
+			if f.RegClass(in.Dst) == ir.ClassFloat {
+				fv[in.Dst] = v.F
+			} else {
+				iv[in.Dst] = v.I
+			}
+		case ir.OpConst:
+			if f.RegClass(in.Dst) == ir.ClassFloat {
+				fv[in.Dst] = in.FImm
+			} else {
+				iv[in.Dst] = in.Imm
+			}
+		case ir.OpMove:
+			if f.RegClass(in.Dst) == ir.ClassFloat {
+				fv[in.Dst] = fv[in.A]
+			} else {
+				iv[in.Dst] = iv[in.A]
+			}
+		case ir.OpItoF:
+			fv[in.Dst] = float64(iv[in.A])
+		case ir.OpFtoI:
+			iv[in.Dst] = int64(fv[in.A])
+		case ir.OpAdd:
+			iv[in.Dst] = iv[in.A] + iv[in.B]
+		case ir.OpSub:
+			iv[in.Dst] = iv[in.A] - iv[in.B]
+		case ir.OpMul:
+			iv[in.Dst] = iv[in.A] * iv[in.B]
+		case ir.OpDiv:
+			if iv[in.B] == 0 {
+				return Value{}, fmt.Errorf("irinterp: %s: division by zero", f.Name)
+			}
+			iv[in.Dst] = iv[in.A] / iv[in.B]
+		case ir.OpMod:
+			if iv[in.B] == 0 {
+				return Value{}, fmt.Errorf("irinterp: %s: MOD by zero", f.Name)
+			}
+			iv[in.Dst] = iv[in.A] % iv[in.B]
+		case ir.OpNeg:
+			iv[in.Dst] = -iv[in.A]
+		case ir.OpIMin:
+			if iv[in.A] < iv[in.B] {
+				iv[in.Dst] = iv[in.A]
+			} else {
+				iv[in.Dst] = iv[in.B]
+			}
+		case ir.OpIMax:
+			if iv[in.A] > iv[in.B] {
+				iv[in.Dst] = iv[in.A]
+			} else {
+				iv[in.Dst] = iv[in.B]
+			}
+		case ir.OpIAbs:
+			if iv[in.A] < 0 {
+				iv[in.Dst] = -iv[in.A]
+			} else {
+				iv[in.Dst] = iv[in.A]
+			}
+		case ir.OpISign:
+			a := iv[in.A]
+			if a < 0 {
+				a = -a
+			}
+			if iv[in.B] < 0 {
+				a = -a
+			}
+			iv[in.Dst] = a
+		case ir.OpIPow:
+			iv[in.Dst] = ipow(iv[in.A], iv[in.B])
+		case ir.OpAddI:
+			iv[in.Dst] = iv[in.A] + in.Imm
+		case ir.OpMulI:
+			iv[in.Dst] = iv[in.A] * in.Imm
+		case ir.OpFAdd:
+			fv[in.Dst] = fv[in.A] + fv[in.B]
+		case ir.OpFSub:
+			fv[in.Dst] = fv[in.A] - fv[in.B]
+		case ir.OpFMul:
+			fv[in.Dst] = fv[in.A] * fv[in.B]
+		case ir.OpFDiv:
+			fv[in.Dst] = fv[in.A] / fv[in.B]
+		case ir.OpFNeg:
+			fv[in.Dst] = -fv[in.A]
+		case ir.OpFMin:
+			fv[in.Dst] = math.Min(fv[in.A], fv[in.B])
+		case ir.OpFMax:
+			fv[in.Dst] = math.Max(fv[in.A], fv[in.B])
+		case ir.OpFAbs:
+			fv[in.Dst] = math.Abs(fv[in.A])
+		case ir.OpFSqrt:
+			fv[in.Dst] = math.Sqrt(fv[in.A])
+		case ir.OpFExp:
+			fv[in.Dst] = math.Exp(fv[in.A])
+		case ir.OpFLog:
+			fv[in.Dst] = math.Log(fv[in.A])
+		case ir.OpFSin:
+			fv[in.Dst] = math.Sin(fv[in.A])
+		case ir.OpFCos:
+			fv[in.Dst] = math.Cos(fv[in.A])
+		case ir.OpFSign:
+			a := math.Abs(fv[in.A])
+			if math.Signbit(fv[in.B]) {
+				a = -a
+			}
+			fv[in.Dst] = a
+		case ir.OpFMod:
+			fv[in.Dst] = math.Mod(fv[in.A], fv[in.B])
+		case ir.OpFPow:
+			fv[in.Dst] = math.Pow(fv[in.A], fv[in.B])
+		case ir.OpLoad:
+			a, err := addr(in)
+			if err != nil {
+				return Value{}, err
+			}
+			if f.RegClass(in.Dst) == ir.ClassFloat {
+				fv[in.Dst] = math.Float64frombits(it.Mem[a])
+			} else {
+				iv[in.Dst] = int64(it.Mem[a])
+			}
+		case ir.OpStore:
+			a, err := addr(in)
+			if err != nil {
+				return Value{}, err
+			}
+			if f.RegClass(in.A) == ir.ClassFloat {
+				it.Mem[a] = math.Float64bits(fv[in.A])
+			} else {
+				it.Mem[a] = uint64(iv[in.A])
+			}
+		case ir.OpSpillLoad:
+			a := f.SlotAddr(in.Imm)
+			if f.RegClass(in.Dst) == ir.ClassFloat {
+				fv[in.Dst] = math.Float64frombits(it.Mem[a])
+			} else {
+				iv[in.Dst] = int64(it.Mem[a])
+			}
+		case ir.OpSpillStore:
+			a := f.SlotAddr(in.Imm)
+			if f.RegClass(in.A) == ir.ClassFloat {
+				it.Mem[a] = math.Float64bits(fv[in.A])
+			} else {
+				it.Mem[a] = uint64(iv[in.A])
+			}
+		case ir.OpBr:
+			branch(0)
+			continue
+		case ir.OpBrIf:
+			var taken bool
+			if in.Cls == ir.ClassFloat {
+				taken = fcmp(in.Cmp, fv[in.A], fv[in.B])
+			} else {
+				taken = icmp(in.Cmp, iv[in.A], iv[in.B])
+			}
+			if taken {
+				branch(0)
+			} else {
+				branch(1)
+			}
+			continue
+		case ir.OpRet:
+			if in.A == ir.NoReg {
+				return Value{}, nil
+			}
+			if f.RegClass(in.A) == ir.ClassFloat {
+				return Float(fv[in.A]), nil
+			}
+			return Int(iv[in.A]), nil
+		case ir.OpCall:
+			callArgs := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				if f.RegClass(a) == ir.ClassFloat {
+					callArgs[i] = Float(fv[a])
+				} else {
+					callArgs[i] = Int(iv[a])
+				}
+			}
+			ret, err := it.Call(in.Callee, callArgs...)
+			if err != nil {
+				return Value{}, err
+			}
+			if in.Dst != ir.NoReg {
+				if f.RegClass(in.Dst) == ir.ClassFloat {
+					fv[in.Dst] = ret.F
+				} else {
+					iv[in.Dst] = ret.I
+				}
+			}
+		default:
+			return Value{}, fmt.Errorf("irinterp: %s: unexecutable op %s", f.Name, in.Op)
+		}
+		pc++
+	}
+}
+
+func ipow(a, b int64) int64 {
+	if b < 0 {
+		switch a {
+		case 1:
+			return 1
+		case -1:
+			if b%2 == 0 {
+				return 1
+			}
+			return -1
+		default:
+			return 0
+		}
+	}
+	r := int64(1)
+	for ; b > 0; b-- {
+		r *= a
+	}
+	return r
+}
+
+func icmp(c ir.Cmp, a, b int64) bool {
+	switch c {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func fcmp(c ir.Cmp, a, b float64) bool {
+	switch c {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}

@@ -1,0 +1,374 @@
+package irinterp_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/irinterp"
+)
+
+// prog wraps a single hand-built function.
+func prog(f *ir.Func) *ir.Program {
+	p := ir.NewProgram(0)
+	p.Add(f)
+	return p
+}
+
+func TestScalarOps(t *testing.T) {
+	f := &ir.Func{Name: "F"}
+	a := f.NewReg(ir.ClassInt)
+	b := f.NewReg(ir.ClassInt)
+	c := f.NewReg(ir.ClassInt)
+	f.Params = []ir.Reg{a, b}
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpParam, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpParam, Dst: b, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpMul, Dst: c, A: a, B: b, C: ir.NoReg},
+		{Op: ir.OpAddI, Dst: c, A: c, B: ir.NoReg, C: ir.NoReg, Imm: -3},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: c, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	it := irinterp.New(prog(f), 64)
+	v, err := it.Call("F", irinterp.Int(6), irinterp.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 39 {
+		t.Fatalf("got %d", v.I)
+	}
+	if it.Steps == 0 {
+		t.Fatal("steps not counted")
+	}
+}
+
+func TestFloatAndMemory(t *testing.T) {
+	f := &ir.Func{Name: "F"}
+	addr := f.NewReg(ir.ClassInt)
+	x := f.NewReg(ir.ClassFloat)
+	f.Params = []ir.Reg{addr}
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpParam, Dst: addr, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpLoad, Dst: x, A: ir.NoReg, B: addr, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpFSqrt, Dst: x, A: x, B: ir.NoReg, C: ir.NoReg},
+		{Op: ir.OpStore, Dst: ir.NoReg, A: x, B: addr, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	it := irinterp.New(prog(f), 64)
+	it.StoreFloat(10, 2.25)
+	v, err := it.Call("F", irinterp.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 1.5 || it.LoadFloat(11) != 1.5 {
+		t.Fatalf("sqrt path wrong: %g / %g", v.F, it.LoadFloat(11))
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	f := &ir.Func{Name: "SPIN"}
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}}
+	b.Succs = []int{0}
+	f.RecomputePreds()
+	it := irinterp.New(prog(f), 64)
+	it.MaxSteps = 500
+	if _, err := it.Call("SPIN"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("want step-limit error, got %v", err)
+	}
+}
+
+func TestAddressFault(t *testing.T) {
+	f := &ir.Func{Name: "BAD"}
+	a := f.NewReg(ir.ClassInt)
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1 << 40},
+		{Op: ir.OpLoad, Dst: a, A: ir.NoReg, B: a, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	it := irinterp.New(prog(f), 64)
+	if _, err := it.Call("BAD"); err == nil || !strings.Contains(err.Error(), "address") {
+		t.Fatalf("want address fault, got %v", err)
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	for _, op := range []ir.Op{ir.OpDiv, ir.OpMod} {
+		f := &ir.Func{Name: "Z"}
+		a := f.NewReg(ir.ClassInt)
+		z := f.NewReg(ir.ClassInt)
+		b := f.NewBlock()
+		b.Instrs = []ir.Instr{
+			{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 5},
+			{Op: ir.OpConst, Dst: z, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+			{Op: op, Dst: a, A: a, B: z, C: ir.NoReg},
+			{Op: ir.OpRet, Dst: ir.NoReg, A: a, B: ir.NoReg, C: ir.NoReg},
+		}
+		f.RecomputePreds()
+		it := irinterp.New(prog(f), 64)
+		if _, err := it.Call("Z"); err == nil {
+			t.Fatalf("%v by zero must fault", op)
+		}
+	}
+}
+
+func TestSpillOps(t *testing.T) {
+	f := &ir.Func{Name: "SP", StaticBase: 32, StaticSize: 4}
+	x := f.NewReg(ir.ClassFloat)
+	y := f.NewReg(ir.ClassFloat)
+	slot := f.NewSlot()
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, FImm: 6.5},
+		{Op: ir.OpSpillStore, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg, Imm: slot},
+		{Op: ir.OpSpillLoad, Dst: y, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: slot},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: y, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	it := irinterp.New(prog(f), 64)
+	v, err := it.Call("SP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 6.5 {
+		t.Fatalf("spill roundtrip: %g", v.F)
+	}
+	// The slot lives at StaticBase + StaticSize + slot.
+	if it.LoadFloat(36) != 6.5 {
+		t.Fatal("slot address wrong")
+	}
+}
+
+func TestCallBetweenFunctions(t *testing.T) {
+	callee := &ir.Func{Name: "SQ", HasRet: true, RetCls: ir.ClassFloat}
+	cx := callee.NewReg(ir.ClassFloat)
+	callee.Params = []ir.Reg{cx}
+	cb := callee.NewBlock()
+	cb.Instrs = []ir.Instr{
+		{Op: ir.OpParam, Dst: cx, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpFMul, Dst: cx, A: cx, B: cx, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: cx, B: ir.NoReg, C: ir.NoReg},
+	}
+	callee.RecomputePreds()
+
+	caller := &ir.Func{Name: "MAIN", HasRet: true, RetCls: ir.ClassFloat}
+	mx := caller.NewReg(ir.ClassFloat)
+	caller.Params = []ir.Reg{mx}
+	mb := caller.NewBlock()
+	mb.Instrs = []ir.Instr{
+		{Op: ir.OpParam, Dst: mx, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpCall, Dst: mx, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: "SQ", Args: []ir.Reg{mx}},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: mx, B: ir.NoReg, C: ir.NoReg},
+	}
+	caller.RecomputePreds()
+
+	p := ir.NewProgram(0)
+	p.Add(callee)
+	p.Add(caller)
+	it := irinterp.New(p, 64)
+	v, err := it.Call("MAIN", irinterp.Float(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 9 {
+		t.Fatalf("got %g", v.F)
+	}
+	if _, err := it.Call("NOPE"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if _, err := it.Call("MAIN"); err == nil {
+		t.Fatal("arg-count mismatch accepted")
+	}
+}
+
+func TestMathOps(t *testing.T) {
+	ops := []struct {
+		op   ir.Op
+		a, b float64
+		want float64
+	}{
+		{ir.OpFSign, 2, -3, -2},
+		{ir.OpFMod, 9.5, 3, 0.5},
+		{ir.OpFPow, 3, 3, 27},
+		{ir.OpFMin, 1, 2, 1},
+		{ir.OpFMax, 1, 2, 2},
+	}
+	for _, c := range ops {
+		f := &ir.Func{Name: "M"}
+		x := f.NewReg(ir.ClassFloat)
+		y := f.NewReg(ir.ClassFloat)
+		f.Params = []ir.Reg{x, y}
+		b := f.NewBlock()
+		b.Instrs = []ir.Instr{
+			{Op: ir.OpParam, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+			{Op: ir.OpParam, Dst: y, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+			{Op: c.op, Dst: x, A: x, B: y, C: ir.NoReg},
+			{Op: ir.OpRet, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg},
+		}
+		f.RecomputePreds()
+		it := irinterp.New(prog(f), 64)
+		v, err := it.Call("M", irinterp.Float(c.a), irinterp.Float(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v.F-c.want) > 1e-12 {
+			t.Fatalf("%v(%g,%g) = %g, want %g", c.op, c.a, c.b, v.F, c.want)
+		}
+	}
+}
+
+// TestIntOpcodeTable drives every integer ALU opcode arm.
+func TestIntOpcodeTable(t *testing.T) {
+	cases := []struct {
+		op      ir.Op
+		a, b, w int64
+	}{
+		{ir.OpAdd, 7, 5, 12},
+		{ir.OpSub, 7, 5, 2},
+		{ir.OpMul, 7, 5, 35},
+		{ir.OpDiv, 17, 5, 3},
+		{ir.OpMod, 17, 5, 2},
+		{ir.OpIMin, -3, 4, -3},
+		{ir.OpIMax, -3, 4, 4},
+		{ir.OpISign, 6, -1, -6},
+		{ir.OpISign, -6, 2, 6},
+		{ir.OpIPow, 2, 10, 1024},
+		{ir.OpIPow, 7, 0, 1},
+		{ir.OpIPow, 9, -2, 0},
+		{ir.OpIPow, -1, -5, -1},
+		{ir.OpIPow, 1, -5, 1},
+	}
+	for _, c := range cases {
+		f := &ir.Func{Name: "T"}
+		a := f.NewReg(ir.ClassInt)
+		b := f.NewReg(ir.ClassInt)
+		d := f.NewReg(ir.ClassInt)
+		f.Params = []ir.Reg{a, b}
+		blk := f.NewBlock()
+		blk.Instrs = []ir.Instr{
+			{Op: ir.OpParam, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+			{Op: ir.OpParam, Dst: b, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+			{Op: c.op, Dst: d, A: a, B: b, C: ir.NoReg},
+			{Op: ir.OpRet, Dst: ir.NoReg, A: d, B: ir.NoReg, C: ir.NoReg},
+		}
+		f.RecomputePreds()
+		v, err := irinterp.New(prog(f), 64).Call("T", irinterp.Int(c.a), irinterp.Int(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != c.w {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, v.I, c.w)
+		}
+	}
+}
+
+// TestUnaryAndConvOps drives the single-operand arms.
+func TestUnaryAndConvOps(t *testing.T) {
+	// neg/abs int
+	f := &ir.Func{Name: "T"}
+	a := f.NewReg(ir.ClassInt)
+	x := f.NewReg(ir.ClassFloat)
+	y := f.NewReg(ir.ClassFloat)
+	d := f.NewReg(ir.ClassInt)
+	f.Params = []ir.Reg{a}
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpParam, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpNeg, Dst: a, A: a, B: ir.NoReg, C: ir.NoReg},   // a = 5
+		{Op: ir.OpIAbs, Dst: a, A: a, B: ir.NoReg, C: ir.NoReg},  // 5
+		{Op: ir.OpItoF, Dst: x, A: a, B: ir.NoReg, C: ir.NoReg},  // 5.0
+		{Op: ir.OpFNeg, Dst: x, A: x, B: ir.NoReg, C: ir.NoReg},  // -5.0
+		{Op: ir.OpFAbs, Dst: x, A: x, B: ir.NoReg, C: ir.NoReg},  // 5.0
+		{Op: ir.OpFSqrt, Dst: y, A: x, B: ir.NoReg, C: ir.NoReg}, // sqrt 5
+		{Op: ir.OpFMul, Dst: y, A: y, B: y, C: ir.NoReg},         // 5
+		{Op: ir.OpFExp, Dst: y, A: y, B: ir.NoReg, C: ir.NoReg},  // e^5
+		{Op: ir.OpFLog, Dst: y, A: y, B: ir.NoReg, C: ir.NoReg},  // 5
+		{Op: ir.OpFSin, Dst: x, A: y, B: ir.NoReg, C: ir.NoReg},  // sin 5
+		{Op: ir.OpFCos, Dst: x, A: x, B: ir.NoReg, C: ir.NoReg},  // cos sin 5
+		{Op: ir.OpFtoI, Dst: d, A: y, B: ir.NoReg, C: ir.NoReg},  // 4 or 5
+		{Op: ir.OpMulI, Dst: d, A: d, B: ir.NoReg, C: ir.NoReg, Imm: 10},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: d, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	v, err := irinterp.New(prog(f), 64).Call("T", irinterp.Int(-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(math.Log(math.Exp(5))) * 10
+	if v.I != want {
+		t.Fatalf("got %d, want %d", v.I, want)
+	}
+}
+
+// TestBranchComparisons drives every comparison arm in both classes.
+func TestBranchComparisons(t *testing.T) {
+	cmps := []ir.Cmp{ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE}
+	ref := func(c ir.Cmp, a, b float64) bool {
+		switch c {
+		case ir.CmpEQ:
+			return a == b
+		case ir.CmpNE:
+			return a != b
+		case ir.CmpLT:
+			return a < b
+		case ir.CmpLE:
+			return a <= b
+		case ir.CmpGT:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		for _, c := range cmps {
+			for _, pair := range [][2]float64{{1, 2}, {2, 2}, {3, 2}} {
+				f := &ir.Func{Name: "T"}
+				a := f.NewReg(cls)
+				b := f.NewReg(cls)
+				d := f.NewReg(ir.ClassInt)
+				f.Params = []ir.Reg{a, b}
+				b0 := f.NewBlock()
+				b1 := f.NewBlock()
+				b2 := f.NewBlock()
+				b0.Instrs = []ir.Instr{
+					{Op: ir.OpParam, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+					{Op: ir.OpParam, Dst: b, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+					{Op: ir.OpBrIf, Dst: ir.NoReg, A: a, B: b, C: ir.NoReg, Cmp: c, Cls: cls},
+				}
+				b0.Succs = []int{1, 2}
+				b1.Instrs = []ir.Instr{
+					{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+					{Op: ir.OpRet, Dst: ir.NoReg, A: d, B: ir.NoReg, C: ir.NoReg},
+				}
+				b2.Instrs = []ir.Instr{
+					{Op: ir.OpConst, Dst: d, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+					{Op: ir.OpRet, Dst: ir.NoReg, A: d, B: ir.NoReg, C: ir.NoReg},
+				}
+				f.RecomputePreds()
+				var args []irinterp.Value
+				if cls == ir.ClassInt {
+					args = []irinterp.Value{irinterp.Int(int64(pair[0])), irinterp.Int(int64(pair[1]))}
+				} else {
+					args = []irinterp.Value{irinterp.Float(pair[0]), irinterp.Float(pair[1])}
+				}
+				v, err := irinterp.New(prog(f), 64).Call("T", args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := int64(0)
+				if ref(c, pair[0], pair[1]) {
+					want = 1
+				}
+				if v.I != want {
+					t.Errorf("%v cmp %v on %v: got %d want %d", cls, c, pair, v.I, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package lexer tokenizes mini-FORTRAN source text.
+//
+// The dialect is free-form: statements end at a newline (emitted as
+// token.EOL), a trailing '&' continues a statement onto the next
+// line, and comments run from 'C ' or '*' in column one — or from
+// '!' anywhere — to end of line. Keywords and identifiers are
+// case-insensitive and are canonicalized to upper case.
+package lexer
+
+import (
+	"strconv"
+	"strings"
+
+	"regalloc/internal/source"
+	"regalloc/internal/token"
+)
+
+// Token is a lexed token with its position and literal text.
+type Token struct {
+	Kind token.Kind
+	Lit  string // canonical (upper-case) text for IDENT, raw text for constants
+	Int  int64  // value for INTCONST
+	Real float64
+	Pos  source.Pos
+}
+
+// Lexer scans mini-FORTRAN source into tokens.
+type Lexer struct {
+	src      string
+	off      int // byte offset of next rune
+	line     int
+	col      int
+	bol      bool // at beginning of line (for 'C'/'*' comments)
+	pendEOL  bool // a statement is open; emit EOL at next newline
+	errs     source.ErrorList
+	lastKind token.Kind
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, bol: true}
+}
+
+// Errors returns diagnostics accumulated while scanning.
+func (l *Lexer) Errors() source.ErrorList { return l.errs }
+
+func (l *Lexer) pos() source.Pos { return source.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipToEOL() {
+	for l.off < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF
+// forever; an EOL is synthesized before EOF if a statement is open.
+func (l *Lexer) Next() Token {
+	for {
+		if l.off >= len(l.src) {
+			if l.pendEOL {
+				l.pendEOL = false
+				return l.emit(Token{Kind: token.EOL, Pos: l.pos()})
+			}
+			return l.emit(Token{Kind: token.EOF, Pos: l.pos()})
+		}
+		c := l.peek()
+		switch {
+		case c == '\n':
+			p := l.pos()
+			l.advance()
+			l.bol = true
+			if l.pendEOL {
+				l.pendEOL = false
+				return l.emit(Token{Kind: token.EOL, Pos: p})
+			}
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			// Leading blanks move us past column one: a 'C' later
+			// on the line is an identifier ("C = G/H"), never a
+			// comment marker.
+			l.advance()
+			l.bol = false
+			continue
+		case c == '!':
+			l.skipToEOL()
+			continue
+		case l.bol && (c == '*' || ((c == 'C' || c == 'c') && isCommentLine(l.src[l.off:]))):
+			l.skipToEOL()
+			continue
+		}
+		l.bol = false
+		return l.scanToken()
+	}
+}
+
+// isCommentLine reports whether a line beginning with 'C' is a
+// classic FORTRAN comment: "C" followed by a space or end of line
+// (so identifiers like "CALL" at column one still lex normally).
+func isCommentLine(rest string) bool {
+	if len(rest) == 1 {
+		return true
+	}
+	return rest[1] == ' ' || rest[1] == '\t' || rest[1] == '\n' || rest[1] == '\r'
+}
+
+func (l *Lexer) emit(t Token) Token {
+	l.lastKind = t.Kind
+	return t
+}
+
+func (l *Lexer) scanToken() Token {
+	p := l.pos()
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.emit(l.scanWord(p))
+	case isDigit(c):
+		return l.emit(l.scanNumber(p))
+	case c == '.':
+		// Could be a dotted operator (.LT.) or a real constant (.5).
+		if isDigit(l.peek2()) {
+			return l.emit(l.scanNumber(p))
+		}
+		if isLetter(l.peek2()) {
+			return l.emit(l.scanDotted(p))
+		}
+	}
+	l.advance()
+	l.pendEOL = true
+	mk := func(k token.Kind) Token { return l.emit(Token{Kind: k, Pos: p, Lit: k.String()}) }
+	switch c {
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		if l.peek() == '*' {
+			l.advance()
+			return mk(token.POW)
+		}
+		return mk(token.STAR)
+	case '/':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NE)
+		}
+		return mk(token.SLASH)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case ',':
+		return mk(token.COMMA)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '&':
+		// Continuation: suppress the next EOL.
+		l.pendEOL = false
+		l.skipNewline()
+		return l.Next()
+	}
+	l.errs.Add(p, "illegal character %q", string(c))
+	return Token{Kind: token.ILLEGAL, Pos: p, Lit: string(c)}
+}
+
+func (l *Lexer) skipNewline() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '\n' {
+			l.advance()
+			l.bol = true
+		}
+		return
+	}
+}
+
+func (l *Lexer) scanWord(p source.Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek()) || l.peek() == '_') {
+		l.advance()
+	}
+	up := strings.ToUpper(l.src[start:l.off])
+	l.pendEOL = true
+	kind := token.Lookup(up)
+	return Token{Kind: kind, Lit: up, Pos: p}
+}
+
+func (l *Lexer) scanDotted(p source.Pos) Token {
+	l.advance() // '.'
+	start := l.off
+	for l.off < len(l.src) && isLetter(l.peek()) {
+		l.advance()
+	}
+	word := strings.ToUpper(l.src[start:l.off])
+	if l.peek() != '.' {
+		l.errs.Add(p, "malformed dotted operator .%s", word)
+		return Token{Kind: token.ILLEGAL, Pos: p, Lit: "." + word}
+	}
+	l.advance() // closing '.'
+	l.pendEOL = true
+	if k, ok := token.Dotted(word); ok {
+		return Token{Kind: k, Lit: k.String(), Pos: p}
+	}
+	// .TRUE./.FALSE. are accepted as integer constants 1/0 for
+	// convenience; the dialect has no LOGICAL type.
+	switch word {
+	case "TRUE":
+		return Token{Kind: token.INTCONST, Lit: ".TRUE.", Int: 1, Pos: p}
+	case "FALSE":
+		return Token{Kind: token.INTCONST, Lit: ".FALSE.", Int: 0, Pos: p}
+	}
+	l.errs.Add(p, "unknown dotted operator .%s.", word)
+	return Token{Kind: token.ILLEGAL, Pos: p, Lit: "." + word + "."}
+}
+
+func (l *Lexer) scanNumber(p source.Pos) Token {
+	start := l.off
+	isReal := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && !l.dottedOpFollows() {
+		isReal = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'E' || c == 'e' || c == 'D' || c == 'd' {
+		// Exponent must be followed by digits or a signed digit run.
+		save := l.off
+		mark := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isReal = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = mark
+			_ = save
+		}
+	}
+	lit := l.src[start:l.off]
+	l.pendEOL = true
+	if isReal {
+		v, err := strconv.ParseFloat(normalizeExp(lit), 64)
+		if err != nil {
+			l.errs.Add(p, "bad real constant %q", lit)
+		}
+		return Token{Kind: token.REALCONST, Lit: lit, Real: v, Pos: p}
+	}
+	v, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		l.errs.Add(p, "bad integer constant %q", lit)
+	}
+	return Token{Kind: token.INTCONST, Lit: lit, Int: v, Pos: p}
+}
+
+// dottedOpFollows reports whether the '.' at the current offset
+// begins a dotted operator such as ".LT." rather than a decimal
+// point (e.g. in "1.LT.2").
+func (l *Lexer) dottedOpFollows() bool {
+	i := l.off + 1
+	start := i
+	for i < len(l.src) && isLetter(l.src[i]) {
+		i++
+	}
+	if i == start || i >= len(l.src) || l.src[i] != '.' {
+		return false
+	}
+	_, ok := token.Dotted(strings.ToUpper(l.src[start:i]))
+	return ok
+}
+
+func normalizeExp(lit string) string {
+	lit = strings.ReplaceAll(lit, "D", "E")
+	return strings.ReplaceAll(lit, "d", "e")
+}
+
+func isLetter(c byte) bool { return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }

@@ -1,0 +1,164 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"regalloc/internal/lexer"
+	"regalloc/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	lx := lexer.New(src)
+	var out []token.Kind
+	for {
+		t := lx.Next()
+		out = append(out, t.Kind)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func expect(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %s, want %s", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	expect(t, "X = A + B*C\n",
+		token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.IDENT,
+		token.STAR, token.IDENT, token.EOL, token.EOF)
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	expect(t, "do while (i .lt. n)\nenddo\n",
+		token.DO, token.WHILE, token.LPAREN, token.IDENT, token.LT,
+		token.IDENT, token.RPAREN, token.EOL, token.ENDDO, token.EOL, token.EOF)
+}
+
+func TestDottedOperators(t *testing.T) {
+	expect(t, "IF (A .GE. B .AND. C .NE. D) THEN\n",
+		token.IF, token.LPAREN, token.IDENT, token.GE, token.IDENT,
+		token.AND, token.IDENT, token.NE, token.IDENT, token.RPAREN,
+		token.THEN, token.EOL, token.EOF)
+}
+
+func TestModernRelationalOperators(t *testing.T) {
+	expect(t, "IF (A <= B) X = 1\n",
+		token.IF, token.LPAREN, token.IDENT, token.LE, token.IDENT,
+		token.RPAREN, token.IDENT, token.ASSIGN, token.INTCONST,
+		token.EOL, token.EOF)
+}
+
+func TestNumbers(t *testing.T) {
+	lx := lexer.New("42 3.25 1.0E-8 2D0 .5 6.\n")
+	tok := lx.Next()
+	if tok.Kind != token.INTCONST || tok.Int != 42 {
+		t.Fatalf("42: got %v %d", tok.Kind, tok.Int)
+	}
+	tok = lx.Next()
+	if tok.Kind != token.REALCONST || tok.Real != 3.25 {
+		t.Fatalf("3.25: got %v %g", tok.Kind, tok.Real)
+	}
+	tok = lx.Next()
+	if tok.Kind != token.REALCONST || tok.Real != 1.0e-8 {
+		t.Fatalf("1.0E-8: got %v %g", tok.Kind, tok.Real)
+	}
+	tok = lx.Next()
+	if tok.Kind != token.REALCONST || tok.Real != 2.0 {
+		t.Fatalf("2D0: got %v %g", tok.Kind, tok.Real)
+	}
+	tok = lx.Next()
+	if tok.Kind != token.REALCONST || tok.Real != 0.5 {
+		t.Fatalf(".5: got %v %g", tok.Kind, tok.Real)
+	}
+	tok = lx.Next()
+	if tok.Kind != token.REALCONST || tok.Real != 6.0 {
+		t.Fatalf("6.: got %v %g", tok.Kind, tok.Real)
+	}
+}
+
+// TestIntDottedOperator: "1.LT.2" must lex as INT .LT. INT, not as
+// the real 1.0 followed by garbage.
+func TestIntDottedOperator(t *testing.T) {
+	expect(t, "IF (1.LT.2) X = 1\n",
+		token.IF, token.LPAREN, token.INTCONST, token.LT, token.INTCONST,
+		token.RPAREN, token.IDENT, token.ASSIGN, token.INTCONST,
+		token.EOL, token.EOF)
+}
+
+func TestCommentLines(t *testing.T) {
+	src := "C full-line comment\n* starred comment\nX = 1 ! trailing\nC\n"
+	expect(t, src,
+		token.IDENT, token.ASSIGN, token.INTCONST, token.EOL, token.EOF)
+}
+
+// TestCVariableNotComment is the regression test for the bug that
+// silently deleted SVD's rotation code: a statement whose first
+// non-blank character is 'C' (the variable) must NOT be treated as a
+// comment — 'C' only marks comments in column one.
+func TestCVariableNotComment(t *testing.T) {
+	expect(t, "      C = G/H\n",
+		token.IDENT, token.ASSIGN, token.IDENT, token.SLASH, token.IDENT,
+		token.EOL, token.EOF)
+}
+
+func TestContinuation(t *testing.T) {
+	expect(t, "X = A + &\n    B\n",
+		token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.IDENT,
+		token.EOL, token.EOF)
+}
+
+func TestPowerOperator(t *testing.T) {
+	expect(t, "Y = X**2\n",
+		token.IDENT, token.ASSIGN, token.IDENT, token.POW, token.INTCONST,
+		token.EOL, token.EOF)
+}
+
+func TestLogicalConstants(t *testing.T) {
+	lx := lexer.New("X = .TRUE.\n")
+	lx.Next() // X
+	lx.Next() // =
+	tok := lx.Next()
+	if tok.Kind != token.INTCONST || tok.Int != 1 {
+		t.Fatalf(".TRUE.: got %v %d", tok.Kind, tok.Int)
+	}
+}
+
+func TestEOLSynthesizedAtEOF(t *testing.T) {
+	expect(t, "END", token.END, token.EOL, token.EOF)
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := lexer.New("X = $\n")
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+	}
+	if len(lx.Errors()) == 0 {
+		t.Fatal("expected a diagnostic for '$'")
+	}
+}
+
+func TestMalformedDotted(t *testing.T) {
+	lx := lexer.New("X .FOO. Y\n")
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+	}
+	if len(lx.Errors()) == 0 {
+		t.Fatal("expected a diagnostic for .FOO.")
+	}
+}

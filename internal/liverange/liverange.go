@@ -1,0 +1,168 @@
+// Package liverange implements Chaitin's "renumber" phase: it
+// partitions each variable's definitions and uses into webs (maximal
+// communities of def–use chains) and rewrites the function so each
+// web occupies a distinct virtual register. Webs — not source
+// variables — are the nodes of the interference graph, and after
+// spill code is inserted the next renumbering naturally splits a
+// spilled variable into the per-reference micro-ranges the paper
+// describes (§3.3: "spilling a live range does not entirely remove
+// it; it simply divides that live range into several shorter live
+// ranges").
+package liverange
+
+import (
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ir"
+)
+
+// Renumber rewrites f in place so that every live range (web) has
+// its own virtual register, and returns the number of live ranges.
+func Renumber(f *ir.Func) int {
+	r := dataflow.ComputeReaching(f)
+	ns := len(r.Sites)
+
+	// Union-find over def sites: two defs belong to the same web
+	// when some use is reached by both.
+	parent := make([]int, ns)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Keep the smaller root for deterministic numbering.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		r.WalkUses(f, b, func(_ int, _ *ir.Instr, _ ir.Reg, ds []int) {
+			for i := 1; i < len(ds); i++ {
+				union(ds[0], ds[i])
+			}
+		})
+	}
+
+	// Number webs in order of their smallest def site, which keeps
+	// numbering deterministic (the paper's footnote 4: ties between
+	// equal-cost ranges are broken by an arbitrary but fixed index).
+	webOf := make([]ir.Reg, ns)
+	for i := range webOf {
+		webOf[i] = ir.NoReg
+	}
+	var cls []ir.Class
+	var flags []ir.Flags
+	next := ir.Reg(0)
+	for si := 0; si < ns; si++ {
+		root := find(si)
+		if webOf[root] == ir.NoReg {
+			webOf[root] = next
+			orig := r.Sites[root].Reg
+			cls = append(cls, f.RegClass(orig))
+			flags = append(flags, f.RegFlags(orig))
+			next++
+		}
+		webOf[si] = webOf[root]
+	}
+
+	// Index real def sites by (block, instr).
+	siteAt := make([]map[int]int, len(f.Blocks))
+	for i := range siteAt {
+		siteAt[i] = make(map[int]int)
+	}
+	for si, s := range r.Sites {
+		if s.Index >= 0 {
+			siteAt[s.Block][s.Index] = si
+		}
+	}
+
+	// Rewrite every operand. Uses are resolved against the reaching
+	// set *before* the instruction's own definition takes effect.
+	for _, b := range f.Blocks {
+		cur := r.In[b.ID].Copy()
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			resolve := func(u ir.Reg) ir.Reg {
+				if u == ir.NoReg {
+					return ir.NoReg
+				}
+				for _, si := range r.ByReg[u] {
+					if cur.Has(si) {
+						return webOf[si]
+					}
+				}
+				// A use with no reaching def cannot occur: every
+				// upward-exposed or undefined register received a
+				// fabricated entry def site.
+				panic("liverange: use without reaching definition")
+			}
+			in.A = resolve(in.A)
+			in.B = resolve(in.B)
+			in.C = resolve(in.C)
+			for j, a := range in.Args {
+				in.Args[j] = resolve(a)
+			}
+			if d := in.Def(); d != ir.NoReg {
+				for _, si := range r.ByReg[d] {
+					cur.Remove(si)
+				}
+				si := siteAt[b.ID][i]
+				cur.Add(si)
+				in.Dst = webOf[si]
+			}
+		}
+	}
+
+	// Params refer to the webs of their OpParam definitions.
+	remapParams(f)
+
+	f.ResetRegs(cls, flags)
+	return int(next)
+}
+
+// remapParams repoints f.Params at the rewritten OpParam
+// destinations.
+func remapParams(f *ir.Func) {
+	entry := f.Entry()
+	for i := range entry.Instrs {
+		in := &entry.Instrs[i]
+		if in.Op != ir.OpParam {
+			continue
+		}
+		f.Params[in.Imm] = in.Dst
+	}
+}
+
+// LiveRangeSizes returns, for each register of f, the number of
+// definition and use occurrences — a cheap proxy for range size used
+// in tests and diagnostics.
+func LiveRangeSizes(f *ir.Func) (defs, uses []int) {
+	defs = make([]int, f.NumRegs())
+	uses = make([]int, f.NumRegs())
+	var ubuf []ir.Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != ir.NoReg {
+				defs[d]++
+			}
+			ubuf = in.AppendUses(ubuf[:0])
+			for _, u := range ubuf {
+				uses[u]++
+			}
+		}
+	}
+	return defs, uses
+}

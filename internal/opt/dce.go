@@ -1,0 +1,55 @@
+package opt
+
+import "regalloc/internal/ir"
+
+// DeadCodeElim removes pure instructions whose results are never
+// used, iterating until nothing more dies (removing one dead
+// instruction can kill its operands' only uses). CSE and LICM leave
+// such instructions behind — a replaced computation whose copy was
+// itself redundant, a hoisted operand chain whose consumer later
+// folded — and the paper-era optimizers all swept them up before
+// allocation. Loads are also removable when dead: reading memory has
+// no side effect in this machine model (bounds faults aside, and a
+// dead load's address was computed for the live original).
+// Returns the number of instructions removed.
+func DeadCodeElim(f *ir.Func) int {
+	removed := 0
+	for {
+		used := make([]bool, f.NumRegs())
+		var ubuf []ir.Reg
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				ubuf = b.Instrs[i].AppendUses(ubuf[:0])
+				for _, u := range ubuf {
+					used[u] = true
+				}
+			}
+		}
+		// Parameters are externally visible definitions; their
+		// OpParam instructions stay regardless.
+		died := 0
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				d := in.Def()
+				removable := d != ir.NoReg && !used[d] &&
+					(pure(in.Op) || in.Op == ir.OpLoad || in.Op == ir.OpMove || in.Op == ir.OpSpillLoad ||
+						in.Op == ir.OpFtoI || in.Op == ir.OpItoF ||
+						in.Op == ir.OpFSqrt || in.Op == ir.OpFExp || in.Op == ir.OpFLog ||
+						in.Op == ir.OpFSin || in.Op == ir.OpFCos || in.Op == ir.OpFDiv ||
+						in.Op == ir.OpFMod || in.Op == ir.OpFPow)
+				if removable {
+					died++
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		if died == 0 {
+			return removed
+		}
+		removed += died
+	}
+}

@@ -1,0 +1,310 @@
+// Package opt implements the machine-independent optimizations the
+// paper's compiler (the IRⁿ optimizer, PL.8-style) performed before
+// register allocation: local common-subexpression elimination and
+// loop-invariant code motion.
+//
+// These passes matter to the reproduction because they are what
+// creates the paper's characteristic live-range structure. Hoisting
+// loop-invariant address arithmetic and limit computations produces
+// exactly the "dozen long live ranges extending from the
+// initialization portion ... into the large loop nests" that make
+// SVD over-spill under Chaitin's heuristic (§1.2). Without an
+// optimizer, a naive code generator produces only short-lived
+// temporaries and the pressure pattern the paper studies never
+// forms.
+package opt
+
+import (
+	"regalloc/internal/cfg"
+	"regalloc/internal/ir"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	CSERemoved int // instructions removed by local value numbering
+	Hoisted    int // instructions moved to loop preheaders
+	DeadGone   int // dead instructions eliminated
+}
+
+// Run applies local CSE, loop-invariant code motion, and dead-code
+// elimination, in place. It returns statistics.
+func Run(f *ir.Func) Stats {
+	var st Stats
+	st.CSERemoved = LocalCSE(f)
+	st.Hoisted = LICM(f)
+	// Hoisting exposes more common subexpressions in the preheaders.
+	st.CSERemoved += LocalCSE(f)
+	st.DeadGone = DeadCodeElim(f)
+	return st
+}
+
+// pure reports whether an opcode computes a value from its operands
+// with no side effects and no possibility of a runtime fault, so it
+// may be removed (CSE) or executed speculatively (LICM). Integer
+// divide and modulo are excluded: hoisting one past a loop guard
+// could introduce a division-by-zero fault the original program did
+// not have.
+func pure(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpItoF, ir.OpFtoI,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpNeg,
+		ir.OpIMin, ir.OpIMax, ir.OpIAbs, ir.OpISign,
+		ir.OpAddI, ir.OpMulI,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFNeg,
+		ir.OpFMin, ir.OpFMax, ir.OpFAbs, ir.OpFSign:
+		return true
+	}
+	return false
+}
+
+// exprKey identifies a pure computation for value numbering. The
+// result class disambiguates e.g. integer "const 0" from float
+// "const 0.0", whose operand fields coincide.
+type exprKey struct {
+	op   ir.Op
+	cls  ir.Class
+	a, b ir.Reg
+	imm  int64
+	fimm float64
+}
+
+// LocalCSE performs value numbering within each basic block: when a
+// pure computation repeats with operands that have not been
+// redefined since, later occurrences become copies of the first
+// result. (The copies are then usually coalesced away by the
+// allocator's build phase, leaving one longer-lived value — the
+// point of the exercise.) Returns the number of replaced
+// computations.
+func LocalCSE(f *ir.Func) int {
+	replaced := 0
+	// defCount distinguishes single-assignment temporaries from
+	// mutable user variables; only single-def registers are safe
+	// table entries and operands without version tracking.
+	defCount := countDefs(f)
+
+	for _, b := range f.Blocks {
+		avail := make(map[exprKey]ir.Reg)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if !pure(in.Op) || d == ir.NoReg || defCount[d] != 1 {
+				continue
+			}
+			if (in.A != ir.NoReg && defCount[in.A] != 1) ||
+				(in.B != ir.NoReg && defCount[in.B] != 1) {
+				continue
+			}
+			k := exprKey{op: in.Op, cls: f.RegClass(d), a: in.A, b: in.B, imm: in.Imm, fimm: in.FImm}
+			if prev, ok := avail[k]; ok {
+				*in = ir.Instr{Op: ir.OpMove, Dst: d, A: prev, B: ir.NoReg, C: ir.NoReg}
+				replaced++
+				continue
+			}
+			avail[k] = d
+		}
+	}
+	return replaced
+}
+
+// LICM hoists loop-invariant pure computations to loop preheaders,
+// innermost loops first. A computation is hoisted when it is pure,
+// its destination has exactly one definition in the whole function,
+// and its operands have no definitions inside the loop. Returns the
+// number of instructions moved.
+func LICM(f *ir.Func) int {
+	hoisted := 0
+	// One loop is hoisted per CFG analysis: inserting a preheader
+	// adds a block inside any enclosing loop, so the loop inventory
+	// must be recomputed before touching another loop. Iterate to
+	// fixpoint (the cap is a safety net far above any real function).
+	for pass := 0; pass < 512; pass++ {
+		info := cfg.Analyze(f)
+		loops := innermostFirst(info)
+		moved := 0
+		for _, l := range loops {
+			moved += hoistLoop(f, info, l)
+			if moved > 0 {
+				break // CFG changed; re-analyze
+			}
+		}
+		hoisted += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return hoisted
+}
+
+// innermostFirst orders loops by decreasing header depth so inner
+// loops hoist first.
+func innermostFirst(info *cfg.Info) []cfg.Loop {
+	loops := append([]cfg.Loop(nil), info.Loops...)
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0 && info.Depth[loops[j].Header] > info.Depth[loops[j-1].Header]; j-- {
+			loops[j], loops[j-1] = loops[j-1], loops[j]
+		}
+	}
+	return loops
+}
+
+// memRegion identifies the storage an OpLoad/OpStore touches, for
+// the FORTRAN aliasing rule: distinct dummy-argument arrays (distinct
+// parameter base registers) do not alias each other or this
+// function's static storage; everything else is one conservative
+// "static" region.
+type memRegion struct {
+	param bool
+	base  ir.Reg
+}
+
+func accessRegion(f *ir.Func, in *ir.Instr) memRegion {
+	if in.B != ir.NoReg {
+		for _, p := range f.Params {
+			if p == in.B {
+				return memRegion{param: true, base: in.B}
+			}
+		}
+	}
+	return memRegion{}
+}
+
+func hoistLoop(f *ir.Func, info *cfg.Info, l cfg.Loop) int {
+	inLoop := make(map[int]bool, len(l.Blocks))
+	for _, b := range l.Blocks {
+		inLoop[b] = true
+	}
+	// Registers defined inside the loop, calls, stores, and the
+	// loop's exit-source blocks.
+	definedIn := make(map[ir.Reg]bool)
+	hasCall := false
+	storedRegions := make(map[memRegion]bool)
+	var exitSources []int
+	for _, bid := range l.Blocks {
+		b := f.Blocks[bid]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != ir.NoReg {
+				definedIn[d] = true
+			}
+			switch in.Op {
+			case ir.OpCall:
+				hasCall = true
+			case ir.OpStore, ir.OpSpillStore:
+				storedRegions[accessRegion(f, in)] = true
+			}
+		}
+		for _, s := range b.Succs {
+			if !inLoop[s] {
+				exitSources = append(exitSources, bid)
+				break
+			}
+		}
+	}
+	defCount := countDefs(f)
+
+	// loadHoistable applies the extra conditions for memory reads:
+	// the load's block must execute on every trip through the loop
+	// (it dominates every exit source, so entering the loop implies
+	// executing it — making the hoisted load identical to the load
+	// the first iteration would issue), and nothing in the loop may
+	// write the load's region. A call could write anything.
+	loadHoistable := func(bid int, in *ir.Instr) bool {
+		if hasCall {
+			return false
+		}
+		if storedRegions[accessRegion(f, in)] {
+			return false
+		}
+		for _, es := range exitSources {
+			if !info.Dominates(bid, es) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Collect hoistable instructions to fixpoint: an instruction
+	// whose operands stop being "defined in loop" once a producer is
+	// hoisted becomes hoistable too.
+	type site struct{ block, index int }
+	var order []site
+	chosen := make(map[site]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range l.Blocks {
+			instrs := f.Blocks[bid].Instrs
+			for i := range instrs {
+				in := &instrs[i]
+				d := in.Def()
+				s := site{bid, i}
+				if chosen[s] || d == ir.NoReg || defCount[d] != 1 {
+					continue
+				}
+				switch {
+				case pure(in.Op):
+					// fine
+				case in.Op == ir.OpLoad:
+					if !loadHoistable(bid, in) {
+						continue
+					}
+				default:
+					continue
+				}
+				if (in.A != ir.NoReg && definedIn[in.A]) ||
+					(in.B != ir.NoReg && definedIn[in.B]) ||
+					(in.C != ir.NoReg && definedIn[in.C]) {
+					continue
+				}
+				chosen[s] = true
+				order = append(order, s)
+				delete(definedIn, d)
+				changed = true
+			}
+		}
+	}
+	if len(order) == 0 {
+		return 0
+	}
+
+	// Build the preheader and splice the hoisted instructions into
+	// it in their original relative order (operands before users is
+	// guaranteed because a producer became hoistable no later than
+	// its consumers, and order respects discovery).
+	pre := cfg.InsertPreheader(f, inLoop, l.Header)
+	var lifted []ir.Instr
+	remove := make(map[int]map[int]bool) // block -> instr index set
+	for _, s := range order {
+		lifted = append(lifted, f.Blocks[s.block].Instrs[s.index])
+		if remove[s.block] == nil {
+			remove[s.block] = make(map[int]bool)
+		}
+		remove[s.block][s.index] = true
+	}
+	for bid, idxs := range remove {
+		b := f.Blocks[bid]
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			if !idxs[i] {
+				out = append(out, b.Instrs[i])
+			}
+		}
+		b.Instrs = out
+	}
+	// Preheader ends in a branch to the header; insert before it.
+	term := pre.Instrs[len(pre.Instrs)-1]
+	pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1], lifted...)
+	pre.Instrs = append(pre.Instrs, term)
+	return len(lifted)
+}
+
+func countDefs(f *ir.Func) []int {
+	counts := make([]int, f.NumRegs())
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,394 @@
+package opt_test
+
+import (
+	"testing"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/irgen"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/opt"
+	"regalloc/internal/parser"
+	"regalloc/internal/sem"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Gen(astProg, info, irgen.DefaultStaticStart)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestLocalCSE(t *testing.T) {
+	prog := compile(t, `
+      REAL FUNCTION F(X,Y)
+      F = (X + Y)*(X + Y)
+      END
+`)
+	f := prog.Func("F")
+	adds := countOps(f, ir.OpFAdd)
+	if adds != 2 {
+		t.Fatalf("expected 2 fadds before CSE, got %d", adds)
+	}
+	removed := opt.LocalCSE(f)
+	if removed == 0 {
+		t.Fatal("CSE removed nothing")
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// After CSE one fadd becomes a move.
+	if countOps(f, ir.OpFAdd) != 1 {
+		t.Fatalf("fadds after CSE: %d", countOps(f, ir.OpFAdd))
+	}
+}
+
+func TestCSEDoesNotCrossRedefinition(t *testing.T) {
+	// X changes between the two X+Y computations; they must both
+	// survive. X and Y are parameters (single def)... so force a
+	// redefinition through a local.
+	prog := compile(t, `
+      REAL FUNCTION F(X,Y)
+      REAL A,B,T
+      T = X
+      A = T + Y
+      T = T*2.0
+      B = T + Y
+      F = A + B
+      END
+`)
+	f := prog.Func("F")
+	before := countOps(f, ir.OpFAdd)
+	opt.LocalCSE(f)
+	// A+B's add may not merge with anything; both T+Y adds must
+	// survive (T is multiply-defined, so not a CSE candidate).
+	if got := countOps(f, ir.OpFAdd); got != before {
+		t.Fatalf("CSE removed an add across a redefinition (%d -> %d)", before, got)
+	}
+}
+
+func TestLICMHoistsInvariantArithmetic(t *testing.T) {
+	prog := compile(t, `
+      SUBROUTINE F(A,N,C)
+      REAL A(*),C,T
+      INTEGER I,N
+      DO I = 1,N
+         T = C*2.0 + 1.0
+         A(I) = T
+      ENDDO
+      END
+`)
+	f := prog.Func("F")
+	hoisted := opt.LICM(f)
+	if hoisted == 0 {
+		t.Fatal("LICM hoisted nothing")
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLICMLoadHoisting(t *testing.T) {
+	// X(J) is invariant in the I loop and X is never stored: the
+	// load must be hoisted. Y is stored, so Y loads must stay.
+	prog := compile(t, `
+      SUBROUTINE F(X,Y,N,J)
+      REAL X(*),Y(*)
+      INTEGER I,J,N
+      DO I = 1,N
+         Y(I) = Y(I) + X(J)
+      ENDDO
+      END
+`)
+	f := prog.Func("F")
+	opt.LICM(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// After hoisting, the loop body (the block with depth 1 holding
+	// the store) must contain exactly one load (Y(I)); X(J)'s load
+	// sits in the preheader at depth 0.
+	loadsAtDepth1 := 0
+	for _, b := range f.Blocks {
+		if b.Depth >= 1 {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLoad {
+					loadsAtDepth1++
+				}
+			}
+		}
+	}
+	if loadsAtDepth1 != 1 {
+		t.Fatalf("loads left in loop = %d, want 1 (X(J) hoisted, Y(I) kept)", loadsAtDepth1)
+	}
+}
+
+func TestLICMNoLoadHoistWithAliasedStore(t *testing.T) {
+	// The loop stores to X itself: X(J) must NOT be hoisted.
+	prog := compile(t, `
+      SUBROUTINE F(X,N,J)
+      REAL X(*)
+      INTEGER I,J,N
+      DO I = 1,N
+         X(I) = X(I) + X(J)
+      ENDDO
+      END
+`)
+	f := prog.Func("F")
+	opt.LICM(f)
+	loadsAtDepth1 := 0
+	for _, b := range f.Blocks {
+		if b.Depth >= 1 {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLoad {
+					loadsAtDepth1++
+				}
+			}
+		}
+	}
+	if loadsAtDepth1 != 2 {
+		t.Fatalf("loads left in loop = %d, want 2 (no hoisting past the aliased store)", loadsAtDepth1)
+	}
+}
+
+func TestLICMNoLoadHoistPastCall(t *testing.T) {
+	prog := compile(t, `
+      SUBROUTINE G(X)
+      REAL X(*)
+      X(1) = 0.0
+      END
+      SUBROUTINE F(X,Y,N,J)
+      REAL X(*),Y(*)
+      INTEGER I,J,N
+      DO I = 1,N
+         Y(I) = X(J)
+         CALL G(X)
+      ENDDO
+      END
+`)
+	f := prog.Func("F")
+	opt.LICM(f)
+	for _, b := range f.Blocks {
+		if b.Depth == 0 {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLoad {
+					t.Fatal("load hoisted out of a loop containing a call")
+				}
+			}
+		}
+	}
+}
+
+func TestLICMConditionalLoadNotHoisted(t *testing.T) {
+	// The X(J) load executes only on some iterations; its block does
+	// not dominate the loop's exit test, so it must stay put.
+	prog := compile(t, `
+      SUBROUTINE F(X,Y,N,J)
+      REAL X(*),Y(*)
+      INTEGER I,J,N
+      DO I = 1,N
+         IF (Y(I) .GT. 0.0) THEN
+            Y(I) = X(J)
+         ENDIF
+      ENDDO
+      END
+`)
+	f := prog.Func("F")
+	opt.LICM(f)
+	for _, b := range f.Blocks {
+		if b.Depth == 0 {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLoad {
+					t.Fatal("conditionally-executed load was hoisted")
+				}
+			}
+		}
+	}
+}
+
+// TestOptPreservesSemantics runs a battery of programs optimized and
+// unoptimized and compares results on the reference interpreter.
+func TestOptPreservesSemantics(t *testing.T) {
+	sources := []struct {
+		name string
+		src  string
+		args []irinterp.Value
+	}{
+		{"DOTLOOP", `
+      REAL FUNCTION F(N)
+      REAL A(64),B(64),S
+      INTEGER I,J,N
+      DO I = 1,N
+         A(I) = FLOAT(I)*0.5
+         B(I) = FLOAT(N - I)
+      ENDDO
+      S = 0.0
+      DO J = 1,3
+         DO I = 1,N
+            S = S + A(I)*B(I)*FLOAT(J)
+         ENDDO
+      ENDDO
+      F = S
+      END
+`, []irinterp.Value{irinterp.Int(40)}},
+		{"ZEROTRIP", `
+      REAL FUNCTION F(N)
+      REAL A(8),S
+      INTEGER I,N
+      A(1) = 5.0
+      S = 1.0
+      DO I = 1,N
+         S = S + A(I)
+      ENDDO
+      F = S
+      END
+`, []irinterp.Value{irinterp.Int(0)}},
+		{"CONDSUM", `
+      REAL FUNCTION F(N)
+      REAL S
+      INTEGER I,N
+      S = 0.0
+      DO I = 1,N
+         IF (MOD(I,3) .EQ. 0) THEN
+            S = S + FLOAT(I)*2.0
+         ELSE
+            S = S - 1.0
+         ENDIF
+      ENDDO
+      F = S
+      END
+`, []irinterp.Value{irinterp.Int(20)}},
+	}
+	for _, c := range sources {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func(optimize bool) float64 {
+				prog := compile(t, c.src)
+				if optimize {
+					for _, f := range prog.Funcs {
+						opt.Run(f)
+						if err := ir.Validate(f); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				v, err := irinterp.New(prog, 1<<22).Call("F", c.args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v.F
+			}
+			plain := run(false)
+			optimized := run(true)
+			if plain != optimized {
+				t.Fatalf("optimizer changed result: %g vs %g", optimized, plain)
+			}
+		})
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	prog := compile(t, `
+      SUBROUTINE F(A,N,C)
+      REAL A(*),C
+      INTEGER I,N
+      DO I = 1,N
+         A(I) = (C + 1.0)*(C + 1.0)
+      ENDDO
+      END
+`)
+	st := opt.Run(prog.Func("F"))
+	if st.CSERemoved == 0 || st.Hoisted == 0 {
+		t.Fatalf("stats: %+v (both passes should fire here)", st)
+	}
+}
+
+func TestDeadCodeElim(t *testing.T) {
+	prog := compile(t, `
+      REAL FUNCTION F(X,Y)
+      REAL DEAD1,DEAD2
+      DEAD1 = X*Y + 3.0
+      DEAD2 = DEAD1*2.0
+      F = X + Y
+      END
+`)
+	f := prog.Func("F")
+	removed := opt.DeadCodeElim(f)
+	if removed == 0 {
+		t.Fatal("dead chain not removed")
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing multiplies anymore.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpFMul {
+				t.Fatal("dead multiply survived")
+			}
+		}
+	}
+	// Second run is a fixpoint.
+	if opt.DeadCodeElim(f) != 0 {
+		t.Fatal("DCE not idempotent")
+	}
+}
+
+func TestDCEKeepsStoresCallsAndDivs(t *testing.T) {
+	prog := compile(t, `
+      SUBROUTINE G(A)
+      REAL A(*)
+      A(2) = 1.0
+      END
+      REAL FUNCTION F(A,I,J)
+      REAL A(*)
+      INTEGER I,J,DEADQ
+      DEADQ = I/J
+      A(1) = 2.0
+      CALL G(A)
+      F = A(1)
+      END
+`)
+	f := prog.Func("F")
+	opt.DeadCodeElim(f)
+	var sawStore, sawCall, sawDiv bool
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpStore:
+				sawStore = true
+			case ir.OpCall:
+				sawCall = true
+			case ir.OpDiv:
+				sawDiv = true
+			}
+		}
+	}
+	if !sawStore || !sawCall {
+		t.Fatal("DCE removed an effectful instruction")
+	}
+	if !sawDiv {
+		t.Fatal("DCE removed a potentially-trapping integer divide")
+	}
+}

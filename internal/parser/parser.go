@@ -1,0 +1,583 @@
+// Package parser builds the ast for mini-FORTRAN source.
+//
+// The grammar is a structured subset of FORTRAN 77:
+//
+//	program    = { unit }
+//	unit       = header { decl EOL } { stmt } "END" EOL
+//	header     = "SUBROUTINE" name [ "(" names ")" ] EOL
+//	           | [ type ] "FUNCTION" name "(" names ")" EOL
+//	type       = "INTEGER" | "REAL" | "DOUBLE" "PRECISION"
+//	decl       = type item { "," item }
+//	item       = name [ "(" dim { "," dim } ")" ]     dim = int | "*"
+//	stmt       = [ int-label ] core EOL
+//	core       = var "=" expr
+//	           | "DO" name "=" expr "," expr [ "," int ] | "DO" "WHILE" "(" expr ")"
+//	           | "ENDDO" | "IF" "(" expr ")" ("THEN" | core)
+//	           | "ELSEIF" "(" expr ")" "THEN" | "ELSE" | "ENDIF"
+//	           | "CALL" name [ "(" exprs ")" ] | "RETURN" | "EXIT" | "CYCLE" | "CONTINUE"
+//
+// Expression precedence (loosest to tightest): .OR., .AND., .NOT.,
+// relationals, +/-, * and /, unary -, ** (right associative).
+package parser
+
+import (
+	"regalloc/internal/ast"
+	"regalloc/internal/lexer"
+	"regalloc/internal/source"
+	"regalloc/internal/token"
+)
+
+// Parse parses a whole program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lx: lexer.New(src)}
+	p.next()
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		if p.tok.Kind == token.EOL {
+			p.next()
+			continue
+		}
+		u := p.parseUnit()
+		if u != nil {
+			prog.Units = append(prog.Units, u)
+		}
+		if len(p.errs) > 20 {
+			break
+		}
+	}
+	p.errs = append(p.errs, p.lx.Errors()...)
+	return prog, p.errs.Err()
+}
+
+type parser struct {
+	lx   *lexer.Lexer
+	tok  lexer.Token
+	prev lexer.Token
+	errs source.ErrorList
+}
+
+func (p *parser) next() {
+	p.prev = p.tok
+	p.tok = p.lx.Next()
+}
+
+func (p *parser) errorf(pos source.Pos, format string, args ...interface{}) {
+	p.errs.Add(pos, format, args...)
+}
+
+func (p *parser) expect(k token.Kind) lexer.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s %q", k, t.Kind, t.Lit)
+		p.syncEOL()
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// syncEOL skips to the next end of statement for error recovery.
+func (p *parser) syncEOL() {
+	for p.tok.Kind != token.EOL && p.tok.Kind != token.EOF {
+		p.next()
+	}
+	if p.tok.Kind == token.EOL {
+		p.next()
+	}
+}
+
+func (p *parser) expectEOL() {
+	if p.tok.Kind != token.EOL && p.tok.Kind != token.EOF {
+		p.errorf(p.tok.Pos, "expected end of statement, found %s %q", p.tok.Kind, p.tok.Lit)
+	}
+	p.syncEOL()
+}
+
+func (p *parser) parseUnit() *ast.Unit {
+	u := &ast.Unit{Pos: p.tok.Pos}
+	switch p.tok.Kind {
+	case token.SUBROUTINE:
+		p.next()
+		u.Kind = ast.KindSubroutine
+		u.Name = p.expect(token.IDENT).Lit
+		if p.accept(token.LPAREN) {
+			u.Params = p.parseNameList()
+			p.expect(token.RPAREN)
+		}
+	case token.INTEGER, token.REAL, token.DOUBLE, token.FUNCTION:
+		u.Kind = ast.KindFunction
+		u.RetType = ast.TypeNone
+		if p.tok.Kind != token.FUNCTION {
+			u.RetType = p.parseType()
+		}
+		p.expect(token.FUNCTION)
+		u.Name = p.expect(token.IDENT).Lit
+		p.expect(token.LPAREN)
+		u.Params = p.parseNameList()
+		p.expect(token.RPAREN)
+	default:
+		p.errorf(p.tok.Pos, "expected SUBROUTINE or FUNCTION, found %s %q", p.tok.Kind, p.tok.Lit)
+		p.syncEOL()
+		return nil
+	}
+	p.expectEOL()
+
+	// Declarations.
+	for {
+		if p.tok.Kind == token.EOL {
+			p.next()
+			continue
+		}
+		if p.tok.Kind != token.INTEGER && p.tok.Kind != token.REAL && p.tok.Kind != token.DOUBLE {
+			break
+		}
+		p.parseDecl(u)
+	}
+
+	// Body.
+	u.Body = p.parseStmts(token.END)
+	p.expect(token.END)
+	p.expectEOL()
+	return u
+}
+
+func (p *parser) parseType() ast.Type {
+	switch p.tok.Kind {
+	case token.INTEGER:
+		p.next()
+		return ast.TypeInt
+	case token.REAL:
+		p.next()
+		return ast.TypeReal
+	case token.DOUBLE:
+		p.next()
+		p.expect(token.PRECISION)
+		return ast.TypeReal
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok.Kind)
+	p.next()
+	return ast.TypeNone
+}
+
+func (p *parser) parseNameList() []string {
+	var names []string
+	if p.tok.Kind == token.RPAREN {
+		return names
+	}
+	for {
+		names = append(names, p.expect(token.IDENT).Lit)
+		if !p.accept(token.COMMA) {
+			return names
+		}
+	}
+}
+
+func (p *parser) parseDecl(u *ast.Unit) {
+	typ := p.parseType()
+	for {
+		pos := p.tok.Pos
+		name := p.expect(token.IDENT).Lit
+		d := &ast.Decl{Type: typ, Name: name, Pos: pos}
+		if p.accept(token.LPAREN) {
+			for {
+				switch p.tok.Kind {
+				case token.INTCONST:
+					d.Dims = append(d.Dims, ast.Dim{Const: p.tok.Int})
+					p.next()
+				case token.STAR:
+					d.Dims = append(d.Dims, ast.Dim{Star: true})
+					p.next()
+				case token.IDENT:
+					d.Dims = append(d.Dims, ast.Dim{Name: p.tok.Lit})
+					p.next()
+				default:
+					p.errorf(p.tok.Pos, "expected array dimension, found %s", p.tok.Kind)
+					p.next()
+				}
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+		}
+		u.Decls = append(u.Decls, d)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expectEOL()
+}
+
+// parseStmts parses statements until one of the terminator kinds is
+// the current token (END, ENDDO, ENDIF, ELSE, ELSEIF).
+func (p *parser) parseStmts(terms ...token.Kind) []ast.Stmt {
+	var list []ast.Stmt
+	for {
+		if p.tok.Kind == token.EOL {
+			p.next()
+			continue
+		}
+		if p.tok.Kind == token.EOF {
+			return list
+		}
+		for _, t := range terms {
+			if p.tok.Kind == t {
+				return list
+			}
+		}
+		// ELSE/ELSEIF/ENDIF/ENDDO always terminate a nested list;
+		// seeing one when not expected is an error handled by caller.
+		switch p.tok.Kind {
+		case token.END, token.ENDDO, token.ENDIF, token.ELSE, token.ELSEIF:
+			return list
+		}
+		if s := p.parseStmt(); s != nil {
+			list = append(list, s)
+		}
+	}
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	// Optional numeric statement label (ignored; the dialect has no GOTO).
+	if p.tok.Kind == token.INTCONST {
+		p.next()
+	}
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.DO:
+		return p.parseDo(pos)
+	case token.IF:
+		return p.parseIf(pos)
+	case token.CALL:
+		p.next()
+		name := p.expect(token.IDENT).Lit
+		var args []ast.Expr
+		if p.accept(token.LPAREN) {
+			args = p.parseExprList()
+			p.expect(token.RPAREN)
+		}
+		p.expectEOL()
+		return &ast.CallStmt{Name: name, Args: args, Pos: pos}
+	case token.RETURN:
+		p.next()
+		p.expectEOL()
+		return &ast.ReturnStmt{Pos: pos}
+	case token.EXIT:
+		p.next()
+		p.expectEOL()
+		return &ast.ExitStmt{Pos: pos}
+	case token.CYCLE:
+		p.next()
+		p.expectEOL()
+		return &ast.CycleStmt{Pos: pos}
+	case token.CONTINUE:
+		p.next()
+		p.expectEOL()
+		return &ast.ContinueStmt{Pos: pos}
+	case token.GOTO:
+		p.errorf(pos, "GOTO is not supported by this dialect; use structured control flow")
+		p.syncEOL()
+		return nil
+	case token.IDENT:
+		return p.parseAssign(pos)
+	}
+	p.errorf(pos, "unexpected %s %q at start of statement", p.tok.Kind, p.tok.Lit)
+	p.syncEOL()
+	return nil
+}
+
+func (p *parser) parseAssign(pos source.Pos) ast.Stmt {
+	name := p.expect(token.IDENT).Lit
+	lhs := &ast.VarRef{Name: name, Pos: pos}
+	if p.accept(token.LPAREN) {
+		lhs.Indexes = p.parseExprList()
+		p.expect(token.RPAREN)
+	}
+	p.expect(token.ASSIGN)
+	rhs := p.parseExpr()
+	p.expectEOL()
+	return &ast.AssignStmt{LHS: lhs, RHS: rhs, Pos: pos}
+}
+
+func (p *parser) parseDo(pos source.Pos) ast.Stmt {
+	p.expect(token.DO)
+	if p.tok.Kind == token.WHILE {
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expectEOL()
+		body := p.parseStmts(token.ENDDO)
+		p.expect(token.ENDDO)
+		p.expectEOL()
+		return &ast.WhileStmt{Cond: cond, Body: body, Pos: pos}
+	}
+	v := p.expect(token.IDENT).Lit
+	p.expect(token.ASSIGN)
+	from := p.parseExpr()
+	p.expect(token.COMMA)
+	to := p.parseExpr()
+	step := int64(1)
+	if p.accept(token.COMMA) {
+		neg := p.accept(token.MINUS)
+		t := p.expect(token.INTCONST)
+		step = t.Int
+		if neg {
+			step = -step
+		}
+		if step == 0 {
+			p.errorf(t.Pos, "DO step must be a nonzero constant")
+			step = 1
+		}
+	}
+	p.expectEOL()
+	body := p.parseStmts(token.ENDDO)
+	p.expect(token.ENDDO)
+	p.expectEOL()
+	return &ast.DoStmt{Var: v, From: from, To: to, Step: step, Body: body, Pos: pos}
+}
+
+func (p *parser) parseIf(pos source.Pos) ast.Stmt {
+	p.expect(token.IF)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	if !p.accept(token.THEN) {
+		// Logical IF: a single statement on the same line.
+		s := p.parseLogicalIfBody()
+		if s == nil {
+			return nil
+		}
+		return &ast.IfStmt{Cond: cond, Then: []ast.Stmt{s}, Pos: pos}
+	}
+	p.expectEOL()
+	then := p.parseStmts(token.ELSE, token.ELSEIF, token.ENDIF)
+	node := &ast.IfStmt{Cond: cond, Then: then, Pos: pos}
+	p.parseIfTail(node)
+	return node
+}
+
+// parseIfTail handles ELSEIF chains, ELSE, and ENDIF for a block IF.
+func (p *parser) parseIfTail(node *ast.IfStmt) {
+	switch p.tok.Kind {
+	case token.ELSEIF:
+		epos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.THEN)
+		p.expectEOL()
+		then := p.parseStmts(token.ELSE, token.ELSEIF, token.ENDIF)
+		nested := &ast.IfStmt{Cond: cond, Then: then, Pos: epos}
+		node.Else = []ast.Stmt{nested}
+		p.parseIfTail(nested)
+	case token.ELSE:
+		p.next()
+		if p.tok.Kind == token.IF {
+			// "ELSE IF (…) THEN" written as two words.
+			epos := p.tok.Pos
+			p.next()
+			p.expect(token.LPAREN)
+			cond := p.parseExpr()
+			p.expect(token.RPAREN)
+			p.expect(token.THEN)
+			p.expectEOL()
+			then := p.parseStmts(token.ELSE, token.ELSEIF, token.ENDIF)
+			nested := &ast.IfStmt{Cond: cond, Then: then, Pos: epos}
+			node.Else = []ast.Stmt{nested}
+			p.parseIfTail(nested)
+			return
+		}
+		p.expectEOL()
+		node.Else = p.parseStmts(token.ENDIF)
+		p.expect(token.ENDIF)
+		p.expectEOL()
+	case token.ENDIF:
+		p.next()
+		p.expectEOL()
+	default:
+		p.errorf(p.tok.Pos, "expected ELSE, ELSEIF or ENDIF, found %s", p.tok.Kind)
+		p.syncEOL()
+	}
+}
+
+func (p *parser) parseLogicalIfBody() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.IDENT:
+		return p.parseAssign(pos)
+	case token.CALL, token.RETURN, token.EXIT, token.CYCLE, token.CONTINUE:
+		return p.parseStmt()
+	}
+	p.errorf(pos, "expected statement after logical IF, found %s", p.tok.Kind)
+	p.syncEOL()
+	return nil
+}
+
+func (p *parser) parseExprList() []ast.Expr {
+	var list []ast.Expr
+	if p.tok.Kind == token.RPAREN {
+		return list
+	}
+	for {
+		list = append(list, p.parseExpr())
+		if !p.accept(token.COMMA) {
+			return list
+		}
+	}
+}
+
+// parseExpr parses at the loosest precedence (.OR.).
+func (p *parser) parseExpr() ast.Expr {
+	e := p.parseAnd()
+	for p.tok.Kind == token.OR {
+		pos := p.tok.Pos
+		p.next()
+		e = &ast.BinExpr{Op: ast.OpOr, L: e, R: p.parseAnd(), Pos: pos}
+	}
+	return e
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	e := p.parseNot()
+	for p.tok.Kind == token.AND {
+		pos := p.tok.Pos
+		p.next()
+		e = &ast.BinExpr{Op: ast.OpAnd, L: e, R: p.parseNot(), Pos: pos}
+	}
+	return e
+}
+
+func (p *parser) parseNot() ast.Expr {
+	if p.tok.Kind == token.NOT {
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnExpr{Op: ast.OpNot, X: p.parseNot(), Pos: pos}
+	}
+	return p.parseRel()
+}
+
+func (p *parser) parseRel() ast.Expr {
+	e := p.parseAdd()
+	var op ast.BinOp
+	switch p.tok.Kind {
+	case token.LT:
+		op = ast.OpLT
+	case token.LE:
+		op = ast.OpLE
+	case token.GT:
+		op = ast.OpGT
+	case token.GE:
+		op = ast.OpGE
+	case token.EQ:
+		op = ast.OpEQ
+	case token.NE:
+		op = ast.OpNE
+	default:
+		return e
+	}
+	pos := p.tok.Pos
+	p.next()
+	return &ast.BinExpr{Op: op, L: e, R: p.parseAdd(), Pos: pos}
+}
+
+func (p *parser) parseAdd() ast.Expr {
+	e := p.parseMul()
+	for {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.PLUS:
+			op = ast.OpAdd
+		case token.MINUS:
+			op = ast.OpSub
+		default:
+			return e
+		}
+		pos := p.tok.Pos
+		p.next()
+		e = &ast.BinExpr{Op: op, L: e, R: p.parseMul(), Pos: pos}
+	}
+}
+
+func (p *parser) parseMul() ast.Expr {
+	e := p.parseUnary()
+	for {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.STAR:
+			op = ast.OpMul
+		case token.SLASH:
+			op = ast.OpDiv
+		default:
+			return e
+		}
+		pos := p.tok.Pos
+		p.next()
+		e = &ast.BinExpr{Op: op, L: e, R: p.parseUnary(), Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnExpr{Op: ast.OpNeg, X: p.parseUnary(), Pos: pos}
+	case token.PLUS:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePow()
+}
+
+func (p *parser) parsePow() ast.Expr {
+	e := p.parsePrimary()
+	if p.tok.Kind == token.POW {
+		pos := p.tok.Pos
+		p.next()
+		// Right associative; exponent may itself be unary-negated.
+		return &ast.BinExpr{Op: ast.OpPow, L: e, R: p.parseUnary(), Pos: pos}
+	}
+	return e
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.INTCONST:
+		v := p.tok.Int
+		p.next()
+		return &ast.IntLit{Val: v, Pos: pos}
+	case token.REALCONST:
+		v := p.tok.Real
+		p.next()
+		return &ast.RealLit{Val: v, Pos: pos}
+	case token.IDENT:
+		name := p.tok.Lit
+		p.next()
+		if p.accept(token.LPAREN) {
+			args := p.parseExprList()
+			p.expect(token.RPAREN)
+			// Array reference or call: sem disambiguates.
+			return &ast.CallExpr{Name: name, Args: args, Pos: pos}
+		}
+		return &ast.VarRef{Name: name, Pos: pos}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(pos, "expected expression, found %s %q", p.tok.Kind, p.tok.Lit)
+	p.next()
+	return &ast.IntLit{Val: 0, Pos: pos}
+}

@@ -1,0 +1,302 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc/internal/ast"
+	"regalloc/internal/parser"
+)
+
+func parseOne(t *testing.T, src string) *ast.Unit {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Units) != 1 {
+		t.Fatalf("want 1 unit, got %d", len(prog.Units))
+	}
+	return prog.Units[0]
+}
+
+func TestSubroutineHeader(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(A,B,N)
+      RETURN
+      END
+`)
+	if u.Kind != ast.KindSubroutine || u.Name != "FOO" {
+		t.Fatalf("got %v %q", u.Kind, u.Name)
+	}
+	if len(u.Params) != 3 || u.Params[0] != "A" || u.Params[2] != "N" {
+		t.Fatalf("params: %v", u.Params)
+	}
+}
+
+func TestFunctionHeaders(t *testing.T) {
+	cases := []struct {
+		src string
+		ret ast.Type
+	}{
+		{"      REAL FUNCTION F(X)\n      F = X\n      END\n", ast.TypeReal},
+		{"      INTEGER FUNCTION F(X)\n      F = X\n      END\n", ast.TypeInt},
+		{"      DOUBLE PRECISION FUNCTION F(X)\n      F = X\n      END\n", ast.TypeReal},
+		{"      FUNCTION F(X)\n      F = X\n      END\n", ast.TypeNone},
+	}
+	for _, c := range cases {
+		u := parseOne(t, c.src)
+		if u.Kind != ast.KindFunction || u.RetType != c.ret {
+			t.Errorf("%q: kind %v ret %v", strings.SplitN(c.src, "\n", 2)[0], u.Kind, u.RetType)
+		}
+	}
+}
+
+func TestDeclarations(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(A,LDA)
+      REAL A(LDA,*),X
+      INTEGER I,STACK(64)
+      RETURN
+      END
+`)
+	if len(u.Decls) != 4 {
+		t.Fatalf("want 4 decls, got %d", len(u.Decls))
+	}
+	a := u.Decls[0]
+	if a.Name != "A" || len(a.Dims) != 2 || a.Dims[0].Name != "LDA" || !a.Dims[1].Star {
+		t.Fatalf("A decl: %+v", a)
+	}
+	st := u.Decls[3]
+	if st.Name != "STACK" || len(st.Dims) != 1 || st.Dims[0].Const != 64 {
+		t.Fatalf("STACK decl: %+v", st)
+	}
+}
+
+func TestDoLoopForms(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      DO I = 1,N
+         X = X + 1.0
+      ENDDO
+      DO J = N,1,-2
+         X = X - 1.0
+      ENDDO
+      DO WHILE (X .GT. 0.0)
+         X = X - 1.0
+      ENDDO
+      END
+`)
+	if len(u.Body) != 3 {
+		t.Fatalf("want 3 statements, got %d", len(u.Body))
+	}
+	d1, ok := u.Body[0].(*ast.DoStmt)
+	if !ok || d1.Var != "I" || d1.Step != 1 {
+		t.Fatalf("first loop: %+v", u.Body[0])
+	}
+	d2 := u.Body[1].(*ast.DoStmt)
+	if d2.Step != -2 {
+		t.Fatalf("second loop step = %d", d2.Step)
+	}
+	if _, ok := u.Body[2].(*ast.WhileStmt); !ok {
+		t.Fatalf("third statement not a while: %T", u.Body[2])
+	}
+}
+
+func TestIfForms(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      IF (N .GT. 0) X = 1.0
+      IF (N .GT. 0) THEN
+         X = 1.0
+      ELSE
+         X = 2.0
+      ENDIF
+      IF (N .EQ. 1) THEN
+         X = 1.0
+      ELSEIF (N .EQ. 2) THEN
+         X = 2.0
+      ELSE IF (N .EQ. 3) THEN
+         X = 3.0
+      ELSE
+         X = 4.0
+      ENDIF
+      END
+`)
+	if len(u.Body) != 3 {
+		t.Fatalf("want 3 statements, got %d", len(u.Body))
+	}
+	logical := u.Body[0].(*ast.IfStmt)
+	if len(logical.Then) != 1 || logical.Else != nil {
+		t.Fatalf("logical IF: %+v", logical)
+	}
+	chain := u.Body[2].(*ast.IfStmt)
+	depth := 0
+	for chain != nil {
+		depth++
+		if len(chain.Else) == 1 {
+			if nested, ok := chain.Else[0].(*ast.IfStmt); ok {
+				chain = nested
+				continue
+			}
+		}
+		break
+	}
+	if depth != 3 {
+		t.Fatalf("ELSEIF chain depth = %d, want 3", depth)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      X = A + B*C**2 - D/E
+      END
+`)
+	asg := u.Body[0].(*ast.AssignStmt)
+	got := ast.Sprint(asg.RHS)
+	want := "((A+(B*(C**2)))-(D/E))"
+	if got != want {
+		t.Fatalf("precedence: got %s, want %s", got, want)
+	}
+}
+
+func TestUnaryAndPower(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      X = -A**2
+      Y = (-A)**2
+      END
+`)
+	// FORTRAN: -A**2 is -(A**2).
+	if got := ast.Sprint(u.Body[0].(*ast.AssignStmt).RHS); got != "(-(A**2))" {
+		t.Fatalf("-A**2 parsed as %s", got)
+	}
+	if got := ast.Sprint(u.Body[1].(*ast.AssignStmt).RHS); got != "((-A)**2)" {
+		t.Fatalf("(-A)**2 parsed as %s", got)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      IF (A .LT. B .AND. .NOT. C .GT. D .OR. E .EQ. F) X = 1
+      END
+`)
+	cond := u.Body[0].(*ast.IfStmt).Cond
+	got := ast.Sprint(cond)
+	want := "(((A.LT.B).AND.(.NOT.(C.GT.D))).OR.(E.EQ.F))"
+	if got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestCallStatement(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(A,N)
+      REAL A(*)
+      CALL BAR(N,A,A(2),1.5)
+      CALL BAZ
+      RETURN
+      END
+`)
+	call := u.Body[0].(*ast.CallStmt)
+	if call.Name != "BAR" || len(call.Args) != 4 {
+		t.Fatalf("call: %+v", call)
+	}
+	baz := u.Body[1].(*ast.CallStmt)
+	if baz.Name != "BAZ" || len(baz.Args) != 0 {
+		t.Fatalf("baz: %+v", baz)
+	}
+}
+
+func TestStatementLabelsIgnored(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+   10 CONTINUE
+      X = 1.0
+      END
+`)
+	if len(u.Body) != 2 {
+		t.Fatalf("want 2 statements, got %d", len(u.Body))
+	}
+}
+
+func TestMultipleUnits(t *testing.T) {
+	prog, err := parser.Parse(`
+      SUBROUTINE A(X)
+      RETURN
+      END
+      REAL FUNCTION B(X)
+      B = X
+      RETURN
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Units) != 2 || prog.Unit("A") == nil || prog.Unit("B") == nil {
+		t.Fatalf("units: %v", prog.Units)
+	}
+}
+
+func TestExitCycle(t *testing.T) {
+	u := parseOne(t, `
+      SUBROUTINE FOO(N)
+      DO I = 1,N
+         IF (I .EQ. 3) CYCLE
+         IF (I .EQ. 5) EXIT
+         X = X + 1.0
+      ENDDO
+      END
+`)
+	loop := u.Body[0].(*ast.DoStmt)
+	if len(loop.Body) != 3 {
+		t.Fatalf("loop body: %d statements", len(loop.Body))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"      X = 1\n",      // statement outside a unit
+		"      SUBROUTINE\n", // missing name
+		"      SUBROUTINE F(N)\n      GOTO 10\n      END\n",                   // GOTO unsupported
+		"      SUBROUTINE F(N)\n      DO I = 1,N,0\n      ENDDO\n      END\n", // zero step
+		"      SUBROUTINE F(N)\n      IF (X .GT. 0) THEN\n      END\n",        // unterminated IF
+	}
+	for _, src := range bad {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestParserRobustness: arbitrary byte soup must produce errors or a
+// tree, never a panic or a hang.
+func TestParserRobustness(t *testing.T) {
+	pieces := []string{
+		"SUBROUTINE", "FUNCTION", "DO", "ENDDO", "IF", "THEN", "ELSE",
+		"(", ")", ",", "=", "+", "**", ".LT.", ".AND.", "1.5E", "X",
+		"END", "\n", "CALL", "REAL", "A(", "*", "&", "!", "C ", ".",
+	}
+	rng := uint64(1)
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		n := int(rng%37) + 1
+		for i := 0; i < n; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			sb.WriteString(pieces[rng%uint64(len(pieces))])
+			if rng%3 == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", sb.String(), r)
+				}
+			}()
+			parser.Parse(sb.String()) //nolint:errcheck // errors are fine; panics are not
+		}()
+	}
+}

@@ -1,0 +1,290 @@
+package sem_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc/internal/ast"
+	"regalloc/internal/parser"
+	"regalloc/internal/sem"
+)
+
+func check(t *testing.T, src string) (*ast.Program, *sem.Info) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, info
+}
+
+func checkFails(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = sem.Check(prog)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestImplicitTyping(t *testing.T) {
+	cases := map[string]ast.Type{
+		"I": ast.TypeInt, "J": ast.TypeInt, "K": ast.TypeInt,
+		"L": ast.TypeInt, "M": ast.TypeInt, "N": ast.TypeInt,
+		"A": ast.TypeReal, "H": ast.TypeReal, "O": ast.TypeReal,
+		"X": ast.TypeReal, "Z": ast.TypeReal, "IVAL": ast.TypeInt,
+		"XVAL": ast.TypeReal,
+	}
+	for name, want := range cases {
+		if got := sem.ImplicitType(name); got != want {
+			t.Errorf("ImplicitType(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSymbolResolution(t *testing.T) {
+	_, info := check(t, `
+      SUBROUTINE FOO(A,N)
+      REAL A(*)
+      X = A(1)
+      I = N + 1
+      END
+`)
+	ui := info.Units["FOO"]
+	if ui == nil {
+		t.Fatal("no unit info")
+	}
+	a := ui.Sym("A")
+	if a == nil || a.Kind != sem.SymParam || !a.IsArray() || a.Type != ast.TypeReal {
+		t.Fatalf("A: %+v", a)
+	}
+	x := ui.Sym("X")
+	if x == nil || x.Kind != sem.SymLocal || x.Type != ast.TypeReal {
+		t.Fatalf("X: %+v", x)
+	}
+	i := ui.Sym("I")
+	if i == nil || i.Type != ast.TypeInt {
+		t.Fatalf("I: %+v", i)
+	}
+}
+
+func TestFunctionReturnSymbol(t *testing.T) {
+	_, info := check(t, `
+      REAL FUNCTION F(X)
+      F = X + 1.0
+      END
+`)
+	f := info.Units["F"].Sym("F")
+	if f == nil || f.Kind != sem.SymRet || f.Type != ast.TypeReal {
+		t.Fatalf("F: %+v", f)
+	}
+	sig := info.Sigs["F"]
+	if sig.Ret != ast.TypeReal || len(sig.Params) != 1 {
+		t.Fatalf("sig: %+v", sig)
+	}
+}
+
+func TestImplicitFunctionReturn(t *testing.T) {
+	_, info := check(t, `
+      FUNCTION IDX(N)
+      IDX = N
+      END
+`)
+	if info.Sigs["IDX"].Ret != ast.TypeInt {
+		t.Fatal("IDX should implicitly return INTEGER")
+	}
+}
+
+func TestArrayRefDisambiguation(t *testing.T) {
+	prog, info := check(t, `
+      REAL FUNCTION F(X)
+      F = X
+      END
+      SUBROUTINE FOO(A,N)
+      REAL A(*)
+      Y = A(N) + F(A(1))
+      END
+`)
+	ui := info.Units["FOO"]
+	asg := prog.Unit("FOO").Body[0].(*ast.AssignStmt)
+	bin := asg.RHS.(*ast.BinExpr)
+	aref := bin.L.(*ast.CallExpr)
+	if ui.CallKind[aref] != sem.CallArray {
+		t.Fatalf("A(N) classified as %v", ui.CallKind[aref])
+	}
+	fcall := bin.R.(*ast.CallExpr)
+	if ui.CallKind[fcall] != sem.CallUser {
+		t.Fatalf("F(...) classified as %v", ui.CallKind[fcall])
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	prog, info := check(t, `
+      SUBROUTINE FOO(N)
+      X = SQRT(ABS(Y)) + DMAX1(Y,Z)
+      I = MOD(N,5) + MAX0(N,3)
+      END
+`)
+	_ = prog
+	ui := info.Units["FOO"]
+	found := 0
+	for _, in := range ui.Intrinsic {
+		switch in {
+		case sem.IntrSqrt, sem.IntrAbs, sem.IntrMax, sem.IntrMod:
+			found++
+		}
+	}
+	if found < 4 {
+		t.Fatalf("found %d intrinsics, want >= 4 (incl. aliases)", found)
+	}
+}
+
+func TestIntrinsicLookup(t *testing.T) {
+	for name, want := range map[string]sem.Intrinsic{
+		"DSQRT": sem.IntrSqrt, "IABS": sem.IntrAbs, "AMIN1": sem.IntrMin,
+		"FLOAT": sem.IntrFloat, "IDINT": sem.IntrInt, "DSIGN": sem.IntrSign,
+	} {
+		got, ok := sem.LookupIntrinsic(name)
+		if !ok || got != want {
+			t.Errorf("LookupIntrinsic(%s) = %v %v", name, got, ok)
+		}
+	}
+	if _, ok := sem.LookupIntrinsic("FROB"); ok {
+		t.Error("FROB should not resolve")
+	}
+}
+
+func TestExprTypes(t *testing.T) {
+	prog, info := check(t, `
+      SUBROUTINE FOO(N)
+      X = N + 1.5
+      I = N/2
+      END
+`)
+	ui := info.Units["FOO"]
+	mixed := prog.Unit("FOO").Body[0].(*ast.AssignStmt).RHS
+	if ui.TypeOf(mixed) != ast.TypeReal {
+		t.Fatal("INTEGER + REAL should be REAL")
+	}
+	div := prog.Unit("FOO").Body[1].(*ast.AssignStmt).RHS
+	if ui.TypeOf(div) != ast.TypeInt {
+		t.Fatal("INTEGER / INTEGER should be INTEGER")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      X = A(1)
+      END
+`, "unknown function or array")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      REAL A(10)
+      X = A(1,2)
+      END
+`, "indexed with 2")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      REAL A(10)
+      A = 1.0
+      END
+`, "without indexes")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      DO X = 1,N
+      ENDDO
+      END
+`, "must be INTEGER")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      CALL NOPE(N)
+      END
+`, "unknown subroutine")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      REAL A(*)
+      END
+`, "only legal for parameters")
+
+	checkFails(t, `
+      SUBROUTINE FOO(A,B)
+      REAL A(*), B
+      CALL BAR(B)
+      RETURN
+      END
+      SUBROUTINE BAR(X)
+      REAL X(*)
+      RETURN
+      END
+`, "is not an array")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      X = SQRT(1.0, 2.0)
+      END
+`, "expects 1 argument")
+
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      RETURN
+      END
+      SUBROUTINE FOO(M)
+      RETURN
+      END
+`, "duplicate unit")
+}
+
+func TestCallArgCountMismatch(t *testing.T) {
+	checkFails(t, `
+      SUBROUTINE FOO(N)
+      CALL BAR(N, N)
+      RETURN
+      END
+      SUBROUTINE BAR(X)
+      RETURN
+      END
+`, "expects 1 argument")
+}
+
+func TestFunctionCalledAsSubroutine(t *testing.T) {
+	checkFails(t, `
+      REAL FUNCTION F(X)
+      F = X
+      END
+      SUBROUTINE FOO(N)
+      CALL F(1.0)
+      END
+`, "is a FUNCTION")
+}
+
+func TestAdjustableDimensionRules(t *testing.T) {
+	// LDA must be an integer scalar parameter.
+	checkFails(t, `
+      SUBROUTINE FOO(A)
+      REAL A(LDA,*)
+      END
+`, "must be a scalar parameter")
+
+	check(t, `
+      SUBROUTINE FOO(A,LDA)
+      REAL A(LDA,*)
+      X = A(1,1)
+      END
+`)
+}

@@ -1,0 +1,76 @@
+// Package source defines positions and diagnostics shared by the
+// mini-FORTRAN front end (lexer, parser, semantic analysis).
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a line/column position in a source file. Lines and columns
+// are 1-based; the zero Pos means "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Error is a diagnostic attached to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// Errorf constructs an *Error with a formatted message.
+func Errorf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrorList accumulates diagnostics. Its Error method joins them with
+// newlines, so a list can be returned directly as an error value.
+type ErrorList []*Error
+
+// Add appends a formatted diagnostic to the list.
+func (l *ErrorList) Add(pos Pos, format string, args ...interface{}) {
+	*l = append(*l, Errorf(pos, format, args...))
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString(l[0].Error())
+	for _, e := range l[1:] {
+		b.WriteByte('\n')
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc/internal/source"
+)
+
+func TestPos(t *testing.T) {
+	p := source.Pos{Line: 3, Col: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Fatalf("pos: %v", p)
+	}
+	var zero source.Pos
+	if zero.IsValid() || zero.String() != "-" {
+		t.Fatal("zero pos should be invalid")
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := source.Errorf(source.Pos{Line: 2, Col: 1}, "bad %s", "thing")
+	if e.Error() != "2:1: bad thing" {
+		t.Fatalf("got %q", e.Error())
+	}
+	e2 := &source.Error{Msg: "no position"}
+	if e2.Error() != "no position" {
+		t.Fatalf("got %q", e2.Error())
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l source.ErrorList
+	if l.Err() != nil {
+		t.Fatal("empty list should be nil error")
+	}
+	l.Add(source.Pos{Line: 1, Col: 1}, "first")
+	l.Add(source.Pos{Line: 2, Col: 2}, "second")
+	err := l.Err()
+	if err == nil {
+		t.Fatal("non-empty list must be an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "first") || !strings.Contains(msg, "second") {
+		t.Fatalf("joined message: %q", msg)
+	}
+	if !strings.Contains(msg, "\n") {
+		t.Fatal("messages should be newline separated")
+	}
+}

@@ -1,0 +1,183 @@
+package spill
+
+import "regalloc/internal/ir"
+
+// Rematerialization implements the refinement Chaitin's papers
+// describe for "never-killed" values (the paper's footnote 3 points
+// at these refinements): a live range whose every definition loads
+// the same constant need not be stored to memory and reloaded — the
+// constant can simply be recomputed before each use. Such ranges are
+// cheaper to spill (no stores, and a constant load is cheaper than a
+// memory load), which changes both the cost estimate and the
+// inserted code.
+
+// RematValue describes how to recompute a rematerializable range.
+type RematValue struct {
+	Cls  ir.Class
+	Imm  int64
+	FImm float64
+}
+
+// Remat returns, for each register of f, whether the range is
+// rematerializable and with what value. A range qualifies when all
+// of its definitions are OpConst instructions producing the same
+// constant.
+func Remat(f *ir.Func) ([]bool, []RematValue) {
+	ok := make([]bool, f.NumRegs())
+	vals := make([]RematValue, f.NumRegs())
+	seen := make([]bool, f.NumRegs())
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if d == ir.NoReg {
+				continue
+			}
+			v := RematValue{Cls: f.RegClass(d), Imm: in.Imm, FImm: in.FImm}
+			switch {
+			case in.Op != ir.OpConst:
+				ok[d] = false
+				seen[d] = true
+			case !seen[d]:
+				ok[d] = true
+				vals[d] = v
+				seen[d] = true
+			case ok[d] && vals[d] != v:
+				ok[d] = false
+			}
+		}
+	}
+	// A register never defined (entry pseudo-def) is not
+	// rematerializable.
+	for r := range ok {
+		if !seen[r] {
+			ok[r] = false
+		}
+	}
+	return ok, vals
+}
+
+// CostsRemat is Costs with rematerialization awareness: a
+// rematerializable range pays nothing at its definitions (no store
+// is needed) and only a 1-cycle constant load per use.
+func CostsRemat(f *ir.Func, p CostParams, remat []bool) []float64 {
+	costs := Costs(f, p)
+	if remat == nil {
+		return costs
+	}
+	// Recompute the rematerializable entries from scratch — but a
+	// spill temporary keeps its infinite cost even when it happens
+	// to hold a constant: re-spilling a one-use reload/recompute
+	// temp would regenerate the identical range forever.
+	cheapen := func(r int) bool {
+		return r < len(remat) && remat[r] && f.RegFlags(ir.Reg(r))&ir.FlagSpillTemp == 0
+	}
+	for r := range costs {
+		if cheapen(r) {
+			costs[r] = 0
+		}
+	}
+	var ubuf []ir.Reg
+	for _, b := range f.Blocks {
+		w := pow(p.DepthBase, b.Depth)
+		for i := range b.Instrs {
+			ubuf = b.Instrs[i].AppendUses(ubuf[:0])
+			for _, u := range ubuf {
+				if cheapen(int(u)) {
+					costs[u] += w // one const instruction per use
+				}
+			}
+		}
+	}
+	return costs
+}
+
+func pow(base float64, n int) float64 {
+	v := 1.0
+	for ; n > 0; n-- {
+		v *= base
+	}
+	return v
+}
+
+// InsertCodeRemat extends InsertCode: registers in spilled that are
+// rematerializable (per remat/vals) get no slot and no stores; each
+// use is preceded by a fresh constant load instead of a memory
+// reload. Other registers spill normally.
+func InsertCodeRemat(f *ir.Func, spilled []ir.Reg, remat []bool, vals []RematValue) Stats {
+	var st Stats
+	slot := make(map[ir.Reg]int64)
+	rem := make(map[ir.Reg]RematValue)
+	for _, r := range spilled {
+		if remat != nil && int(r) < len(remat) && remat[r] {
+			rem[r] = vals[r]
+			continue
+		}
+		slot[r] = f.NewSlot()
+		st.Slots++
+	}
+
+	for _, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+
+			var reloaded map[ir.Reg]ir.Reg
+			reload := func(u ir.Reg) ir.Reg {
+				if u == ir.NoReg {
+					return u
+				}
+				if t, ok := reloaded[u]; ok {
+					return t
+				}
+				if v, isRemat := rem[u]; isRemat {
+					t := f.NewSpillTemp(v.Cls)
+					out = append(out, ir.Instr{Op: ir.OpConst, Dst: t, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: v.Imm, FImm: v.FImm})
+					st.Remats++
+					if reloaded == nil {
+						reloaded = make(map[ir.Reg]ir.Reg, 2)
+					}
+					reloaded[u] = t
+					return t
+				}
+				s, isSpilled := slot[u]
+				if !isSpilled {
+					return u
+				}
+				t := f.NewSpillTemp(f.RegClass(u))
+				out = append(out, ir.Instr{Op: ir.OpSpillLoad, Dst: t, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: s})
+				st.Loads++
+				if reloaded == nil {
+					reloaded = make(map[ir.Reg]ir.Reg, 2)
+				}
+				reloaded[u] = t
+				return t
+			}
+			in.A = reload(in.A)
+			in.B = reload(in.B)
+			in.C = reload(in.C)
+			for j, a := range in.Args {
+				in.Args[j] = reload(a)
+			}
+
+			if d := in.Def(); d != ir.NoReg {
+				if _, isRemat := rem[d]; isRemat {
+					// The definition is a constant load whose value
+					// is recomputed at each use: drop it entirely.
+					continue
+				}
+				if s, isSpilled := slot[d]; isSpilled {
+					t := f.NewSpillTemp(f.RegClass(d))
+					in.Dst = t
+					out = append(out, in)
+					out = append(out, ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, A: t, B: ir.NoReg, C: ir.NoReg, Imm: s})
+					st.Stores++
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return st
+}

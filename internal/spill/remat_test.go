@@ -1,0 +1,152 @@
+package spill_test
+
+import (
+	"math"
+	"testing"
+
+	"regalloc/internal/cfg"
+	"regalloc/internal/ir"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/spill"
+)
+
+// constLoop builds: b0: c = 3.5 (const); x = 0.0; br b1
+// b1: x = x + c ; brif x lt c -> b1 b2 ; b2: ret x
+func constLoop() (*ir.Func, ir.Reg, ir.Reg) {
+	f := &ir.Func{Name: "K"}
+	c := f.NewReg(ir.ClassFloat)
+	x := f.NewReg(ir.ClassFloat)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: c, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, FImm: 3.5},
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, FImm: 0},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpFAdd, Dst: x, A: x, B: c, C: ir.NoReg},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: x, B: c, C: ir.NoReg, Cmp: ir.CmpLT, Cls: ir.ClassFloat},
+	}
+	b1.Succs = []int{1, 2}
+	b2.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: x, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	cfg.Analyze(f)
+	return f, c, x
+}
+
+func TestRematDetection(t *testing.T) {
+	f, c, x := constLoop()
+	ok, vals := spill.Remat(f)
+	if !ok[c] || vals[c].FImm != 3.5 || vals[c].Cls != ir.ClassFloat {
+		t.Fatalf("constant range not detected: ok=%v val=%+v", ok[c], vals[c])
+	}
+	// x has a const def AND an fadd def: not rematerializable.
+	if ok[x] {
+		t.Fatal("multiply-defined range wrongly rematerializable")
+	}
+}
+
+func TestRematDistinctConstants(t *testing.T) {
+	f := &ir.Func{Name: "D"}
+	y := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	z := f.NewReg(ir.ClassInt)
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: z, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: z, B: z, C: ir.NoReg, Cmp: ir.CmpEQ},
+	}
+	b0.Succs = []int{1, 2}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: y, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b1.Succs = []int{3}
+	b2.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: y, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 2},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b2.Succs = []int{3}
+	b3.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: y, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	ok, _ := spill.Remat(f)
+	if ok[y] {
+		t.Fatal("range with two different constant values wrongly rematerializable")
+	}
+}
+
+func TestRematCostsCheaper(t *testing.T) {
+	f, c, _ := constLoop()
+	ok, _ := spill.Remat(f)
+	plain := spill.Costs(f, spill.DefaultCostParams())
+	withR := spill.CostsRemat(f, spill.DefaultCostParams(), ok)
+	if !(withR[c] < plain[c]) {
+		t.Fatalf("remat cost %g not cheaper than plain %g", withR[c], plain[c])
+	}
+	// Non-remat registers keep their plain cost, and spill temps stay
+	// infinite.
+	tmp := f.NewSpillTemp(ir.ClassInt)
+	ok2, _ := spill.Remat(f)
+	costs := spill.CostsRemat(f, spill.DefaultCostParams(), ok2)
+	if !math.IsInf(costs[tmp], 1) {
+		t.Fatal("spill temp lost its infinite cost under remat")
+	}
+}
+
+func TestRematInsertCode(t *testing.T) {
+	f, c, _ := constLoop()
+	ok, vals := spill.Remat(f)
+	st := spill.InsertCodeRemat(f, []ir.Reg{c}, ok, vals)
+	if st.Slots != 0 || st.Stores != 0 {
+		t.Fatalf("remat range should use no slot/store: %+v", st)
+	}
+	if st.Remats == 0 {
+		t.Fatal("no constant recomputations inserted")
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// The original constant definition of c is gone.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Def() == c {
+				t.Fatal("rematerialized definition not removed")
+			}
+		}
+	}
+	// Semantics preserved.
+	p := ir.NewProgram(0)
+	p.Add(f)
+	v, err := irinterp.New(p, 64).Call("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 3.5 {
+		t.Fatalf("got %g, want 3.5", v.F)
+	}
+}
+
+func TestRematMixedWithPlainSpill(t *testing.T) {
+	f, c, x := constLoop()
+	ok, vals := spill.Remat(f)
+	st := spill.InsertCodeRemat(f, []ir.Reg{c, x}, ok, vals)
+	if st.Slots != 1 || st.Remats == 0 || st.Loads == 0 {
+		t.Fatalf("mixed spill stats: %+v", st)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	p := ir.NewProgram(0)
+	p.Add(f)
+	v, err := irinterp.New(p, 1<<15).Call("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 3.5 {
+		t.Fatalf("got %g, want 3.5", v.F)
+	}
+}

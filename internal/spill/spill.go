@@ -1,0 +1,137 @@
+// Package spill estimates spill costs and inserts spill code.
+//
+// Costs follow Chaitin as described in §2.1 of the paper: the cost
+// of spilling a live range is the number of loads and stores that
+// would have to be inserted, each weighted by 10^depth of its loop
+// nesting depth (and by the machine's memory-op latency, so the
+// numbers read as estimated cycles).
+//
+// Spilling a range r stores r to its slot after every definition and
+// reloads it into a fresh temporary before every use. The fresh
+// temporaries are minimal live ranges flagged FlagSpillTemp; they
+// receive infinite cost so they are never chosen for spilling again,
+// which (together with their tiny degree) is what makes the
+// build–simplify–color–spill iteration converge.
+package spill
+
+import (
+	"math"
+
+	"regalloc/internal/ir"
+)
+
+// CostParams tunes the cost estimator.
+type CostParams struct {
+	// DepthBase is the per-loop-level weight multiplier (paper: 10).
+	DepthBase float64
+	// MemOpWeight is the cycle cost of one load or store (the VM's
+	// memory latency, 2).
+	MemOpWeight float64
+}
+
+// DefaultCostParams returns the paper-faithful estimator settings.
+func DefaultCostParams() CostParams {
+	return CostParams{DepthBase: 10, MemOpWeight: 2}
+}
+
+// Costs computes the estimated spill cost of every register of f.
+// Block depths must already be stamped (cfg.Analyze). Registers
+// flagged as spill temporaries get +Inf.
+func Costs(f *ir.Func, p CostParams) []float64 {
+	costs := make([]float64, f.NumRegs())
+	var ubuf []ir.Reg
+	for _, b := range f.Blocks {
+		w := p.MemOpWeight * math.Pow(p.DepthBase, float64(b.Depth))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != ir.NoReg {
+				costs[d] += w // a store after this definition
+			}
+			ubuf = in.AppendUses(ubuf[:0])
+			for _, u := range ubuf {
+				costs[u] += w // a load before this use
+			}
+		}
+	}
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegFlags(ir.Reg(r))&ir.FlagSpillTemp != 0 {
+			costs[r] = math.Inf(1)
+		}
+	}
+	return costs
+}
+
+// Stats reports the code inserted by InsertCode, InsertCodeRemat, or
+// InsertCodeSplit.
+type Stats struct {
+	Loads      int
+	Stores     int
+	Slots      int
+	Remats     int // constant recomputations replacing reloads
+	SplitLoads int // preheader reloads shared by a whole loop
+}
+
+// InsertCode rewrites f so that every register in spilled lives in
+// memory: each definition is followed by a store to the range's
+// slot, and each use reads a freshly reloaded temporary.
+func InsertCode(f *ir.Func, spilled []ir.Reg) Stats {
+	var st Stats
+	slot := make(map[ir.Reg]int64, len(spilled))
+	for _, r := range spilled {
+		slot[r] = f.NewSlot()
+		st.Slots++
+	}
+
+	for _, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+
+			// Reload each distinct spilled register the instruction
+			// uses, then rewrite the operands to the temporaries.
+			var reloaded map[ir.Reg]ir.Reg
+			reload := func(u ir.Reg) ir.Reg {
+				if u == ir.NoReg {
+					return u
+				}
+				s, isSpilled := slot[u]
+				if !isSpilled {
+					return u
+				}
+				if t, ok := reloaded[u]; ok {
+					return t
+				}
+				t := f.NewSpillTemp(f.RegClass(u))
+				out = append(out, ir.Instr{Op: ir.OpSpillLoad, Dst: t, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: s})
+				st.Loads++
+				if reloaded == nil {
+					reloaded = make(map[ir.Reg]ir.Reg, 2)
+				}
+				reloaded[u] = t
+				return t
+			}
+			in.A = reload(in.A)
+			in.B = reload(in.B)
+			in.C = reload(in.C)
+			for j, a := range in.Args {
+				in.Args[j] = reload(a)
+			}
+
+			// A spilled definition writes a fresh temporary and
+			// stores it immediately.
+			if d := in.Def(); d != ir.NoReg {
+				if s, isSpilled := slot[d]; isSpilled {
+					t := f.NewSpillTemp(f.RegClass(d))
+					in.Dst = t
+					out = append(out, in)
+					out = append(out, ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, A: t, B: ir.NoReg, C: ir.NoReg, Imm: s})
+					st.Stores++
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package spill_test
+
+import (
+	"math"
+	"testing"
+
+	"regalloc/internal/cfg"
+	"regalloc/internal/ir"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/spill"
+)
+
+// loopFunc builds: b0: x=2; br b1 / b1(body,depth1): y=x*x; brif ->
+// b1 b2 / b2: ret y. x has one def at depth 0 and one use at depth 1.
+func loopFunc() (*ir.Func, ir.Reg, ir.Reg) {
+	f := &ir.Func{Name: "L"}
+	x := f.NewReg(ir.ClassInt)
+	y := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 2},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpMul, Dst: y, A: x, B: x, C: ir.NoReg},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: y, B: x, C: ir.NoReg, Cmp: ir.CmpLT},
+	}
+	b1.Succs = []int{1, 2}
+	b2.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: y, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	cfg.Analyze(f)
+	return f, x, y
+}
+
+func TestCostsDepthWeighted(t *testing.T) {
+	f, x, y := loopFunc()
+	costs := spill.Costs(f, spill.DefaultCostParams())
+	// x: def at depth 0 (2*1) + two uses in mul and one in brif at
+	// depth 1 (3 * 2*10) = 62.
+	if costs[x] != 2+3*20 {
+		t.Fatalf("cost(x) = %g, want 62", costs[x])
+	}
+	// y: def at depth 1 (20) + use in brif depth 1 (20) + use in ret
+	// depth 0 (2) = 42.
+	if costs[y] != 20+20+2 {
+		t.Fatalf("cost(y) = %g, want 42", costs[y])
+	}
+}
+
+func TestCostParamsConfigurable(t *testing.T) {
+	f, x, _ := loopFunc()
+	p := spill.CostParams{DepthBase: 2, MemOpWeight: 1}
+	costs := spill.Costs(f, p)
+	// x: 1 + 3*2 = 7 with base 2 weight 1.
+	if costs[x] != 7 {
+		t.Fatalf("cost(x) = %g, want 7", costs[x])
+	}
+}
+
+func TestSpillTempInfiniteCost(t *testing.T) {
+	f, _, _ := loopFunc()
+	tmp := f.NewSpillTemp(ir.ClassInt)
+	costs := spill.Costs(f, spill.DefaultCostParams())
+	if !math.IsInf(costs[tmp], 1) {
+		t.Fatal("spill temporaries must have infinite cost")
+	}
+}
+
+func TestInsertCodeStructure(t *testing.T) {
+	f, x, _ := loopFunc()
+	st := spill.InsertCode(f, []ir.Reg{x})
+	if st.Slots != 1 {
+		t.Fatalf("slots = %d", st.Slots)
+	}
+	if st.Stores != 1 {
+		t.Fatalf("stores = %d, want 1 (one def)", st.Stores)
+	}
+	// One reload covers both operand occurrences in the mul, plus
+	// one for the brif use: the mul's operands share a single load;
+	// the brif's use needs its own.
+	if st.Loads != 2 {
+		t.Fatalf("loads = %d, want 2", st.Loads)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// The def must now write a fresh temp and be followed by a
+	// store to the slot.
+	ins := f.Blocks[0].Instrs
+	if ins[0].Op != ir.OpConst || ins[1].Op != ir.OpSpillStore || ins[1].A != ins[0].Dst {
+		t.Fatalf("def/store sequence wrong: %v then %v", ins[0].Op, ins[1].Op)
+	}
+	if f.RegFlags(ins[0].Dst)&ir.FlagSpillTemp == 0 {
+		t.Fatal("def rewritten to a non-spill-temp register")
+	}
+	// Reload precedes the use in b1.
+	b1 := f.Blocks[1].Instrs
+	if b1[0].Op != ir.OpSpillLoad {
+		t.Fatalf("no reload before use: %v", b1[0].Op)
+	}
+	if b1[1].A != b1[0].Dst || b1[1].B != b1[0].Dst {
+		t.Fatal("mul operands not rewritten to the reload temp")
+	}
+}
+
+func TestSpillPreservesSemantics(t *testing.T) {
+	run := func(f *ir.Func) int64 {
+		p := ir.NewProgram(0)
+		p.Add(f)
+		v, err := irinterp.New(p, 1<<16).Call("L")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.I
+	}
+	ref, _, _ := loopFunc()
+	want := run(ref)
+	f, x, y := loopFunc()
+	f.StaticBase = 100 // slots land at 100+
+	spill.InsertCode(f, []ir.Reg{x, y})
+	if got := run(f); got != want {
+		t.Fatalf("spilling changed the result: %d, want %d", got, want)
+	}
+}
+
+func TestBothUseAndDefSpilled(t *testing.T) {
+	// i = i + 1 with i spilled: reload, add into temp, store.
+	f := &ir.Func{Name: "L"}
+	i := f.NewReg(ir.ClassInt)
+	b := f.NewBlock()
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: i, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 41},
+		{Op: ir.OpAddI, Dst: i, A: i, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: i, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	cfg.Analyze(f)
+	spill.InsertCode(f, []ir.Reg{i})
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	p := ir.NewProgram(0)
+	p.Add(f)
+	v, err := irinterp.New(p, 1<<16).Call("L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 42 {
+		t.Fatalf("got %d, want 42", v.I)
+	}
+}

@@ -1,0 +1,198 @@
+package spill_test
+
+import (
+	"testing"
+
+	"regalloc/internal/cfg"
+	"regalloc/internal/ir"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/spill"
+)
+
+// useLoop builds a function where x is defined before a loop and
+// only used inside it — the profitable splitting case:
+//
+//	b0: x=7; i=0; br b1(guard-free loop, pre-formed)
+//	b1: i = i + x ; brif i < 100 -> b1 b2
+//	b2: ret i
+func useLoop() (*ir.Func, ir.Reg) {
+	f := &ir.Func{Name: "UL"}
+	x := f.NewReg(ir.ClassInt)
+	i := f.NewReg(ir.ClassInt)
+	lim := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 7},
+		{Op: ir.OpConst, Dst: i, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpConst, Dst: lim, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 100},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Dst: i, A: i, B: x, C: ir.NoReg},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: i, B: lim, C: ir.NoReg, Cmp: ir.CmpLT},
+	}
+	b1.Succs = []int{1, 2}
+	b2.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: i, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	return f, x
+}
+
+func runUL(t *testing.T, f *ir.Func) int64 {
+	t.Helper()
+	p := ir.NewProgram(0)
+	p.Add(f)
+	v, err := irinterp.New(p, 1<<15).Call("UL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.I
+}
+
+func TestSplitHoistsReloadToPreheader(t *testing.T) {
+	f, x := useLoop()
+	f.StaticBase = 512
+	want := runUL(t, f.Clone())
+	info := cfg.Analyze(f)
+	st := spill.InsertCodeSplit(f, []ir.Reg{x}, info)
+	if st.SplitLoads != 1 {
+		t.Fatalf("split loads = %d, want 1", st.SplitLoads)
+	}
+	if st.Loads != 0 {
+		t.Fatalf("per-use reloads = %d, want 0 (the loop use shares the preheader load)", st.Loads)
+	}
+	if st.Stores != 1 {
+		t.Fatalf("stores = %d, want 1 (one def of x)", st.Stores)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// The loop body must contain no spill loads at all.
+	for i := range f.Blocks[1].Instrs {
+		if f.Blocks[1].Instrs[i].Op == ir.OpSpillLoad {
+			t.Fatal("reload left inside the loop body")
+		}
+	}
+	// A new preheader block exists with the load.
+	if len(f.Blocks) != 4 {
+		t.Fatalf("expected one preheader block, blocks = %d", len(f.Blocks))
+	}
+	if got := runUL(t, f); got != want {
+		t.Fatalf("splitting changed the result: %d, want %d", got, want)
+	}
+	// The new subrange carries the split flag.
+	found := false
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegFlags(ir.Reg(r))&ir.FlagSplitTemp != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("split temp not flagged")
+	}
+}
+
+// TestSplitFallsBackOnDefs: a range defined inside the loop must use
+// per-use reloads (the preheader copy would go stale).
+func TestSplitFallsBackOnDefs(t *testing.T) {
+	f, _ := useLoop()
+	f.StaticBase = 512
+	want := runUL(t, f.Clone())
+	i := ir.Reg(1) // the accumulator: defined and used in the loop
+	info := cfg.Analyze(f)
+	st := spill.InsertCodeSplit(f, []ir.Reg{i}, info)
+	if st.SplitLoads != 0 {
+		t.Fatal("must not split a range defined in the loop")
+	}
+	if st.Loads == 0 || st.Stores == 0 {
+		t.Fatalf("expected everywhere-spill fallback: %+v", st)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := runUL(t, f); got != want {
+		t.Fatalf("result changed: %d, want %d", got, want)
+	}
+}
+
+// TestSplitTempNotResplit: a range flagged FlagSplitTemp spills
+// everywhere on a second spill, guaranteeing convergence.
+func TestSplitTempNotResplit(t *testing.T) {
+	f, x := useLoop()
+	f.StaticBase = 512
+	f.SetRegFlags(x, ir.FlagSplitTemp)
+	info := cfg.Analyze(f)
+	st := spill.InsertCodeSplit(f, []ir.Reg{x}, info)
+	if st.SplitLoads != 0 {
+		t.Fatal("re-split a split temp")
+	}
+	if st.Loads == 0 {
+		t.Fatal("expected everywhere reloads")
+	}
+}
+
+// TestSplitNestedLoops: a use in an inner def-free loop gets the
+// inner loop's temp, loaded in the inner preheader (inside the outer
+// loop), staying current across outer-loop redefinitions.
+func TestSplitNestedLoops(t *testing.T) {
+	// b0: x=1; j=0 ; br b1
+	// b1(outer): x = x+1 ; k=0 ; br b2
+	// b2(inner): j = j + x ; k=k+1; brif k < 3 -> b2 b3
+	// b3: brif x < 5 -> b1 b4
+	// b4: ret j
+	f := &ir.Func{Name: "UL"}
+	x := f.NewReg(ir.ClassInt)
+	j := f.NewReg(ir.ClassInt)
+	k := f.NewReg(ir.ClassInt)
+	three := f.NewReg(ir.ClassInt)
+	five := f.NewReg(ir.ClassInt)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	b4 := f.NewBlock()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: x, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpConst, Dst: j, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpConst, Dst: three, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 3},
+		{Op: ir.OpConst, Dst: five, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 5},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b0.Succs = []int{1}
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpAddI, Dst: x, A: x, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpConst, Dst: k, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 0},
+		{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg},
+	}
+	b1.Succs = []int{2}
+	b2.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Dst: j, A: j, B: x, C: ir.NoReg},
+		{Op: ir.OpAddI, Dst: k, A: k, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: k, B: three, C: ir.NoReg, Cmp: ir.CmpLT},
+	}
+	b2.Succs = []int{2, 3}
+	b3.Instrs = []ir.Instr{
+		{Op: ir.OpBrIf, Dst: ir.NoReg, A: x, B: five, C: ir.NoReg, Cmp: ir.CmpLT},
+	}
+	b3.Succs = []int{1, 4}
+	b4.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg, A: j, B: ir.NoReg, C: ir.NoReg}}
+	f.RecomputePreds()
+	f.StaticBase = 512
+
+	want := runUL(t, f.Clone())
+	info := cfg.Analyze(f)
+	st := spill.InsertCodeSplit(f, []ir.Reg{x}, info)
+	// x is defined in the outer loop (no outer split) but not in the
+	// inner loop: one split load in the inner preheader.
+	if st.SplitLoads != 1 {
+		t.Fatalf("split loads = %d, want 1 (inner loop only)", st.SplitLoads)
+	}
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := runUL(t, f); got != want {
+		t.Fatalf("result changed: %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+// Package token defines the lexical tokens of the mini-FORTRAN
+// dialect compiled by this reproduction. The dialect is a free-form
+// (not column-sensitive) subset of FORTRAN 77 sufficient to express
+// the paper's benchmark routines: SUBROUTINE/FUNCTION units, typed
+// and implicitly-typed scalars, 1-D and 2-D arrays, DO and DO WHILE
+// loops, block IF, CALL, and the usual arithmetic intrinsics.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keywords are case-insensitive in source; the lexer
+// canonicalizes identifiers and keywords to upper case.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	EOL // end of statement (newline)
+
+	IDENT     // X, DMAX, Y2
+	INTCONST  // 42
+	REALCONST // 1.0, 2.5E-8
+
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	POW    // **
+	LPAREN // (
+	RPAREN // )
+	COMMA  // ,
+	ASSIGN // =
+
+	LT // .LT. or <
+	LE // .LE. or <=
+	GT // .GT. or >
+	GE // .GE. or >=
+	EQ // .EQ. or ==
+	NE // .NE. or /=
+
+	AND // .AND.
+	OR  // .OR.
+	NOT // .NOT.
+
+	keywordStart
+	SUBROUTINE
+	FUNCTION
+	INTEGER
+	REAL
+	DOUBLE    // DOUBLE PRECISION (treated as REAL)
+	PRECISION // second word of DOUBLE PRECISION
+	DIMENSION
+	DO
+	WHILE
+	ENDDO
+	IF
+	THEN
+	ELSE
+	ELSEIF
+	ENDIF
+	CALL
+	RETURN
+	CONTINUE
+	EXIT
+	CYCLE
+	GOTO
+	END
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	EOL:        "EOL",
+	IDENT:      "IDENT",
+	INTCONST:   "INTCONST",
+	REALCONST:  "REALCONST",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	POW:        "**",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	COMMA:      ",",
+	ASSIGN:     "=",
+	LT:         ".LT.",
+	LE:         ".LE.",
+	GT:         ".GT.",
+	GE:         ".GE.",
+	EQ:         ".EQ.",
+	NE:         ".NE.",
+	AND:        ".AND.",
+	OR:         ".OR.",
+	NOT:        ".NOT.",
+	SUBROUTINE: "SUBROUTINE",
+	FUNCTION:   "FUNCTION",
+	INTEGER:    "INTEGER",
+	REAL:       "REAL",
+	DOUBLE:     "DOUBLE",
+	PRECISION:  "PRECISION",
+	DIMENSION:  "DIMENSION",
+	DO:         "DO",
+	WHILE:      "WHILE",
+	ENDDO:      "ENDDO",
+	IF:         "IF",
+	THEN:       "THEN",
+	ELSE:       "ELSE",
+	ELSEIF:     "ELSEIF",
+	ENDIF:      "ENDIF",
+	CALL:       "CALL",
+	RETURN:     "RETURN",
+	CONTINUE:   "CONTINUE",
+	EXIT:       "EXIT",
+	CYCLE:      "CYCLE",
+	GOTO:       "GOTO",
+	END:        "END",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordStart && k < keywordEnd }
+
+var keywords = map[string]Kind{
+	"SUBROUTINE": SUBROUTINE,
+	"FUNCTION":   FUNCTION,
+	"INTEGER":    INTEGER,
+	"REAL":       REAL,
+	"DOUBLE":     DOUBLE,
+	"PRECISION":  PRECISION,
+	"DIMENSION":  DIMENSION,
+	"DO":         DO,
+	"WHILE":      WHILE,
+	"ENDDO":      ENDDO,
+	"END DO":     ENDDO,
+	"IF":         IF,
+	"THEN":       THEN,
+	"ELSE":       ELSE,
+	"ELSEIF":     ELSEIF,
+	"ENDIF":      ENDIF,
+	"END IF":     ENDIF,
+	"CALL":       CALL,
+	"RETURN":     RETURN,
+	"CONTINUE":   CONTINUE,
+	"EXIT":       EXIT,
+	"CYCLE":      CYCLE,
+	"GOTO":       GOTO,
+	"END":        END,
+}
+
+// Lookup maps an upper-cased identifier spelling to its keyword kind,
+// or returns IDENT if the spelling is not reserved.
+func Lookup(upper string) Kind {
+	if k, ok := keywords[upper]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Dotted maps a dotted operator spelling (without the dots, upper
+// case) such as "LT" or "AND" to its kind; ok is false if the
+// spelling is not a dotted operator.
+func Dotted(upper string) (Kind, bool) {
+	switch upper {
+	case "LT":
+		return LT, true
+	case "LE":
+		return LE, true
+	case "GT":
+		return GT, true
+	case "GE":
+		return GE, true
+	case "EQ":
+		return EQ, true
+	case "NE":
+		return NE, true
+	case "AND":
+		return AND, true
+	case "OR":
+		return OR, true
+	case "NOT":
+		return NOT, true
+	}
+	return ILLEGAL, false
+}

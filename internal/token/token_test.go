@@ -1,0 +1,44 @@
+package token_test
+
+import (
+	"testing"
+
+	"regalloc/internal/token"
+)
+
+func TestLookup(t *testing.T) {
+	if token.Lookup("SUBROUTINE") != token.SUBROUTINE {
+		t.Fatal("SUBROUTINE not a keyword")
+	}
+	if token.Lookup("ENDDO") != token.ENDDO {
+		t.Fatal("ENDDO not a keyword")
+	}
+	if token.Lookup("XYZZY") != token.IDENT {
+		t.Fatal("XYZZY should be an identifier")
+	}
+}
+
+func TestDotted(t *testing.T) {
+	for s, want := range map[string]token.Kind{
+		"LT": token.LT, "LE": token.LE, "GT": token.GT, "GE": token.GE,
+		"EQ": token.EQ, "NE": token.NE, "AND": token.AND, "OR": token.OR,
+		"NOT": token.NOT,
+	} {
+		got, ok := token.Dotted(s)
+		if !ok || got != want {
+			t.Errorf("Dotted(%s) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := token.Dotted("XOR"); ok {
+		t.Error("XOR should not be a dotted operator")
+	}
+}
+
+func TestStringAndIsKeyword(t *testing.T) {
+	if token.DO.String() != "DO" || token.PLUS.String() != "+" || token.LT.String() != ".LT." {
+		t.Fatal("String() spellings wrong")
+	}
+	if !token.DO.IsKeyword() || token.IDENT.IsKeyword() || token.PLUS.IsKeyword() {
+		t.Fatal("IsKeyword wrong")
+	}
+}

@@ -1,0 +1,292 @@
+package vm_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"regalloc/internal/asm"
+	"regalloc/internal/ir"
+	"regalloc/internal/target"
+	"regalloc/internal/vm"
+)
+
+// buildFunc assembles a one-function program directly in machine
+// form (no compiler involved), to unit-test the simulator's opcode
+// semantics and cycle accounting.
+func buildFunc(name string, paramCls []ir.Class, hasRet bool, retCls ir.Class, code []asm.Instr) *asm.Program {
+	p := asm.NewProgram()
+	p.Add(&asm.Func{
+		Name:     name,
+		Code:     code,
+		Machine:  target.RTPC(),
+		HasRet:   hasRet,
+		RetCls:   retCls,
+		ParamCls: paramCls,
+	})
+	return p
+}
+
+func instr(op ir.Op, dst, a, b int16) asm.Instr {
+	return asm.Instr{Op: op, Dst: dst, A: a, B: b, C: asm.NoReg, T1: -1}
+}
+
+func TestIntArithmetic(t *testing.T) {
+	// f(x, y) = (x+y)*2 - x/y + x mod y
+	prog := buildFunc("F", []ir.Class{ir.ClassInt, ir.ClassInt}, true, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+		{Op: ir.OpParam, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 1, T1: -1},
+		instr(ir.OpAdd, 2, 0, 1),
+		{Op: ir.OpMulI, Dst: 2, A: 2, B: asm.NoReg, C: asm.NoReg, Imm: 2, T1: -1},
+		instr(ir.OpDiv, 3, 0, 1),
+		instr(ir.OpSub, 2, 2, 3),
+		instr(ir.OpMod, 3, 0, 1),
+		instr(ir.OpAdd, 2, 2, 3),
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+	})
+	m := vm.New(prog, 1024)
+	v, err := m.Call("F", vm.Int(17), vm.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (17+5)*2 - 17/5 + 17%5
+	if v.I != int64(want) {
+		t.Fatalf("got %d, want %d", v.I, want)
+	}
+	if m.Cycles == 0 {
+		t.Fatal("no cycles counted")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	prog := buildFunc("F", []ir.Class{ir.ClassFloat}, true, ir.ClassFloat, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, Cls: ir.ClassFloat, T1: -1},
+		instr(ir.OpFSqrt, 1, 0, asm.NoReg),
+		instr(ir.OpFMul, 1, 1, 1),
+		instr(ir.OpFSub, 2, 1, 0),
+		instr(ir.OpFAbs, 2, 2, asm.NoReg),
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassFloat, T1: -1},
+	})
+	m := vm.New(prog, 1024)
+	v, err := m.Call("F", vm.Float(7.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |sqrt(x)^2 - x| should be ~0.
+	if v.F > 1e-12 {
+		t.Fatalf("got %g", v.F)
+	}
+}
+
+func TestMemoryAndBranches(t *testing.T) {
+	// Sum memory[0..n) with a loop.
+	prog := buildFunc("SUM", []ir.Class{ir.ClassInt}, true, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},                        // 0: n
+		{Op: ir.OpConst, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},                        // 1: i = 0
+		{Op: ir.OpConst, Dst: 2, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},                        // 2: s = 0
+		{Op: ir.OpBrIf, Dst: asm.NoReg, A: 1, B: 0, C: asm.NoReg, Cmp: ir.CmpGE, Cls: ir.ClassInt, T0: 8, T1: -1}, // 3: i >= n -> done
+		{Op: ir.OpLoad, Dst: 3, A: asm.NoReg, B: 1, C: asm.NoReg, Cls: ir.ClassInt, T1: -1},                       // 4: t = m[i]
+		{Op: ir.OpAdd, Dst: 2, A: 2, B: 3, C: asm.NoReg, T1: -1},                                                  // 5
+		{Op: ir.OpAddI, Dst: 1, A: 1, B: asm.NoReg, C: asm.NoReg, Imm: 1, T1: -1},                                 // 6
+		{Op: ir.OpBr, Dst: asm.NoReg, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, T0: 3, T1: -1},                    // 7
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},               // 8
+	})
+	m := vm.New(prog, 1024)
+	for i := int64(0); i < 10; i++ {
+		m.StoreInt(i, i*i)
+	}
+	v, err := m.Call("SUM", vm.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 285 {
+		t.Fatalf("got %d, want 285", v.I)
+	}
+}
+
+func TestMemoryBoundsChecked(t *testing.T) {
+	prog := buildFunc("BAD", nil, false, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpConst, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: -5, T1: -1},
+		{Op: ir.OpLoad, Dst: 1, A: asm.NoReg, B: 0, C: asm.NoReg, Cls: ir.ClassInt, T1: -1},
+		{Op: ir.OpRet, Dst: asm.NoReg, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	_, err := m.Call("BAD")
+	if err == nil || !strings.Contains(err.Error(), "address") {
+		t.Fatalf("want address fault, got %v", err)
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	prog := buildFunc("DIV", []ir.Class{ir.ClassInt}, true, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+		{Op: ir.OpConst, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+		instr(ir.OpDiv, 2, 0, 1),
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	if _, err := m.Call("DIV", vm.Int(5)); err == nil {
+		t.Fatal("integer division by zero must fault")
+	}
+}
+
+func TestFloatDivisionByZeroIsIEEE(t *testing.T) {
+	prog := buildFunc("FDIV", []ir.Class{ir.ClassFloat}, true, ir.ClassFloat, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, Cls: ir.ClassFloat, T1: -1},
+		{Op: ir.OpConst, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, FImm: 0, Cls: ir.ClassFloat, T1: -1},
+		instr(ir.OpFDiv, 2, 0, 1),
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassFloat, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	v, err := m.Call("FDIV", vm.Float(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v.F, 1) {
+		t.Fatalf("1/0.0 = %g, want +Inf", v.F)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	prog := buildFunc("SPIN", nil, false, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpBr, Dst: asm.NoReg, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, T0: 0, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	m.MaxCycles = 1000
+	if _, err := m.Call("SPIN"); err == nil || !strings.Contains(err.Error(), "cycle limit") {
+		t.Fatalf("want cycle-limit fault, got %v", err)
+	}
+}
+
+func TestCallsAndReturnValues(t *testing.T) {
+	p := asm.NewProgram()
+	p.Add(&asm.Func{
+		Name: "TWICE", Machine: target.RTPC(), HasRet: true, RetCls: ir.ClassInt,
+		ParamCls: []ir.Class{ir.ClassInt},
+		Code: []asm.Instr{
+			{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+			{Op: ir.OpMulI, Dst: 0, A: 0, B: asm.NoReg, C: asm.NoReg, Imm: 2, T1: -1},
+			{Op: ir.OpRet, Dst: asm.NoReg, A: 0, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+		},
+	})
+	p.Add(&asm.Func{
+		Name: "MAIN", Machine: target.RTPC(), HasRet: true, RetCls: ir.ClassInt,
+		ParamCls: []ir.Class{ir.ClassInt},
+		Code: []asm.Instr{
+			{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+			{Op: ir.OpCall, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Callee: "TWICE",
+				Args: []asm.ArgRef{{R: 0, Cls: ir.ClassInt}}, Cls: ir.ClassInt, T1: -1},
+			{Op: ir.OpRet, Dst: asm.NoReg, A: 1, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+		},
+	})
+	m := vm.New(p, 64)
+	v, err := m.Call("MAIN", vm.Int(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 42 {
+		t.Fatalf("got %d", v.I)
+	}
+	// Calls cost at least the fixed overhead.
+	if m.Cycles < target.CallOverhead {
+		t.Fatal("call overhead not charged")
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	m := vm.New(asm.NewProgram(), 64)
+	if _, err := m.Call("NOPE"); err == nil {
+		t.Fatal("expected error for unknown function")
+	}
+}
+
+func TestArgCountChecked(t *testing.T) {
+	prog := buildFunc("F", []ir.Class{ir.ClassInt}, false, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpRet, Dst: asm.NoReg, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	if _, err := m.Call("F"); err == nil {
+		t.Fatal("expected arg-count error")
+	}
+}
+
+func TestIntrinsicOps(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		a, b float64
+		want float64
+	}{
+		{ir.OpFMin, 2, 3, 2},
+		{ir.OpFMax, 2, 3, 3},
+		{ir.OpFSign, 5, -1, -5},
+		{ir.OpFSign, -5, 1, 5},
+		{ir.OpFMod, 7.5, 2, 1.5},
+		{ir.OpFPow, 2, 10, 1024},
+	}
+	for _, c := range cases {
+		prog := buildFunc("F", []ir.Class{ir.ClassFloat, ir.ClassFloat}, true, ir.ClassFloat, []asm.Instr{
+			{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, Cls: ir.ClassFloat, T1: -1},
+			{Op: ir.OpParam, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 1, Cls: ir.ClassFloat, T1: -1},
+			instr(c.op, 2, 0, 1),
+			{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassFloat, T1: -1},
+		})
+		m := vm.New(prog, 64)
+		v, err := m.Call("F", vm.Float(c.a), vm.Float(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.F != c.want {
+			t.Fatalf("%v(%g,%g) = %g, want %g", c.op, c.a, c.b, v.F, c.want)
+		}
+	}
+}
+
+func TestISignAndIPow(t *testing.T) {
+	cases := []struct {
+		op      ir.Op
+		a, b, w int64
+	}{
+		{ir.OpISign, 4, -2, -4},
+		{ir.OpISign, -4, 2, 4},
+		{ir.OpIPow, 3, 4, 81},
+		{ir.OpIPow, 2, 0, 1},
+		{ir.OpIPow, 5, -1, 0},
+		{ir.OpIPow, -1, -3, -1},
+		{ir.OpIMin, -7, 3, -7},
+		{ir.OpIMax, -7, 3, 3},
+	}
+	for _, c := range cases {
+		prog := buildFunc("F", []ir.Class{ir.ClassInt, ir.ClassInt}, true, ir.ClassInt, []asm.Instr{
+			{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+			{Op: ir.OpParam, Dst: 1, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 1, T1: -1},
+			instr(c.op, 2, 0, 1),
+			{Op: ir.OpRet, Dst: asm.NoReg, A: 2, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+		})
+		m := vm.New(prog, 64)
+		v, err := m.Call("F", vm.Int(c.a), vm.Int(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != c.w {
+			t.Fatalf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, v.I, c.w)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	prog := buildFunc("F", []ir.Class{ir.ClassInt}, true, ir.ClassInt, []asm.Instr{
+		{Op: ir.OpParam, Dst: 0, A: asm.NoReg, B: asm.NoReg, C: asm.NoReg, Imm: 0, T1: -1},
+		{Op: ir.OpAddI, Dst: 0, A: 0, B: asm.NoReg, C: asm.NoReg, Imm: 1, T1: -1},
+		{Op: ir.OpRet, Dst: asm.NoReg, A: 0, B: asm.NoReg, C: asm.NoReg, ACls: ir.ClassInt, T1: -1},
+	})
+	m := vm.New(prog, 64)
+	var buf strings.Builder
+	m.Trace = &buf
+	if _, err := m.Call("F", vm.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "F:1\taddi r0, r0, 1") || !strings.Contains(out, "F:2\tret r0") {
+		t.Fatalf("trace output:\n%s", out)
+	}
+}

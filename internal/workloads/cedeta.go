@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dqrdcSource is a self-contained port of LINPACK's DQRDC
+// (Householder QR decomposition, without column pivoting, BLAS calls
+// inlined as loops), the factorization the Celis–Dennis–Tapia code
+// relies on.
+const dqrdcSource = `
+      SUBROUTINE DQRDC(X,LDX,N,P,QRAUX,WORK)
+C     householder qr decomposition of an n-by-p matrix
+      REAL X(LDX,*),QRAUX(*),WORK(*)
+      REAL NRMXL,T,S
+      INTEGER I,J,L,LP1,LUP,LDX,N,P
+      LUP = MIN(N,P)
+      DO L = 1,LUP
+C        compute the householder transformation for column l
+         S = 0.0
+         DO I = L,N
+            S = S + X(I,L)*X(I,L)
+         ENDDO
+         WORK(L) = S
+         NRMXL = SQRT(S)
+         IF (NRMXL .NE. 0.0) THEN
+            IF (X(L,L) .NE. 0.0) NRMXL = SIGN(NRMXL,X(L,L))
+            T = 1.0/NRMXL
+            DO I = L,N
+               X(I,L) = T*X(I,L)
+            ENDDO
+            X(L,L) = 1.0 + X(L,L)
+C           apply the transformation to the remaining columns,
+C           updating the norms
+            LP1 = L + 1
+            IF (P .GE. LP1) THEN
+               DO J = LP1,P
+                  S = 0.0
+                  DO I = L,N
+                     S = S + X(I,L)*X(I,J)
+                  ENDDO
+                  T = -S/X(L,L)
+                  DO I = L,N
+                     X(I,J) = X(I,J) + T*X(I,L)
+                  ENDDO
+               ENDDO
+            ENDIF
+C           save the transformation
+            QRAUX(L) = X(L,L)
+            X(L,L) = -NRMXL
+         ELSE
+            QRAUX(L) = 0.0
+         ENDIF
+      ENDDO
+      RETURN
+      END
+`
+
+// cedetaRNG is a tiny deterministic linear congruential generator
+// used to lay out the generated objective's term structure. The
+// sources must be reproducible run to run, so no external randomness
+// is involved.
+type cedetaRNG struct{ state uint32 }
+
+func (r *cedetaRNG) next() uint32 {
+	r.state = r.state*1664525 + 1013904223
+	return r.state >> 8
+}
+
+func (r *cedetaRNG) intn(n int) int { return int(r.next()) % n }
+
+// cedetaN is the number of optimization variables the generated
+// routines assume (callers must pass N = cedetaN).
+const cedetaN = 30
+
+// CedetaN exposes the generated routines' variable count for
+// drivers.
+const CedetaN = cedetaN
+
+// gradntSource generates GRADNT, the gradient of a large synthetic
+// equality-constrained objective: thirty straight-line term blocks,
+// each contributing to the gradient vector and to one of 24
+// accumulator scalars that stay live across the entire routine.
+// The result matches the profile Figure 5 reports for GRADNT
+// (~1,300 live ranges, many spills, but *low* spill costs, because
+// nearly all references sit at loop depth zero).
+func gradntSource() string {
+	var b strings.Builder
+	b.WriteString(`
+      SUBROUTINE GRADNT(X,G,W,N)
+C     gradient of the cedeta synthetic objective (generated code)
+      REAL X(*),G(*),W(*)
+      REAL TA,TB,TC,TD
+`)
+	writeAccumDecls(&b, 24)
+	b.WriteString(`      INTEGER I,N
+`)
+	for k := 1; k <= 24; k++ {
+		fmt.Fprintf(&b, "      S%d = 0.0\n", k)
+	}
+	b.WriteString(`      DO I = 1,N
+         G(I) = 0.0
+      ENDDO
+`)
+	rng := &cedetaRNG{state: 12345}
+	for blk := 0; blk < 30; blk++ {
+		i1 := 1 + rng.intn(cedetaN)
+		i2 := 1 + rng.intn(cedetaN)
+		i3 := 1 + rng.intn(cedetaN)
+		c1 := float64(1+rng.intn(16)) / 8.0
+		c2 := float64(1+rng.intn(16)) / 16.0
+		acc := 1 + blk%24
+		fmt.Fprintf(&b, "C     term %d\n", blk+1)
+		fmt.Fprintf(&b, "      TA = X(%d) - %.4f\n", i1, c1)
+		fmt.Fprintf(&b, "      TB = X(%d)*X(%d)\n", i2, i3)
+		fmt.Fprintf(&b, "      TC = TA*TB + %.4f\n", c2)
+		fmt.Fprintf(&b, "      TD = TC + TC\n")
+		fmt.Fprintf(&b, "      S%d = S%d + TC*TC\n", acc, acc)
+		fmt.Fprintf(&b, "      G(%d) = G(%d) + TD*TB\n", i1, i1)
+		fmt.Fprintf(&b, "      G(%d) = G(%d) + TD*TA*X(%d)\n", i2, i2, i3)
+		fmt.Fprintf(&b, "      G(%d) = G(%d) + TD*TA*X(%d)\n", i3, i3, i2)
+	}
+	// The accumulators are all consumed here, keeping each live from
+	// its first block to the end of the routine.
+	for k := 1; k <= 24; k++ {
+		fmt.Fprintf(&b, "      W(%d) = S%d\n", k, k)
+	}
+	b.WriteString(`      TA = 0.0
+      DO I = 1,24
+         TA = TA + W(I)
+      ENDDO
+      DO I = 1,N
+         G(I) = G(I) + 0.000001*TA
+      ENDDO
+      RETURN
+      END
+`)
+	return b.String()
+}
+
+// hssianSource generates HSSIAN, the Hessian counterpart of GRADNT:
+// straight-line blocks updating a symmetric matrix (two-dimensional
+// addressing makes each block heavier than GRADNT's), again with 24
+// whole-routine accumulators, plus a final symmetrization nest.
+func hssianSource() string {
+	var b strings.Builder
+	b.WriteString(`
+      SUBROUTINE HSSIAN(X,H,LDH,W,N)
+C     hessian of the cedeta synthetic objective (generated code)
+      REAL X(*),H(LDH,*),W(*)
+      REAL TA,TB,TC,TD,TE
+`)
+	writeAccumDecls(&b, 24)
+	b.WriteString(`      INTEGER I,J,LDH,N
+      DO J = 1,N
+         DO I = 1,N
+            H(I,J) = 0.0
+         ENDDO
+      ENDDO
+`)
+	for k := 1; k <= 24; k++ {
+		fmt.Fprintf(&b, "      S%d = 0.0\n", k)
+	}
+	rng := &cedetaRNG{state: 98765}
+	for blk := 0; blk < 26; blk++ {
+		i1 := 1 + rng.intn(cedetaN)
+		i2 := 1 + rng.intn(cedetaN)
+		i3 := 1 + rng.intn(cedetaN)
+		c1 := float64(1+rng.intn(32)) / 16.0
+		c2 := float64(1+rng.intn(8)) / 4.0
+		acc := 1 + blk%24
+		fmt.Fprintf(&b, "C     term %d\n", blk+1)
+		fmt.Fprintf(&b, "      TA = X(%d)*X(%d) - %.4f\n", i1, i2, c1)
+		fmt.Fprintf(&b, "      TB = TA + X(%d)\n", i3)
+		fmt.Fprintf(&b, "      TC = TB*TA\n")
+		fmt.Fprintf(&b, "      TD = TB - TA*%.4f\n", c2)
+		fmt.Fprintf(&b, "      TE = TC + TD\n")
+		fmt.Fprintf(&b, "      S%d = S%d + TE\n", acc, acc)
+		fmt.Fprintf(&b, "      H(%d,%d) = H(%d,%d) + TC\n", i1, i2, i1, i2)
+		fmt.Fprintf(&b, "      H(%d,%d) = H(%d,%d) + TD\n", i2, i3, i2, i3)
+		fmt.Fprintf(&b, "      H(%d,%d) = H(%d,%d) + TE*%.4f\n", i1, i3, i1, i3, c2)
+	}
+	for k := 1; k <= 24; k++ {
+		fmt.Fprintf(&b, "      W(%d) = S%d\n", k, k)
+	}
+	b.WriteString(`C     symmetrize
+      DO J = 1,N
+         DO I = 1,J
+            TA = 0.5*(H(I,J) + H(J,I))
+            H(I,J) = TA
+            H(J,I) = TA
+         ENDDO
+      ENDDO
+      RETURN
+      END
+`)
+	return b.String()
+}
+
+// writeAccumDecls declares the REAL accumulators S1..Sn.
+func writeAccumDecls(b *strings.Builder, n int) {
+	b.WriteString("      REAL ")
+	for k := 1; k <= n; k++ {
+		if k > 1 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(b, "S%d", k)
+	}
+	b.WriteString("\n")
+}

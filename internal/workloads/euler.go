@@ -1,0 +1,403 @@
+package workloads
+
+// eulerSource is a 1-D simulation of shock wave propagation (the
+// paper's EULER program): conservative Euler equations advanced with
+// a two-step Lax–Wendroff scheme plus blended artificial
+// dissipation, with setup, spectral-analysis, and boundary routines.
+// Routine sizes track Figure 5's profile: SHOCK and DERIV are tiny,
+// CODE/CHEB/FINDIF/FFTB mid-sized, INPUT/DIFFR/DISSIP large, and
+// INIT a long run of assignments and simply-nested loops. DISSIP
+// deliberately has the SVD shape — long-lived coefficient scalars
+// defined up front, a small copy loop, then large nests — which is
+// why it shows the biggest old-vs-new spill gap in the paper (69%).
+const eulerSource = `
+      SUBROUTINE SHOCK(U,N)
+C     shock-tube initial data for a scalar profile
+      REAL U(*)
+      INTEGER I,N,NH
+      NH = N/2
+      DO I = 1,NH
+         U(I) = 1.0
+      ENDDO
+      DO I = NH+1,N
+         U(I) = 0.125
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE DERIV(U,DU,N,DX)
+C     central first differences
+      REAL U(*),DU(*),DX,H2
+      INTEGER I,N
+      H2 = 2.0*DX
+      DU(1) = (U(2) - U(1))/DX
+      DO I = 2,N-1
+         DU(I) = (U(I+1) - U(I-1))/H2
+      ENDDO
+      DU(N) = (U(N) - U(N-1))/DX
+      RETURN
+      END
+
+      SUBROUTINE CODE(U,F,C,LD,N,GAMMA,SMAX)
+C     conservative fluxes, sound speed, and the maximum wave speed
+      REAL U(LD,*),F(LD,*),C(*),GAMMA,SMAX(*)
+      REAL RHO,RU,E,VEL,PRES,G1,CS,S1,S2,S3,SM,PFLOOR
+      INTEGER I,LD,N
+      G1 = GAMMA - 1.0
+      PFLOOR = 0.0000000001
+      SM = 0.0
+      DO I = 1,N
+         RHO = U(I,1)
+         RU = U(I,2)
+         E = U(I,3)
+         VEL = RU/RHO
+         PRES = G1*(E - 0.5*RU*VEL)
+         IF (PRES .LT. PFLOOR) PRES = PFLOOR
+         CS = SQRT(GAMMA*PRES/RHO)
+         C(I) = CS
+         F(I,1) = RU
+         F(I,2) = RU*VEL + PRES
+         F(I,3) = VEL*(E + PRES)
+         S1 = ABS(VEL - CS)
+         S2 = ABS(VEL)
+         S3 = ABS(VEL + CS)
+         SM = MAX(SM,S1,S2,S3)
+      ENDDO
+      SMAX(1) = SM
+      RETURN
+      END
+
+      SUBROUTINE CHEB(C,NC,A,B,F)
+C     chebyshev expansion coefficients of exp on [a,b]
+      REAL C(*),F(*),A,B,BMA,BPA,PI,Y,SUM,FAC,ARG
+      INTEGER J,K,NC
+      PI = 3.14159265358979
+      BMA = 0.5*(B - A)
+      BPA = 0.5*(B + A)
+      DO K = 1,NC
+         Y = COS(PI*(FLOAT(K) - 0.5)/FLOAT(NC))
+         F(K) = EXP(Y*BMA + BPA)
+      ENDDO
+      FAC = 2.0/FLOAT(NC)
+      DO J = 1,NC
+         SUM = 0.0
+         DO K = 1,NC
+            ARG = PI*(FLOAT(J) - 1.0)*(FLOAT(K) - 0.5)/FLOAT(NC)
+            SUM = SUM + F(K)*COS(ARG)
+         ENDDO
+         C(J) = FAC*SUM
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE FINDIF(U,UH,F,FH,LD,N,DT,DX,THETA)
+C     two-step lax-wendroff update with a theta-blended correction
+      REAL U(LD,*),UH(LD,*),F(LD,*),FH(LD,*),DT,DX,THETA
+      REAL R,HALFR,CORR,BLEND,OLD,NEW
+      INTEGER I,K,LD,N
+      R = DT/DX
+      HALFR = 0.5*R
+      BLEND = 1.0 - THETA
+C     predictor: provisional values at the half points
+      DO K = 1,3
+         DO I = 1,N-1
+            UH(I,K) = 0.5*(U(I,K) + U(I+1,K)) - &
+               HALFR*(F(I+1,K) - F(I,K))
+         ENDDO
+      ENDDO
+C     corrector: difference the half-point fluxes
+      DO K = 1,3
+         DO I = 2,N-1
+            CORR = R*(FH(I,K) - FH(I-1,K))
+            OLD = U(I,K)
+            NEW = OLD - CORR
+            U(I,K) = THETA*NEW + BLEND*(OLD - HALFR*(F(I+1,K) - F(I-1,K)))
+         ENDDO
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE FFTB(XR,XI,N,M)
+C     radix-2 decimation-in-time fft, n = 2**m
+      REAL XR(*),XI(*),TR,TI,UR,UI,WR,WI,ANG,PI
+      INTEGER N,M,I,J,K,L,LE,LE1,IP
+      PI = 3.14159265358979
+C     bit-reversal permutation
+      J = 1
+      DO I = 1,N-1
+         IF (I .LT. J) THEN
+            TR = XR(J)
+            TI = XI(J)
+            XR(J) = XR(I)
+            XI(J) = XI(I)
+            XR(I) = TR
+            XI(I) = TI
+         ENDIF
+         K = N/2
+         DO WHILE (K .LT. J)
+            J = J - K
+            K = K/2
+         ENDDO
+         J = J + K
+      ENDDO
+C     butterfly stages
+      DO L = 1,M
+         LE = 2**L
+         LE1 = LE/2
+         UR = 1.0
+         UI = 0.0
+         ANG = PI/FLOAT(LE1)
+         WR = COS(ANG)
+         WI = -SIN(ANG)
+         DO J = 1,LE1
+            I = J
+            DO WHILE (I .LE. N)
+               IP = I + LE1
+               TR = XR(IP)*UR - XI(IP)*UI
+               TI = XR(IP)*UI + XI(IP)*UR
+               XR(IP) = XR(I) - TR
+               XI(IP) = XI(I) - TI
+               XR(I) = XR(I) + TR
+               XI(I) = XI(I) + TI
+               I = I + LE
+            ENDDO
+            TR = UR*WR - UI*WI
+            UI = UR*WI + UI*WR
+            UR = TR
+         ENDDO
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE BNDRY(U,LD,N,IBC)
+C     boundary conditions: transmissive (ibc=0) or reflective
+      REAL U(LD,*)
+      INTEGER LD,N,IBC,K
+      IF (IBC .EQ. 0) THEN
+         DO K = 1,3
+            U(1,K) = U(2,K)
+            U(N,K) = U(N-1,K)
+         ENDDO
+      ELSE
+         U(1,1) = U(2,1)
+         U(1,2) = -U(2,2)
+         U(1,3) = U(2,3)
+         U(N,1) = U(N-1,1)
+         U(N,2) = -U(N-1,2)
+         U(N,3) = U(N-1,3)
+      ENDIF
+      RETURN
+      END
+
+      SUBROUTINE INPUT(P,NP,U,LD,N,GAMMA)
+C     problem setup: physical parameters and a smoothed shock-tube
+C     state in conservative variables
+      REAL P(*),U(LD,*),GAMMA
+      REAL RHOL,RHOR,PL,PR,UL,UR,G1,XFRAC,SMOOTH,RHO,PRES,VEL,W
+      INTEGER I,K,LD,N,NP
+      RHOL = 1.0
+      RHOR = 0.125
+      PL = 1.0
+      PR = 0.1
+      UL = 0.0
+      UR = 0.0
+      G1 = GAMMA - 1.0
+C     parameter table
+      P(1) = GAMMA
+      P(2) = RHOL
+      P(3) = RHOR
+      P(4) = PL
+      P(5) = PR
+      P(6) = UL
+      P(7) = UR
+      P(8) = G1
+      DO I = 9,NP
+         P(I) = P(I-1)*0.5 + FLOAT(I)*0.0625
+      ENDDO
+C     smoothed initial profile
+      DO I = 1,N
+         XFRAC = (FLOAT(I) - 0.5)/FLOAT(N)
+         SMOOTH = 1.0/(1.0 + EXP(80.0*(XFRAC - 0.5)))
+         RHO = RHOR + (RHOL - RHOR)*SMOOTH
+         PRES = PR + (PL - PR)*SMOOTH
+         VEL = UR + (UL - UR)*SMOOTH
+         W = RHO*VEL
+         U(I,1) = RHO
+         U(I,2) = W
+         U(I,3) = PRES/G1 + 0.5*W*VEL
+      ENDDO
+C     zero any remaining components defensively
+      DO K = 1,3
+         U(1,K) = U(1,K)
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE DIFFR(U,F,DF,DW,LD,N,EPS)
+C     limited flux differences plus a characteristic-style blend
+      REAL U(LD,*),F(LD,*),DF(LD,*),DW(LD,*),EPS
+      REAL DL,DR,AL,AR,SL,SR,SLOPE,T,WL,WR,WC,RHO,RHOL,RHOR
+      INTEGER I,K,LD,N
+C     minmod-limited flux slopes
+      DO K = 1,3
+         DF(1,K) = F(2,K) - F(1,K)
+         DO I = 2,N-1
+            DL = F(I,K) - F(I-1,K)
+            DR = F(I+1,K) - F(I,K)
+            AL = ABS(DL)
+            AR = ABS(DR)
+            SL = SIGN(1.0,DL)
+            SR = SIGN(1.0,DR)
+            SLOPE = 0.5*(SL + SR)*MIN(AL,AR)
+            T = DR - DL
+            IF (ABS(T) .LT. EPS) THEN
+               DF(I,K) = SLOPE
+            ELSE
+               DF(I,K) = SLOPE + EPS*T
+            ENDIF
+         ENDDO
+         DF(N,K) = F(N,K) - F(N-1,K)
+      ENDDO
+C     density-weighted blend of the limited differences
+      DO K = 1,3
+         DW(1,K) = DF(1,K)
+         DO I = 2,N-1
+            RHOL = U(I-1,1)
+            RHO = U(I,1)
+            RHOR = U(I+1,1)
+            WL = RHOL/(RHOL + RHO)
+            WR = RHOR/(RHOR + RHO)
+            WC = 1.0 - 0.5*(WL + WR)
+            DW(I,K) = WC*DF(I,K) + 0.5*(WL*DF(I-1,K) + WR*DF(I+1,K))
+         ENDDO
+         DW(N,K) = DF(N,K)
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE DISSIP(U,D,W,LD,N,C2,C4,DT,DX)
+C     blended second/fourth-difference artificial dissipation.
+C     structure matches SVD (Figure 1): long-lived coefficients set
+C     up first, then a small copy loop, then three large nests.
+      REAL U(LD,*),D(LD,*),W(LD,*)
+      REAL C2,C4,DT,DX,R,E2,E4,A1,A2,A3,B1,B2,B3,S,T,P,Q
+      INTEGER I,K,LD,N
+C     initialization: coefficients live across every later nest
+      R = DT/DX
+      E2 = C2*R
+      E4 = C4*R
+      A1 = 1.0 - E2
+      A2 = 0.5*E2
+      A3 = 0.25*E2
+      B1 = 1.0 - E4
+      B2 = 0.5*E4
+      B3 = 0.125*E4
+C     the small copy loop
+      DO K = 1,3
+         DO I = 1,N
+            W(I,K) = U(I,K)
+         ENDDO
+      ENDDO
+C     second differences
+      DO K = 1,3
+         DO I = 2,N-1
+            S = W(I+1,K) - 2.0*W(I,K) + W(I-1,K)
+            D(I,K) = A1*D(I,K) + A2*S + A3*ABS(S)
+         ENDDO
+      ENDDO
+C     fourth differences
+      DO K = 1,3
+         DO I = 3,N-2
+            P = W(I+2,K) - 4.0*W(I+1,K) + 6.0*W(I,K) - &
+               4.0*W(I-1,K) + W(I-2,K)
+            Q = W(I+1,K) - W(I-1,K)
+            T = B2*P - B3*Q
+            D(I,K) = B1*D(I,K) - T
+         ENDDO
+      ENDDO
+C     apply the dissipation
+      DO K = 1,3
+         DO I = 3,N-2
+            U(I,K) = U(I,K) + E2*D(I,K) - E4*(D(I+1,K) - D(I-1,K))
+         ENDDO
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE INIT(X,U,D,C,P,LD,N,NC,NP,GAMMA,DT,DX)
+C     initialize all simulation data: a long series of assignment
+C     statements and simply nested loops (the paper notes INIT has a
+C     relatively simple interference graph with low spill costs)
+      REAL X(*),U(LD,*),D(LD,*),C(*),P(*),GAMMA,DT,DX
+      REAL XL,XRR,H,T1,T2,T3,T4,T5,T6,T7,T8
+      REAL Q1,Q2,Q3,Q4,Q5,Q6,Q7,Q8
+      INTEGER I,K,LD,N,NC,NP
+C     grid
+      XL = 0.0
+      XRR = 1.0
+      H = (XRR - XL)/FLOAT(N - 1)
+      DO I = 1,N
+         X(I) = XL + FLOAT(I - 1)*H
+      ENDDO
+C     scalar coefficient setup, a long straight-line stretch
+      T1 = GAMMA - 1.0
+      T2 = GAMMA + 1.0
+      T3 = T2/(2.0*GAMMA)
+      T4 = T1/(2.0*GAMMA)
+      T5 = 1.0/T1
+      T6 = 2.0/T1
+      T7 = SQRT(GAMMA)
+      T8 = 1.0/T7
+      Q1 = DT/DX
+      Q2 = 0.5*Q1
+      Q3 = Q1*Q1
+      Q4 = 0.5*Q3
+      Q5 = Q2*T1
+      Q6 = Q4*T2
+      Q7 = T3*Q1
+      Q8 = T4*Q1
+      P(1) = T1
+      P(2) = T2
+      P(3) = T3
+      P(4) = T4
+      P(5) = T5
+      P(6) = T6
+      P(7) = T7
+      P(8) = T8
+      P(9) = Q1
+      P(10) = Q2
+      P(11) = Q3
+      P(12) = Q4
+      P(13) = Q5
+      P(14) = Q6
+      P(15) = Q7
+      P(16) = Q8
+      DO I = 17,NP
+         P(I) = 0.0
+      ENDDO
+C     state arrays
+      DO K = 1,3
+         DO I = 1,N
+            U(I,K) = 0.0
+            D(I,K) = 0.0
+         ENDDO
+      ENDDO
+      DO I = 1,N
+         IF (X(I) .LT. 0.5) THEN
+            U(I,1) = 1.0
+            U(I,3) = T5
+         ELSE
+            U(I,1) = 0.125
+            U(I,3) = 0.1*T5
+         ENDIF
+      ENDDO
+C     probe table: chebyshev-like nodes scaled by the coefficients
+      DO I = 1,NC
+         C(I) = COS(3.14159265358979*(FLOAT(I) - 0.5)/FLOAT(NC))
+      ENDDO
+      DO I = 1,NC
+         C(I) = C(I)*Q2 + T8
+      ENDDO
+      RETURN
+      END
+`

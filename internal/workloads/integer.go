@@ -1,0 +1,129 @@
+package workloads
+
+// integerSource is the "more diverse set of non-floating point
+// programs" the paper's §3.2 closes by asking for: four classic
+// integer kernels with very different pressure profiles. SIEVE is
+// array-bound with tiny scalar pressure; HASH keeps a handful of
+// values hot across probe loops; CRCS is a bit-twiddling loop whose
+// dialect has no shift operators (divide/modulo by two stand in, as
+// on machines without a barrel shifter); GCDS runs Euclid's
+// algorithm over array pairs.
+const integerSource = `
+      SUBROUTINE SIEVE(FLAGS,N,COUNT)
+C     sieve of eratosthenes; flags(i) = 1 marks i as composite
+      INTEGER FLAGS(*),COUNT(*)
+      INTEGER I,J,N,NP
+      DO I = 1,N
+         FLAGS(I) = 0
+      ENDDO
+      NP = 0
+      DO I = 2,N
+         IF (FLAGS(I) .EQ. 0) THEN
+            NP = NP + 1
+            J = I + I
+            DO WHILE (J .LE. N)
+               FLAGS(J) = 1
+               J = J + I
+            ENDDO
+         ENDIF
+      ENDDO
+      COUNT(1) = NP
+      RETURN
+      END
+
+      SUBROUTINE HASH(KEYS,N,TABLE,M,HITS)
+C     multiplicative hashing with linear probing: insert every key,
+C     then probe for every key and count hits
+      INTEGER KEYS(*),TABLE(*),HITS(*)
+      INTEGER I,N,M,K,H,PROBES,FOUND,NHIT
+      DO I = 1,M
+         TABLE(I) = -1
+      ENDDO
+C     insert phase
+      DO I = 1,N
+         K = KEYS(I)
+         H = MOD(K*2654435 + 12345, M) + 1
+         IF (H .LT. 1) H = H + M
+         PROBES = 0
+         DO WHILE (TABLE(H) .GE. 0 .AND. PROBES .LT. M)
+            IF (TABLE(H) .EQ. K) EXIT
+            H = H + 1
+            IF (H .GT. M) H = 1
+            PROBES = PROBES + 1
+         ENDDO
+         TABLE(H) = K
+      ENDDO
+C     probe phase
+      NHIT = 0
+      DO I = 1,N
+         K = KEYS(I)
+         H = MOD(K*2654435 + 12345, M) + 1
+         IF (H .LT. 1) H = H + M
+         PROBES = 0
+         FOUND = 0
+         DO WHILE (PROBES .LT. M)
+            IF (TABLE(H) .EQ. K) THEN
+               FOUND = 1
+               EXIT
+            ENDIF
+            IF (TABLE(H) .LT. 0) EXIT
+            H = H + 1
+            IF (H .GT. M) H = 1
+            PROBES = PROBES + 1
+         ENDDO
+         NHIT = NHIT + FOUND
+      ENDDO
+      HITS(1) = NHIT
+      RETURN
+      END
+
+      SUBROUTINE CRCS(DATA,N,CRC)
+C     bitwise crc-16-ish checksum; the dialect has no shifts, so
+C     halving and doubling with a parity test stand in
+      INTEGER DATA(*),CRC(*)
+      INTEGER I,J,N,R,W,BIT,FB
+      R = 65535
+      DO I = 1,N
+         W = DATA(I)
+         DO J = 1,16
+            BIT = MOD(W,2)
+            W = W/2
+            FB = MOD(R,2)
+            R = R/2
+            IF (FB .NE. BIT) THEN
+               R = R + 40961
+               IF (R .GT. 65535) R = R - 65536
+            ENDIF
+         ENDDO
+      ENDDO
+      CRC(1) = R
+      RETURN
+      END
+
+      SUBROUTINE GCDS(A,B,G,N)
+C     greatest common divisors of array pairs by euclid's algorithm
+      INTEGER A(*),B(*),G(*)
+      INTEGER I,N,X,Y,T
+      DO I = 1,N
+         X = IABS(A(I))
+         Y = IABS(B(I))
+         DO WHILE (Y .NE. 0)
+            T = MOD(X,Y)
+            X = Y
+            Y = T
+         ENDDO
+         G(I) = X
+      ENDDO
+      RETURN
+      END
+`
+
+// IntegerKernels returns the extension workload answering the
+// paper's §3.2 closing request for more non-floating-point data.
+func IntegerKernels() Workload {
+	return Workload{
+		Program:  "INTKERN",
+		Source:   integerSource,
+		Routines: []string{"SIEVE", "HASH", "CRCS", "GCDS"},
+	}
+}

@@ -1,0 +1,342 @@
+package workloads
+
+// linpackSource ports the LINPACK benchmark routines (Dongarra,
+// Bunch, Moler & Stewart) to the mini-FORTRAN dialect. The ports
+// keep the historically significant structure — the unrolled-by-4/5
+// BLAS loops, DGEFA/DGESL's column-oriented elimination calling the
+// Level-1 BLAS on column sections, and DMXPY's sixteen-fold unrolled
+// update (quoted in the paper's §3.1) — with GOTO-based control
+// rewritten as structured DO WHILE / EXIT, since the dialect has no
+// GOTO. Output scalar arguments (INFO) become length-1 arrays
+// because the dialect passes scalars by value.
+const linpackSource = `
+C     LINPACK benchmark routines (mini-FORTRAN port).
+
+      REAL FUNCTION EPSLON (X)
+      REAL X
+      REAL A,B,C,EPS
+      A = 4.0/3.0
+      EPS = 0.0
+      DO WHILE (EPS .EQ. 0.0)
+         B = A - 1.0
+         C = B + B + B
+         EPS = ABS(C - 1.0)
+      ENDDO
+      EPSLON = EPS*ABS(X)
+      RETURN
+      END
+
+      SUBROUTINE DSCAL(N,DA,DX,INCX)
+      REAL DA,DX(*)
+      INTEGER I,INCX,M,MP1,N,NINCX
+      IF (N .LE. 0) RETURN
+      IF (INCX .NE. 1) THEN
+C        code for increment not equal to 1
+         NINCX = N*INCX
+         I = 1
+         DO WHILE (I .LE. NINCX)
+            DX(I) = DA*DX(I)
+            I = I + INCX
+         ENDDO
+         RETURN
+      ENDIF
+C     code for increment equal to 1: clean-up loop
+      M = MOD(N,5)
+      IF (M .NE. 0) THEN
+         DO I = 1,M
+            DX(I) = DA*DX(I)
+         ENDDO
+         IF (N .LT. 5) RETURN
+      ENDIF
+      MP1 = M + 1
+      DO I = MP1,N,5
+         DX(I) = DA*DX(I)
+         DX(I+1) = DA*DX(I+1)
+         DX(I+2) = DA*DX(I+2)
+         DX(I+3) = DA*DX(I+3)
+         DX(I+4) = DA*DX(I+4)
+      ENDDO
+      RETURN
+      END
+
+      INTEGER FUNCTION IDAMAX(N,DX,INCX)
+      REAL DX(*),DMAX
+      INTEGER I,INCX,IX,N
+      IDAMAX = 0
+      IF (N .LT. 1) RETURN
+      IDAMAX = 1
+      IF (N .EQ. 1) RETURN
+      IF (INCX .NE. 1) THEN
+C        code for increment not equal to 1
+         IX = 1
+         DMAX = ABS(DX(1))
+         IX = IX + INCX
+         DO I = 2,N
+            IF (ABS(DX(IX)) .GT. DMAX) THEN
+               IDAMAX = I
+               DMAX = ABS(DX(IX))
+            ENDIF
+            IX = IX + INCX
+         ENDDO
+         RETURN
+      ENDIF
+C     code for increment equal to 1
+      DMAX = ABS(DX(1))
+      DO I = 2,N
+         IF (ABS(DX(I)) .GT. DMAX) THEN
+            IDAMAX = I
+            DMAX = ABS(DX(I))
+         ENDIF
+      ENDDO
+      RETURN
+      END
+
+      REAL FUNCTION DDOT(N,DX,INCX,DY,INCY)
+      REAL DX(*),DY(*),DTEMP
+      INTEGER I,INCX,INCY,IX,IY,M,MP1,N
+      DDOT = 0.0
+      DTEMP = 0.0
+      IF (N .LE. 0) RETURN
+      IF (INCX .NE. 1 .OR. INCY .NE. 1) THEN
+C        code for unequal increments or nonunit increments
+         IX = 1
+         IY = 1
+         IF (INCX .LT. 0) IX = (-N+1)*INCX + 1
+         IF (INCY .LT. 0) IY = (-N+1)*INCY + 1
+         DO I = 1,N
+            DTEMP = DTEMP + DX(IX)*DY(IY)
+            IX = IX + INCX
+            IY = IY + INCY
+         ENDDO
+         DDOT = DTEMP
+         RETURN
+      ENDIF
+C     code for both increments equal to 1: clean-up loop
+      M = MOD(N,5)
+      IF (M .NE. 0) THEN
+         DO I = 1,M
+            DTEMP = DTEMP + DX(I)*DY(I)
+         ENDDO
+         IF (N .LT. 5) THEN
+            DDOT = DTEMP
+            RETURN
+         ENDIF
+      ENDIF
+      MP1 = M + 1
+      DO I = MP1,N,5
+         DTEMP = DTEMP + DX(I)*DY(I) + DX(I+1)*DY(I+1) + &
+            DX(I+2)*DY(I+2) + DX(I+3)*DY(I+3) + DX(I+4)*DY(I+4)
+      ENDDO
+      DDOT = DTEMP
+      RETURN
+      END
+
+      SUBROUTINE DAXPY(N,DA,DX,INCX,DY,INCY)
+      REAL DX(*),DY(*),DA
+      INTEGER I,INCX,INCY,IX,IY,M,MP1,N
+      IF (N .LE. 0) RETURN
+      IF (DA .EQ. 0.0) RETURN
+      IF (INCX .NE. 1 .OR. INCY .NE. 1) THEN
+C        code for unequal increments or nonunit increments
+         IX = 1
+         IY = 1
+         IF (INCX .LT. 0) IX = (-N+1)*INCX + 1
+         IF (INCY .LT. 0) IY = (-N+1)*INCY + 1
+         DO I = 1,N
+            DY(IY) = DY(IY) + DA*DX(IX)
+            IX = IX + INCX
+            IY = IY + INCY
+         ENDDO
+         RETURN
+      ENDIF
+C     code for both increments equal to 1: clean-up loop
+      M = MOD(N,4)
+      IF (M .NE. 0) THEN
+         DO I = 1,M
+            DY(I) = DY(I) + DA*DX(I)
+         ENDDO
+         IF (N .LT. 4) RETURN
+      ENDIF
+      MP1 = M + 1
+      DO I = MP1,N,4
+         DY(I) = DY(I) + DA*DX(I)
+         DY(I+1) = DY(I+1) + DA*DX(I+1)
+         DY(I+2) = DY(I+2) + DA*DX(I+2)
+         DY(I+3) = DY(I+3) + DA*DX(I+3)
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE MATGEN(A,LDA,N,B)
+      REAL A(LDA,*),B(*)
+      REAL VAL,NORMA
+      INTEGER INIT,I,J,LDA,N
+      INIT = 1325
+      NORMA = 0.0
+      DO J = 1,N
+         DO I = 1,N
+            INIT = MOD(3125*INIT,65536)
+            VAL = (FLOAT(INIT) - 32768.0)/16384.0
+            A(I,J) = VAL
+            IF (VAL .GT. NORMA) NORMA = VAL
+         ENDDO
+      ENDDO
+      DO I = 1,N
+         B(I) = 0.0
+      ENDDO
+      DO J = 1,N
+         DO I = 1,N
+            B(I) = B(I) + A(I,J)
+         ENDDO
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE DGEFA(A,LDA,N,IPVT,INFO)
+C     factors a real matrix by gaussian elimination
+      REAL A(LDA,*),T
+      INTEGER IPVT(*),INFO(*)
+      INTEGER J,K,KP1,L,NM1,LDA,N
+      INFO(1) = 0
+      NM1 = N - 1
+      IF (NM1 .GE. 1) THEN
+         DO K = 1,NM1
+            KP1 = K + 1
+C           find l = pivot index
+            L = IDAMAX(N-K+1,A(K,K),1) + K - 1
+            IPVT(K) = L
+C           zero pivot implies this column already triangularized
+            IF (A(L,K) .NE. 0.0) THEN
+C              interchange if necessary
+               IF (L .NE. K) THEN
+                  T = A(L,K)
+                  A(L,K) = A(K,K)
+                  A(K,K) = T
+               ENDIF
+C              compute multipliers
+               T = -1.0/A(K,K)
+               CALL DSCAL(N-K,T,A(K+1,K),1)
+C              row elimination with column indexing
+               DO J = KP1,N
+                  T = A(L,J)
+                  IF (L .NE. K) THEN
+                     A(L,J) = A(K,J)
+                     A(K,J) = T
+                  ENDIF
+                  CALL DAXPY(N-K,T,A(K+1,K),1,A(K+1,J),1)
+               ENDDO
+            ELSE
+               INFO(1) = K
+            ENDIF
+         ENDDO
+      ENDIF
+      IPVT(N) = N
+      IF (A(N,N) .EQ. 0.0) INFO(1) = N
+      RETURN
+      END
+
+      SUBROUTINE DGESL(A,LDA,N,IPVT,B,JOB)
+C     solves the real system a*x = b or trans(a)*x = b
+      REAL A(LDA,*),B(*),T
+      INTEGER IPVT(*),JOB,K,KB,L,NM1,LDA,N
+      NM1 = N - 1
+      IF (JOB .EQ. 0) THEN
+C        job = 0 , solve  a * x = b ; first solve l*y = b
+         IF (NM1 .GE. 1) THEN
+            DO K = 1,NM1
+               L = IPVT(K)
+               T = B(L)
+               IF (L .NE. K) THEN
+                  B(L) = B(K)
+                  B(K) = T
+               ENDIF
+               CALL DAXPY(N-K,T,A(K+1,K),1,B(K+1),1)
+            ENDDO
+         ENDIF
+C        now solve  u*x = y
+         DO KB = 1,N
+            K = N + 1 - KB
+            B(K) = B(K)/A(K,K)
+            T = -B(K)
+            CALL DAXPY(K-1,T,A(1,K),1,B(1),1)
+         ENDDO
+         RETURN
+      ENDIF
+C     job = nonzero, solve  trans(a) * x = b ; first solve trans(u)*y = b
+      DO K = 1,N
+         T = DDOT(K-1,A(1,K),1,B(1),1)
+         B(K) = (B(K) - T)/A(K,K)
+      ENDDO
+C     now solve trans(l)*x = y
+      IF (NM1 .GE. 1) THEN
+         DO KB = 1,NM1
+            K = N - KB
+            B(K) = B(K) + DDOT(N-K,A(K+1,K),1,B(K+1),1)
+            L = IPVT(K)
+            IF (L .NE. K) THEN
+               T = B(L)
+               B(L) = B(K)
+               B(K) = T
+            ENDIF
+         ENDDO
+      ENDIF
+      RETURN
+      END
+
+      SUBROUTINE DMXPY(N1,Y,N2,LDM,X,M)
+C     multiply matrix m times vector x and add the result to vector y
+C     (the sixteen-fold unrolled version discussed in the paper, 3.1)
+      REAL Y(*),X(*),M(LDM,*)
+      INTEGER N1,N2,LDM,I,J,JMIN
+C     cleanup odd vector
+      J = MOD(N2,2)
+      IF (J .GE. 1) THEN
+         DO I = 1,N1
+            Y(I) = (Y(I)) + X(J)*M(I,J)
+         ENDDO
+      ENDIF
+C     cleanup odd group of two vectors
+      J = MOD(N2,4)
+      IF (J .GE. 2) THEN
+         DO I = 1,N1
+            Y(I) = ( (Y(I)) + X(J-1)*M(I,J-1)) + X(J)*M(I,J)
+         ENDDO
+      ENDIF
+C     cleanup odd group of four vectors
+      J = MOD(N2,8)
+      IF (J .GE. 4) THEN
+         DO I = 1,N1
+            Y(I) = ((( (Y(I)) &
+               + X(J-3)*M(I,J-3)) + X(J-2)*M(I,J-2)) &
+               + X(J-1)*M(I,J-1)) + X(J)*M(I,J)
+         ENDDO
+      ENDIF
+C     cleanup odd group of eight vectors
+      J = MOD(N2,16)
+      IF (J .GE. 8) THEN
+         DO I = 1,N1
+            Y(I) = ((((((( (Y(I)) &
+               + X(J-7)*M(I,J-7)) + X(J-6)*M(I,J-6)) &
+               + X(J-5)*M(I,J-5)) + X(J-4)*M(I,J-4)) &
+               + X(J-3)*M(I,J-3)) + X(J-2)*M(I,J-2)) &
+               + X(J-1)*M(I,J-1)) + X(J)*M(I,J)
+         ENDDO
+      ENDIF
+C     main loop - groups of sixteen vectors
+      JMIN = J + 16
+      DO J = JMIN,N2,16
+         DO I = 1,N1
+            Y(I) = ((((((((((((((( (Y(I)) &
+               + X(J-15)*M(I,J-15)) + X(J-14)*M(I,J-14)) &
+               + X(J-13)*M(I,J-13)) + X(J-12)*M(I,J-12)) &
+               + X(J-11)*M(I,J-11)) + X(J-10)*M(I,J-10)) &
+               + X(J-9)*M(I,J-9)) + X(J-8)*M(I,J-8)) &
+               + X(J-7)*M(I,J-7)) + X(J-6)*M(I,J-6)) &
+               + X(J-5)*M(I,J-5)) + X(J-4)*M(I,J-4)) &
+               + X(J-3)*M(I,J-3)) + X(J-2)*M(I,J-2)) &
+               + X(J-1)*M(I,J-1)) + X(J)*M(I,J)
+         ENDDO
+      ENDDO
+      RETURN
+      END
+`

@@ -1,0 +1,91 @@
+package workloads
+
+// qsortSource is the §3.2 integer workload: the non-recursive
+// quicksort of Wirth ("Algorithms + Data Structures = Programs"),
+// with the explicit partition stack, extended with median-of-three
+// pivot selection and an insertion-sort finish for short partitions
+// — the standard production refinements, which also give the
+// allocator realistically many simultaneously-live integer values.
+const qsortSource = `
+      SUBROUTINE QSORT(A,N)
+C     non-recursive quicksort (after Wirth), integer keys
+      INTEGER A(*),N
+      INTEGER STACKL(64),STACKR(64)
+      INTEGER S,L,R,I,J,X,W,MID,CUT
+      CUT = 12
+      S = 1
+      STACKL(1) = 1
+      STACKR(1) = N
+      DO WHILE (S .GT. 0)
+         L = STACKL(S)
+         R = STACKR(S)
+         S = S - 1
+         DO WHILE (R - L .GE. CUT)
+C           median-of-three pivot: order A(L), A(MID), A(R)
+            MID = (L + R)/2
+            IF (A(MID) .LT. A(L)) THEN
+               W = A(MID)
+               A(MID) = A(L)
+               A(L) = W
+            ENDIF
+            IF (A(R) .LT. A(L)) THEN
+               W = A(R)
+               A(R) = A(L)
+               A(L) = W
+            ENDIF
+            IF (A(R) .LT. A(MID)) THEN
+               W = A(R)
+               A(R) = A(MID)
+               A(MID) = W
+            ENDIF
+            X = A(MID)
+C           partition
+            I = L
+            J = R
+            DO WHILE (I .LE. J)
+               DO WHILE (A(I) .LT. X)
+                  I = I + 1
+               ENDDO
+               DO WHILE (X .LT. A(J))
+                  J = J - 1
+               ENDDO
+               IF (I .LE. J) THEN
+                  W = A(I)
+                  A(I) = A(J)
+                  A(J) = W
+                  I = I + 1
+                  J = J - 1
+               ENDIF
+            ENDDO
+C           push the larger part, iterate on the smaller
+            IF (J - L .LT. R - I) THEN
+               IF (I .LT. R) THEN
+                  S = S + 1
+                  STACKL(S) = I
+                  STACKR(S) = R
+               ENDIF
+               R = J
+            ELSE
+               IF (L .LT. J) THEN
+                  S = S + 1
+                  STACKL(S) = L
+                  STACKR(S) = J
+               ENDIF
+               L = I
+            ENDIF
+         ENDDO
+C        insertion sort for the short remainder
+         DO I = L+1,R
+            X = A(I)
+            J = I - 1
+            DO WHILE (J .GE. L)
+               IF (A(J) .LE. X) EXIT
+               A(J+1) = A(J)
+               J = J - 1
+            ENDDO
+            A(J+1) = X
+         ENDDO
+      ENDDO
+      RETURN
+      END
+`

@@ -1,0 +1,164 @@
+package workloads
+
+// simplexSource is a parallel multi-directional simplex search in
+// the style of Torczon's thesis (the paper's SIMPLEX program): the
+// driver repeatedly reflects the whole simplex through its best
+// vertex, tries an expansion when the reflection improves, and
+// contracts otherwise. VALUE is a Rosenbrock-style objective;
+// CONVERGE measures simplex edge lengths. The driver routine is by
+// far the largest unit, matching Figure 5's profile (the three
+// helpers spill little or nothing; SIMPLEX itself is the interesting
+// case).
+const simplexSource = `
+      REAL FUNCTION VALUE(X,N)
+C     objective function: a chained Rosenbrock valley
+      REAL X(*),SUM,A,B,T1,T2
+      INTEGER I,N
+      SUM = 0.0
+      DO I = 1,N-1
+         A = X(I+1) - X(I)*X(I)
+         B = 1.0 - X(I)
+         T1 = 100.0*A*A
+         T2 = B*B
+         SUM = SUM + T1 + T2
+      ENDDO
+      VALUE = SUM
+      RETURN
+      END
+
+      INTEGER FUNCTION CONVERGE(S,LDS,N,TOL)
+C     1 when every edge from the first vertex is shorter than tol
+      REAL S(LDS,*),TOL,D,DIFF,DMAX
+      INTEGER I,J,LDS,N,NP1
+      NP1 = N + 1
+      DMAX = 0.0
+      DO J = 2,NP1
+         D = 0.0
+         DO I = 1,N
+            DIFF = S(I,J) - S(I,1)
+            D = D + DIFF*DIFF
+         ENDDO
+         IF (D .GT. DMAX) DMAX = D
+      ENDDO
+      CONVERGE = 0
+      IF (SQRT(DMAX) .LE. TOL) CONVERGE = 1
+      RETURN
+      END
+
+      SUBROUTINE CONSTRUCT(S,LDS,N,IBEST,ALPHA,SNEW)
+C     build the simplex reflected (alpha=1), expanded (alpha=2), or
+C     contracted (alpha=-0.5) through the best vertex
+      REAL S(LDS,*),SNEW(LDS,*),ALPHA,BASE
+      INTEGER I,J,LDS,N,NP1,IBEST
+      NP1 = N + 1
+      DO J = 1,NP1
+         IF (J .EQ. IBEST) THEN
+            DO I = 1,N
+               SNEW(I,J) = S(I,IBEST)
+            ENDDO
+         ELSE
+            DO I = 1,N
+               BASE = S(I,IBEST)
+               SNEW(I,J) = BASE + ALPHA*(BASE - S(I,J))
+            ENDDO
+         ENDIF
+      ENDDO
+      RETURN
+      END
+
+      SUBROUTINE SIMPLEX(S,LDS,N,MAXIT,TOL,SR,SE,FV,FR,FE,ITER)
+C     multi-directional search driver
+      REAL S(LDS,*),SR(LDS,*),SE(LDS,*),FV(*),FR(*),FE(*),TOL
+      REAL FBEST,FRBEST,FEBEST
+      INTEGER LDS,N,MAXIT,ITER(*)
+      INTEGER I,J,NP1,IBEST,IT,ICONV,IRB,IEB
+      NP1 = N + 1
+C     evaluate the initial simplex and find its best vertex
+      DO J = 1,NP1
+         FV(J) = VALUE(S(1,J),N)
+      ENDDO
+      IBEST = 1
+      FBEST = FV(1)
+      DO J = 2,NP1
+         IF (FV(J) .LT. FBEST) THEN
+            FBEST = FV(J)
+            IBEST = J
+         ENDIF
+      ENDDO
+      IT = 0
+      ICONV = CONVERGE(S,LDS,N,TOL)
+      DO WHILE (IT .LT. MAXIT .AND. ICONV .EQ. 0)
+         IT = IT + 1
+C        rotation: reflect every vertex through the best
+         CALL CONSTRUCT(S,LDS,N,IBEST,1.0,SR)
+         DO J = 1,NP1
+            FR(J) = VALUE(SR(1,J),N)
+         ENDDO
+         IRB = 1
+         FRBEST = FR(1)
+         DO J = 2,NP1
+            IF (FR(J) .LT. FRBEST) THEN
+               FRBEST = FR(J)
+               IRB = J
+            ENDIF
+         ENDDO
+         IF (FRBEST .LT. FBEST) THEN
+C           the rotation improved: try expanding
+            CALL CONSTRUCT(S,LDS,N,IBEST,2.0,SE)
+            DO J = 1,NP1
+               FE(J) = VALUE(SE(1,J),N)
+            ENDDO
+            IEB = 1
+            FEBEST = FE(1)
+            DO J = 2,NP1
+               IF (FE(J) .LT. FEBEST) THEN
+                  FEBEST = FE(J)
+                  IEB = J
+               ENDIF
+            ENDDO
+            IF (FEBEST .LT. FRBEST) THEN
+               DO J = 1,NP1
+                  DO I = 1,N
+                     S(I,J) = SE(I,J)
+                  ENDDO
+                  FV(J) = FE(J)
+               ENDDO
+               IBEST = IEB
+               FBEST = FEBEST
+            ELSE
+               DO J = 1,NP1
+                  DO I = 1,N
+                     S(I,J) = SR(I,J)
+                  ENDDO
+                  FV(J) = FR(J)
+               ENDDO
+               IBEST = IRB
+               FBEST = FRBEST
+            ENDIF
+         ELSE
+C           no improvement: contract toward the best vertex
+            CALL CONSTRUCT(S,LDS,N,IBEST,-0.5,SR)
+            DO J = 1,NP1
+               FR(J) = VALUE(SR(1,J),N)
+            ENDDO
+            DO J = 1,NP1
+               DO I = 1,N
+                  S(I,J) = SR(I,J)
+               ENDDO
+               FV(J) = FR(J)
+            ENDDO
+            IBEST = 1
+            FBEST = FV(1)
+            DO J = 2,NP1
+               IF (FV(J) .LT. FBEST) THEN
+                  FBEST = FV(J)
+                  IBEST = J
+               ENDIF
+            ENDDO
+         ENDIF
+         ICONV = CONVERGE(S,LDS,N,TOL)
+      ENDDO
+      ITER(1) = IT
+      RETURN
+      END
+`

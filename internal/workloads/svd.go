@@ -1,0 +1,300 @@
+package workloads
+
+// svdSource is a port of the singular value decomposition from
+// Forsythe, Malcolm & Moler (the paper's SVD test case). Its shape
+// is the paper's Figure 1: after brief initialization comes a small
+// doubly-nested array-copy loop (copying A into U, with loop indices
+// and limits I, J, M, N), followed by three large, complex loop
+// nests — Householder bidiagonalization, accumulation of the right
+// and left transformations, and the shifted-QR diagonalization.
+// A dozen scalar live ranges (G, SCALE, ANORM, C, F, H, S, X, Y, Z,
+// L, MN, ...) extend from the early code through the later nests,
+// which is precisely the pressure pattern that makes Chaitin's
+// heuristic over-spill the copy loop's indices (§1.2).
+//
+// GOTO-based control (convergence tests, cancellation) is rewritten
+// with structured DO WHILE / EXIT and integer flags; IERR becomes a
+// length-1 array because the dialect passes scalars by value.
+const svdSource = `
+      SUBROUTINE SVD(NM,M,N,A,W,U,V,IERR,RV1)
+      INTEGER NM,M,N,IERR(*)
+      REAL A(NM,*),W(*),U(NM,*),V(NM,*),RV1(*)
+      INTEGER I,J,K,L,L1,I1,K1,KK,LL,MN,ITS,ICONV,LFND
+      REAL C,F,G,H,S,X,Y,Z,SCALE,ANORM
+      IERR(1) = 0
+C
+C     the small doubly-nested array copy loop (Figure 1)
+      DO I = 1,M
+         DO J = 1,N
+            U(I,J) = A(I,J)
+         ENDDO
+      ENDDO
+C
+C     Householder reduction to bidiagonal form (first large nest)
+      G = 0.0
+      SCALE = 0.0
+      ANORM = 0.0
+      L = 1
+      DO I = 1,N
+         L = I + 1
+         RV1(I) = SCALE*G
+         G = 0.0
+         S = 0.0
+         SCALE = 0.0
+         IF (I .LE. M) THEN
+            DO K = I,M
+               SCALE = SCALE + ABS(U(K,I))
+            ENDDO
+            IF (SCALE .NE. 0.0) THEN
+               DO K = I,M
+                  U(K,I) = U(K,I)/SCALE
+                  S = S + U(K,I)*U(K,I)
+               ENDDO
+               F = U(I,I)
+               G = -SIGN(SQRT(S),F)
+               H = F*G - S
+               U(I,I) = F - G
+               IF (I .NE. N) THEN
+                  DO J = L,N
+                     S = 0.0
+                     DO K = I,M
+                        S = S + U(K,I)*U(K,J)
+                     ENDDO
+                     F = S/H
+                     DO K = I,M
+                        U(K,J) = U(K,J) + F*U(K,I)
+                     ENDDO
+                  ENDDO
+               ENDIF
+               DO K = I,M
+                  U(K,I) = SCALE*U(K,I)
+               ENDDO
+            ENDIF
+         ENDIF
+         W(I) = SCALE*G
+         G = 0.0
+         S = 0.0
+         SCALE = 0.0
+         IF (I .LE. M .AND. I .NE. N) THEN
+            DO K = L,N
+               SCALE = SCALE + ABS(U(I,K))
+            ENDDO
+            IF (SCALE .NE. 0.0) THEN
+               DO K = L,N
+                  U(I,K) = U(I,K)/SCALE
+                  S = S + U(I,K)*U(I,K)
+               ENDDO
+               F = U(I,L)
+               G = -SIGN(SQRT(S),F)
+               H = F*G - S
+               U(I,L) = F - G
+               DO K = L,N
+                  RV1(K) = U(I,K)/H
+               ENDDO
+               IF (I .NE. M) THEN
+                  DO J = L,M
+                     S = 0.0
+                     DO K = L,N
+                        S = S + U(J,K)*U(I,K)
+                     ENDDO
+                     DO K = L,N
+                        U(J,K) = U(J,K) + S*RV1(K)
+                     ENDDO
+                  ENDDO
+               ENDIF
+               DO K = L,N
+                  U(I,K) = SCALE*U(I,K)
+               ENDDO
+            ENDIF
+         ENDIF
+         ANORM = MAX(ANORM, ABS(W(I)) + ABS(RV1(I)))
+      ENDDO
+C
+C     accumulation of right-hand transformations (second large nest)
+      DO I1 = 1,N
+         I = N + 1 - I1
+         IF (I .NE. N) THEN
+            IF (G .NE. 0.0) THEN
+C              double division avoids possible underflow
+               DO J = L,N
+                  V(J,I) = (U(I,J)/U(I,L))/G
+               ENDDO
+               DO J = L,N
+                  S = 0.0
+                  DO K = L,N
+                     S = S + U(I,K)*V(K,J)
+                  ENDDO
+                  DO K = L,N
+                     V(K,J) = V(K,J) + S*V(K,I)
+                  ENDDO
+               ENDDO
+            ENDIF
+            DO J = L,N
+               V(I,J) = 0.0
+               V(J,I) = 0.0
+            ENDDO
+         ENDIF
+         V(I,I) = 1.0
+         G = RV1(I)
+         L = I
+      ENDDO
+C
+C     accumulation of left-hand transformations
+      MN = N
+      IF (M .LT. N) MN = M
+      DO I1 = 1,MN
+         I = MN + 1 - I1
+         L = I + 1
+         G = W(I)
+         IF (I .NE. N) THEN
+            DO J = L,N
+               U(I,J) = 0.0
+            ENDDO
+         ENDIF
+         IF (G .NE. 0.0) THEN
+            IF (I .NE. MN) THEN
+               DO J = L,N
+                  S = 0.0
+                  DO K = L,M
+                     S = S + U(K,I)*U(K,J)
+                  ENDDO
+C                 double division avoids possible underflow
+                  F = (S/U(I,I))/G
+                  DO K = I,M
+                     U(K,J) = U(K,J) + F*U(K,I)
+                  ENDDO
+               ENDDO
+            ENDIF
+            DO J = I,M
+               U(J,I) = U(J,I)/G
+            ENDDO
+         ELSE
+            DO J = I,M
+               U(J,I) = 0.0
+            ENDDO
+         ENDIF
+         U(I,I) = U(I,I) + 1.0
+      ENDDO
+C
+C     diagonalization of the bidiagonal form (third large nest)
+      DO KK = 1,N
+         K1 = N - KK
+         K = K1 + 1
+         ITS = 0
+         ICONV = 0
+         DO WHILE (ICONV .EQ. 0)
+C           test for splitting: rv1(1) is always zero, so the scan
+C           must find a split point
+            LFND = 0
+            L = K
+            L1 = L - 1
+            DO LL = 1,K
+               L = K + 1 - LL
+               L1 = L - 1
+               IF (ABS(RV1(L)) + ANORM .EQ. ANORM) THEN
+                  LFND = 1
+                  EXIT
+               ENDIF
+               IF (L1 .GE. 1) THEN
+                  IF (ABS(W(L1)) + ANORM .EQ. ANORM) THEN
+                     LFND = 0
+                     EXIT
+                  ENDIF
+               ENDIF
+            ENDDO
+            IF (LFND .EQ. 0) THEN
+C              cancellation of rv1(l) if l greater than 1
+               C = 0.0
+               S = 1.0
+               DO I = L,K
+                  F = S*RV1(I)
+                  RV1(I) = C*RV1(I)
+                  IF (ABS(F) + ANORM .EQ. ANORM) EXIT
+                  G = W(I)
+                  H = SQRT(F*F + G*G)
+                  W(I) = H
+                  C = G/H
+                  S = -F/H
+                  DO J = 1,M
+                     Y = U(J,L1)
+                     Z = U(J,I)
+                     U(J,L1) = Y*C + Z*S
+                     U(J,I) = -Y*S + Z*C
+                  ENDDO
+               ENDDO
+            ENDIF
+C           test for convergence
+            Z = W(K)
+            IF (L .EQ. K) THEN
+C              convergence: make the singular value non-negative
+               IF (Z .LT. 0.0) THEN
+                  W(K) = -Z
+                  DO J = 1,N
+                     V(J,K) = -V(J,K)
+                  ENDDO
+               ENDIF
+               ICONV = 1
+            ELSE
+               ITS = ITS + 1
+               IF (ITS .GT. 30) THEN
+C                 no convergence after 30 iterations
+                  IERR(1) = K
+                  ICONV = 1
+               ELSE
+C                 shift from bottom 2 by 2 minor
+                  X = W(L)
+                  Y = W(K1)
+                  G = RV1(K1)
+                  H = RV1(K)
+                  F = ((Y - Z)*(Y + Z) + (G - H)*(G + H))/(2.0*H*Y)
+                  G = SQRT(F*F + 1.0)
+                  F = ((X - Z)*(X + Z) + H*(Y/(F + SIGN(G,F)) - H))/X
+C                 next qr transformation
+                  C = 1.0
+                  S = 1.0
+                  DO I1 = L,K1
+                     I = I1 + 1
+                     G = RV1(I)
+                     Y = W(I)
+                     H = S*G
+                     G = C*G
+                     Z = SQRT(F*F + H*H)
+                     RV1(I1) = Z
+                     C = F/Z
+                     S = H/Z
+                     F = X*C + G*S
+                     G = -X*S + G*C
+                     H = Y*S
+                     Y = Y*C
+                     DO J = 1,N
+                        X = V(J,I1)
+                        Z = V(J,I)
+                        V(J,I1) = X*C + Z*S
+                        V(J,I) = -X*S + Z*C
+                     ENDDO
+                     Z = SQRT(F*F + H*H)
+                     W(I1) = Z
+C                    rotation can be arbitrary if z is zero
+                     IF (Z .NE. 0.0) THEN
+                        C = F/Z
+                        S = H/Z
+                     ENDIF
+                     F = C*G + S*Y
+                     X = -S*G + C*Y
+                     DO J = 1,M
+                        Y = U(J,I1)
+                        Z = U(J,I)
+                        U(J,I1) = Y*C + Z*S
+                        U(J,I) = -Y*S + Z*C
+                     ENDDO
+                  ENDDO
+                  RV1(L) = 0.0
+                  RV1(K) = F
+                  W(K) = X
+               ENDIF
+            ENDIF
+         ENDDO
+      ENDDO
+      RETURN
+      END
+`

@@ -1,0 +1,103 @@
+package workloads_test
+
+import (
+	"math"
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/vm"
+	"regalloc/internal/workloads"
+)
+
+// TestSVDNumericallyCorrect runs the compiled, register-allocated
+// SVD on the simulator against the 12x8 Hilbert matrix and verifies
+// the decomposition properties: A = U·diag(W)·Vᵀ to machine
+// precision, orthonormal U columns and V, and the known largest
+// singular value. This exercises the entire pipeline — lexer,
+// parser, sem, irgen, optimizer, allocator, spill code, lowering,
+// and simulator — with a result that is wrong unless every stage is
+// right.
+func TestSVDNumericallyCorrect(t *testing.T) {
+	prog, err := regalloc.Compile(workloads.SVD().Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
+		opt := regalloc.DefaultOptions()
+		opt.Heuristic = h
+		code, _, err := prog.Assemble(regalloc.RTPC(), opt)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", h, err)
+		}
+		m := regalloc.NewVM(code, prog.MemWords())
+		const nm, mm, n = 12, 12, 8
+		const aBase, wBase, uBase, vBase, ierr, rv1 = 0, 1000, 2000, 3000, 4000, 4100
+		a := make([][]float64, mm)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for j := 1; j <= n; j++ {
+			for i := 1; i <= mm; i++ {
+				v := 1.0 / float64(i+j-1)
+				a[i-1][j-1] = v
+				m.StoreFloat(aBase+int64(i-1)+int64(j-1)*nm, v)
+			}
+		}
+		if _, err := m.Call("SVD", vm.Int(nm), vm.Int(mm), vm.Int(n), vm.Int(aBase),
+			vm.Int(wBase), vm.Int(uBase), vm.Int(vBase), vm.Int(ierr), vm.Int(rv1)); err != nil {
+			t.Fatalf("%s: run: %v", h, err)
+		}
+		if got := m.LoadInt(ierr); got != 0 {
+			t.Fatalf("%s: SVD did not converge (ierr=%d)", h, got)
+		}
+
+		u := func(i, k int) float64 { return m.LoadFloat(uBase + int64(i) + int64(k)*nm) }
+		v := func(j, k int) float64 { return m.LoadFloat(vBase + int64(j) + int64(k)*nm) }
+		w := func(k int) float64 { return m.LoadFloat(wBase + int64(k)) }
+
+		// Reconstruction.
+		for i := 0; i < mm; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += u(i, k) * w(k) * v(j, k)
+				}
+				if math.Abs(s-a[i][j]) > 1e-12 {
+					t.Fatalf("%s: reconstruction error %g at (%d,%d)", h, math.Abs(s-a[i][j]), i, j)
+				}
+			}
+		}
+		// Orthonormality of V and of U's columns.
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				sv, su := 0.0, 0.0
+				for k := 0; k < n; k++ {
+					sv += v(k, x) * v(k, y)
+				}
+				for k := 0; k < mm; k++ {
+					su += u(k, x) * u(k, y)
+				}
+				want := 0.0
+				if x == y {
+					want = 1.0
+				}
+				if math.Abs(sv-want) > 1e-10 {
+					t.Fatalf("%s: V not orthogonal: (VᵀV)[%d][%d] = %g", h, x, y, sv)
+				}
+				if math.Abs(su-want) > 1e-10 {
+					t.Fatalf("%s: U columns not orthonormal: (UᵀU)[%d][%d] = %g", h, x, y, su)
+				}
+			}
+		}
+		// Largest singular value of the 12x8 Hilbert section.
+		sigma := 0.0
+		for k := 0; k < n; k++ {
+			if w(k) > sigma {
+				sigma = w(k)
+			}
+		}
+		if math.Abs(sigma-1.7419424942615882) > 1e-9 {
+			t.Fatalf("%s: sigma_max = %.12f, want 1.741942494262", h, sigma)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package workloads holds the mini-FORTRAN sources of the paper's
+// benchmark suite (Figure 5): SVD, LINPACK, SIMPLEX, EULER, and
+// CEDETA, plus the non-recursive quicksort of the Figure 6 study.
+//
+// Each routine reproduces the control structure the paper describes
+// or that the historical source had — SVD's small array-copy loop
+// followed by three large nests (Figure 1), DMXPY's sixteen-way
+// unrolled update loop (§3.1), the BLAS cleanup/unrolled loops, the
+// Wirth non-recursive quicksort (§3.2) — because the allocator
+// effects under study are driven by exactly that structure: long
+// live ranges crossing loop nests, and loop-depth-weighted spill
+// costs. See DESIGN.md §5 for the substitution rationale.
+package workloads
+
+import "fmt"
+
+// Workload is one benchmark program: a set of routines compiled
+// together.
+type Workload struct {
+	// Program is the name used in Figure 5 ("SVD", "LINPACK", ...).
+	Program string
+	// Source is the mini-FORTRAN source of every routine.
+	Source string
+	// Routines lists the units in the order Figure 5 reports them.
+	Routines []string
+}
+
+// All returns the five Figure 5 programs, in the paper's order.
+func All() []Workload {
+	return []Workload{
+		SVD(),
+		LINPACK(),
+		Simplex(),
+		Euler(),
+		Cedeta(),
+	}
+}
+
+// ByName returns the workload with the given program name, searching
+// the Figure 5 suite plus the quicksort and integer-kernel studies.
+func ByName(name string) (Workload, error) {
+	for _, w := range append(All(), Quicksort(), IntegerKernels()) {
+		if w.Program == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown program %q", name)
+}
+
+// SVD returns the singular-value-decomposition workload (one large
+// routine, after Forsythe, Malcolm & Moler; structured per the
+// paper's Figure 1).
+func SVD() Workload {
+	return Workload{Program: "SVD", Source: svdSource, Routines: []string{"SVD"}}
+}
+
+// LINPACK returns the LINPACK workload (Dongarra's benchmark
+// routines, in Figure 5's order).
+func LINPACK() Workload {
+	return Workload{
+		Program: "LINPACK",
+		Source:  linpackSource,
+		Routines: []string{
+			"EPSLON", "DSCAL", "IDAMAX", "DDOT", "DAXPY",
+			"MATGEN", "DGEFA", "DGESL", "DMXPY",
+		},
+	}
+}
+
+// Simplex returns the parallel multi-directional simplex search
+// workload (after Torczon).
+func Simplex() Workload {
+	return Workload{
+		Program:  "SIMPLEX",
+		Source:   simplexSource,
+		Routines: []string{"VALUE", "CONVERGE", "CONSTRUCT", "SIMPLEX"},
+	}
+}
+
+// Euler returns the 1-D shock-wave propagation workload.
+func Euler() Workload {
+	return Workload{
+		Program: "EULER",
+		Source:  eulerSource,
+		Routines: []string{
+			"SHOCK", "DERIV", "CODE", "CHEB", "FINDIF", "FFTB",
+			"BNDRY", "INPUT", "DIFFR", "DISSIP", "INIT",
+		},
+	}
+}
+
+// Cedeta returns the Celis–Dennis–Tapia equality-constrained
+// minimization workload: the DQRDC factorization plus the two very
+// large generated routines GRADNT and HSSIAN.
+func Cedeta() Workload {
+	return Workload{
+		Program:  "CEDETA",
+		Source:   dqrdcSource + gradntSource() + hssianSource(),
+		Routines: []string{"DQRDC", "GRADNT", "HSSIAN"},
+	}
+}
+
+// Quicksort returns the §3.2 integer workload: Wirth's non-recursive
+// quicksort with median-of-three pivoting and an insertion-sort
+// finish.
+func Quicksort() Workload {
+	return Workload{Program: "QSORT", Source: qsortSource, Routines: []string{"QSORT"}}
+}

@@ -1,0 +1,87 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/workloads"
+)
+
+// TestAllWorkloadsCompile checks that every benchmark program
+// parses, type-checks, and lowers to valid IR, and that the expected
+// routines are present.
+func TestAllWorkloadsCompile(t *testing.T) {
+	all := append(workloads.All(), workloads.Quicksort())
+	for _, w := range all {
+		w := w
+		t.Run(w.Program, func(t *testing.T) {
+			prog, err := regalloc.Compile(w.Source)
+			if err != nil {
+				t.Fatalf("compile %s: %v", w.Program, err)
+			}
+			for _, r := range w.Routines {
+				if prog.Func(r) == nil {
+					t.Errorf("%s: routine %s missing after compile", w.Program, r)
+				}
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsAllocate checks that both heuristics allocate every
+// routine on the paper's machine without error.
+func TestAllWorkloadsAllocate(t *testing.T) {
+	all := append(workloads.All(), workloads.Quicksort())
+	for _, w := range all {
+		w := w
+		t.Run(w.Program, func(t *testing.T) {
+			prog, err := regalloc.Compile(w.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, r := range w.Routines {
+				for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
+					opt := regalloc.DefaultOptions()
+					opt.Heuristic = h
+					res, err := prog.Allocate(r, opt)
+					if err != nil {
+						t.Fatalf("%s/%s with %s: %v", w.Program, r, h, err)
+					}
+					if res.LiveRanges() == 0 {
+						t.Errorf("%s/%s: zero live ranges", w.Program, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegerKernelsCompileAndAllocate covers the extension workload.
+func TestIntegerKernelsCompileAndAllocate(t *testing.T) {
+	w := workloads.IntegerKernels()
+	prog, err := regalloc.Compile(w.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, r := range w.Routines {
+		if prog.Func(r) == nil {
+			t.Fatalf("routine %s missing", r)
+		}
+		if _, err := prog.Allocate(r, regalloc.DefaultOptions()); err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+	}
+}
+
+// TestByName covers the registry lookup.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SVD", "LINPACK", "SIMPLEX", "EULER", "CEDETA", "QSORT", "INTKERN"} {
+		w, err := workloads.ByName(name)
+		if err != nil || w.Program != name {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := workloads.ByName("NOPE"); err == nil {
+		t.Error("ByName(NOPE) should fail")
+	}
+}

@@ -1,0 +1,199 @@
+// Package regalloc reproduces the register allocator of Briggs,
+// Cooper, Kennedy & Torczon, "Coloring Heuristics for Register
+// Allocation" (PLDI 1989): a Chaitin-style graph-coloring allocator
+// with the paper's optimistic coloring improvement, embedded in a
+// complete mini-FORTRAN compiler targeting a simulated RT/PC-like
+// machine.
+//
+// The typical flow is:
+//
+//	prog, err := regalloc.Compile(source)
+//	res, err := prog.Allocate("SVD", regalloc.Options{Heuristic: regalloc.Briggs, KInt: 16, KFloat: 8, ...})
+//	// res.FirstPassSpilled(), res.LiveRanges(), ...
+//
+// and for dynamic (simulated) measurements:
+//
+//	machine := regalloc.RTPC()
+//	code, _, err := prog.Assemble(machine, opts)
+//	m := regalloc.NewVM(code, memWords)
+//	m.Call("QSORT", vm.Int(base), vm.Int(n))
+//
+// Subpackages under internal/ implement each stage; this package is
+// the stable surface.
+package regalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"regalloc/internal/alloc"
+	"regalloc/internal/asm"
+	"regalloc/internal/color"
+	"regalloc/internal/ir"
+	"regalloc/internal/irgen"
+	"regalloc/internal/irinterp"
+	"regalloc/internal/opt"
+	"regalloc/internal/parser"
+	"regalloc/internal/sem"
+	"regalloc/internal/target"
+	"regalloc/internal/vm"
+)
+
+// Heuristic selects the coloring algorithm. See package
+// internal/color for the definitions.
+type Heuristic = color.Heuristic
+
+// The three heuristics the paper compares: Chaitin's pessimistic
+// coloring ("Old" in the paper's tables), the optimistic coloring of
+// Briggs et al. ("New"), and Matula–Beck smallest-last ordering (the
+// cost-blind linear-time comparator of §2.2).
+const (
+	Chaitin    = color.Chaitin
+	Briggs     = color.Briggs
+	MatulaBeck = color.MatulaBeck
+)
+
+// Options configures the allocator; it is alloc.Options re-exported.
+type Options = alloc.Options
+
+// Result is a completed allocation; it is alloc.Result re-exported.
+type Result = alloc.Result
+
+// Machine describes the simulated target.
+type Machine = target.Machine
+
+// RTPC returns the paper's machine: 16 GPRs + 8 FPRs.
+func RTPC() Machine { return target.RTPC() }
+
+// DefaultOptions returns the paper's default configuration
+// (optimistic heuristic, 16/8 registers, cost/degree spill metric).
+func DefaultOptions() Options { return alloc.DefaultOptions() }
+
+// Program is a compiled mini-FORTRAN program, ready for allocation.
+type Program struct {
+	IR *ir.Program
+}
+
+// Compile parses, checks, lowers, and optimizes source. The
+// machine-independent optimizer (local CSE + loop-invariant code
+// motion) runs by default because the paper's compiler was an
+// optimizing compiler and the optimizer's long-lived temporaries are
+// what creates the live-range structure the paper studies; use
+// CompileNoOpt for the unoptimized ablation.
+func Compile(source string) (*Program, error) {
+	return compile(source, true)
+}
+
+// CompileNoOpt compiles without the machine-independent optimizer.
+func CompileNoOpt(source string) (*Program, error) {
+	return compile(source, false)
+}
+
+func compile(source string, optimize bool) (*Program, error) {
+	astProg, err := parser.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sem.Check(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	irProg, err := irgen.Gen(astProg, info, irgen.DefaultStaticStart)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	if optimize {
+		for _, f := range irProg.Funcs {
+			opt.Run(f)
+			if err := ir.Validate(f); err != nil {
+				return nil, fmt.Errorf("optimize: %w", err)
+			}
+		}
+	}
+	return &Program{IR: irProg}, nil
+}
+
+// Functions lists the program's unit names in source order.
+func (p *Program) Functions() []string {
+	names := make([]string, len(p.IR.Funcs))
+	for i, f := range p.IR.Funcs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Func returns the IR of one unit, or nil.
+func (p *Program) Func(name string) *ir.Func { return p.IR.Func(name) }
+
+// Allocate runs register allocation for one unit.
+func (p *Program) Allocate(name string, opt Options) (*Result, error) {
+	f := p.IR.Func(name)
+	if f == nil {
+		return nil, fmt.Errorf("regalloc: no unit %s", name)
+	}
+	return alloc.Run(f, opt)
+}
+
+// Assemble allocates every unit with opt and lowers the result to
+// machine code for m. Units are independent, so they are allocated
+// in parallel; the output is deterministic (unit order and every
+// per-unit result are position-fixed). It returns the code and the
+// per-unit allocation results.
+func (p *Program) Assemble(m Machine, opt Options) (*asm.Program, map[string]*Result, error) {
+	opt.KInt = m.NumGPR
+	opt.KFloat = m.NumFPR
+	type slot struct {
+		af  *asm.Func
+		res *Result
+		err error
+	}
+	slots := make([]slot, len(p.IR.Funcs))
+	var wg sync.WaitGroup
+	for i, f := range p.IR.Funcs {
+		wg.Add(1)
+		go func(i int, f *ir.Func) {
+			defer wg.Done()
+			res, err := alloc.Run(f, opt)
+			if err != nil {
+				slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, err)
+				return
+			}
+			af, err := asm.Lower(res.Func, res.Colors, m)
+			if err != nil {
+				slots[i].err = err
+				return
+			}
+			slots[i] = slot{af: af, res: res}
+		}(i, f)
+	}
+	wg.Wait()
+	code := asm.NewProgram()
+	results := make(map[string]*Result, len(p.IR.Funcs))
+	for i, f := range p.IR.Funcs {
+		if slots[i].err != nil {
+			return nil, nil, slots[i].err
+		}
+		code.Add(slots[i].af)
+		results[f.Name] = slots[i].res
+	}
+	return code, results, nil
+}
+
+// MemWords suggests a simulator memory size: enough for the static
+// data plus generous headroom for driver-managed arrays below the
+// static area.
+func (p *Program) MemWords() int {
+	n := p.IR.StaticEnd + (1 << 16)
+	if n < (1 << 22) {
+		n = 1 << 22
+	}
+	return int(n)
+}
+
+// NewVM returns a simulator over assembled code.
+func NewVM(code *asm.Program, memWords int) *vm.VM { return vm.New(code, memWords) }
+
+// NewInterp returns the reference IR interpreter for the program.
+func (p *Program) NewInterp(memWords int) *irinterp.Interp {
+	return irinterp.New(p.IR, memWords)
+}

@@ -1,0 +1,119 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/vm"
+)
+
+const demo = `
+      INTEGER FUNCTION FIB(N)
+      INTEGER A,B,T,I,N
+      A = 0
+      B = 1
+      DO I = 1,N
+         T = A + B
+         A = B
+         B = T
+      ENDDO
+      FIB = A
+      END
+`
+
+func TestCompileAllocateRun(t *testing.T) {
+	prog, err := regalloc.Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Functions(); len(got) != 1 || got[0] != "FIB" {
+		t.Fatalf("functions: %v", got)
+	}
+	res, err := prog.Allocate("FIB", regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveRanges() == 0 {
+		t.Fatal("no live ranges")
+	}
+	code, results, err := prog.Assemble(regalloc.RTPC(), regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["FIB"] == nil {
+		t.Fatal("no per-unit result")
+	}
+	m := regalloc.NewVM(code, prog.MemWords())
+	v, err := m.Call("FIB", vm.Int(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 832040 {
+		t.Fatalf("fib(30) = %d", v.I)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := regalloc.Compile("      SUBROUTINE\n"); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("parse error not surfaced: %v", err)
+	}
+	if _, err := regalloc.Compile("      SUBROUTINE F(N)\n      X = NOPE(1)\n      END\n"); err == nil || !strings.Contains(err.Error(), "check") {
+		t.Fatalf("check error not surfaced: %v", err)
+	}
+}
+
+func TestAllocateUnknownUnit(t *testing.T) {
+	prog, err := regalloc.Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Allocate("NOPE", regalloc.DefaultOptions()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCompileNoOptSameSemantics(t *testing.T) {
+	optProg, err := regalloc.Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noProg, err := regalloc.CompileNoOpt(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *regalloc.Program) int64 {
+		code, _, err := p.Assemble(regalloc.RTPC(), regalloc.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := regalloc.NewVM(code, p.MemWords()).Call("FIB", vm.Int(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.I
+	}
+	if run(optProg) != run(noProg) {
+		t.Fatal("optimizer changed FIB")
+	}
+}
+
+// TestHeuristicAgreement: on this small function all heuristics find
+// a spill-free coloring and the code behaves identically.
+func TestHeuristicAgreement(t *testing.T) {
+	prog, err := regalloc.Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs, regalloc.MatulaBeck} {
+		opt := regalloc.DefaultOptions()
+		opt.Heuristic = h
+		res, err := prog.Allocate("FIB", opt)
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		if res.TotalSpilled() != 0 {
+			t.Fatalf("%s spilled on a trivial function", h)
+		}
+	}
+}

@@ -10,6 +10,14 @@
 //	bench -figure passes     # §3.3 convergence of the Figure 4 cycle
 //	bench -figure all        # everything
 //	bench -figure 6 -n 200000
+//
+// Observability:
+//
+//	bench -figure 7 -trace out.jsonl   stream every allocator event
+//	                                   (phase spans, counters, spill
+//	                                   decisions) as JSON lines
+//	bench -figure all -metrics         print aggregated counters and
+//	                                   per-phase duration histograms
 package main
 
 import (
@@ -18,12 +26,38 @@ import (
 	"os"
 
 	"regalloc/internal/experiments"
+	"regalloc/internal/obs"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
+	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
+	metrics := flag.Bool("metrics", false, "print aggregated allocator metrics after the figures")
 	flag.Parse()
+
+	var traceSink obs.Sink
+	if *tracePath != "" {
+		w := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			fail(err)
+			defer f.Close()
+			w = f
+		}
+		traceSink = obs.NewJSONSink(w)
+	}
+	var metricsSink *obs.MetricsSink
+	if *metrics {
+		metricsSink = obs.NewMetricsSink()
+	}
+	experiments.SetObserver(obs.Multi(traceSink, metricsSink))
+	if metricsSink != nil {
+		defer func() {
+			fmt.Println("=== Allocator metrics (aggregated over every run above) ===")
+			fmt.Print(metricsSink.Snapshot())
+		}()
+	}
 
 	run5 := *figure == "5" || *figure == "all"
 	run6 := *figure == "6" || *figure == "all"

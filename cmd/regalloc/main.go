@@ -1,12 +1,22 @@
 // Command regalloc colors a standalone interference graph, so the
 // heuristics can be compared outside the compiler (e.g. on graphs
-// from other tools or on generated stress graphs).
+// from other tools or on generated stress graphs), or — with -src —
+// runs the full allocator over a mini-FORTRAN source file.
 //
 // Usage:
 //
 //	regalloc -k 4 graph.ig           color a graph file
 //	regalloc -k 8 -random 200,0.3,7  color G(200, 0.3) with seed 7
 //	regalloc -k 16 -svdlike          color the paper's SVD pressure pattern
+//	regalloc -src prog.f             allocate every routine of a source file
+//
+// Observability (either mode):
+//
+//	-trace out.jsonl   write the allocator's event stream as JSON
+//	                   lines ("-" for stdout): phase spans, counters,
+//	                   spill decisions, color-reuse witnesses
+//	-metrics           print aggregated counters and per-phase
+//	                   duration histograms after the run
 //
 // Graph file format (text): one directive per line.
 //
@@ -25,47 +35,118 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"regalloc"
 	"regalloc/internal/color"
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 )
 
 func main() {
 	k := flag.Int("k", 8, "number of colors (registers)")
 	random := flag.String("random", "", "generate G(n,p): \"n,p,seed\"")
 	svdlike := flag.Bool("svdlike", false, "generate the paper's SVD pressure pattern")
+	src := flag.String("src", "", "run the full allocator over a mini-FORTRAN source file")
+	heuristic := flag.String("heuristic", "briggs", "-src mode: coloring heuristic (chaitin, briggs, mb)")
 	verbose := flag.Bool("v", false, "print the full color assignment")
+	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file (\"-\" for stdout)")
+	metrics := flag.Bool("metrics", false, "print aggregated metrics after the run")
 	flag.Parse()
 
+	var traceSink obs.Sink
+	if *tracePath != "" {
+		w := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			fail(err)
+			defer f.Close()
+			w = f
+		}
+		traceSink = obs.NewJSONSink(w)
+	}
+	var metricsSink *obs.MetricsSink
+	if *metrics {
+		metricsSink = obs.NewMetricsSink()
+	}
+	sink := obs.Multi(traceSink, metricsSink)
+
+	if *src != "" {
+		runSource(*src, *heuristic, *k, sink)
+	} else {
+		runGraph(*k, *random, *svdlike, *verbose, sink)
+	}
+	if metricsSink != nil {
+		fmt.Print(metricsSink.Snapshot())
+	}
+}
+
+// runSource compiles a mini-FORTRAN file and allocates every routine
+// with the observer wired in, printing a per-pass summary that the
+// emitted spans reconcile with.
+func runSource(path, heuristic string, k int, sink obs.Sink) {
+	data, err := os.ReadFile(path)
+	fail(err)
+	h, err := color.ParseHeuristic(heuristic)
+	fail(err)
+	prog, err := regalloc.Compile(string(data))
+	fail(err)
+
+	opt := regalloc.DefaultOptions()
+	opt.Heuristic = h
+	opt.KInt = k
+	opt.Observer = sink
+	for _, name := range prog.Functions() {
+		res, err := prog.Allocate(name, opt)
+		fail(err)
+		fmt.Printf("%s: %d live range(s), %d pass(es), %d spilled, total %s\n",
+			name, res.LiveRanges(), len(res.Passes), res.TotalSpilled(), res.TotalTime())
+		for i, ps := range res.Passes {
+			fmt.Printf("  pass %d: build %s, simplify %s, color %s, spill %s (%d nodes, %d edges, %d spilled)\n",
+				i, ps.Build, ps.Simplify, ps.Color, ps.Spill, ps.LiveRanges, ps.Edges, ps.Spilled)
+		}
+	}
+}
+
+// runGraph colors a standalone interference graph with all three
+// heuristics, tracing each under the unit name "graph:<heuristic>".
+func runGraph(k int, random string, svdlike, verbose bool, sink obs.Sink) {
 	var g *ig.Graph
 	var costs []float64
 	var err error
 	switch {
-	case *random != "":
-		g, costs, err = parseRandom(*random)
+	case random != "":
+		g, costs, err = parseRandom(random)
 		fail(err)
-	case *svdlike:
+	case svdlike:
 		g, costs = graphgen.SVDLike(10, 4, 3, 10, 8, 42)
 	case flag.NArg() == 1:
 		g, costs, err = readGraph(flag.Arg(0))
 		fail(err)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: regalloc [-k N] (graph.ig | -random n,p,seed | -svdlike)")
+		fmt.Fprintln(os.Stderr, "usage: regalloc [-k N] (graph.ig | -random n,p,seed | -svdlike | -src file.f)")
 		os.Exit(2)
 	}
 
-	kf := func(ir.Class) int { return *k }
-	fmt.Printf("graph: %d nodes, %d edges, k = %d\n", g.NumNodes(), g.NumEdges(), *k)
+	kf := func(ir.Class) int { return k }
+	fmt.Printf("graph: %d nodes, %d edges, k = %d\n", g.NumNodes(), g.NumEdges(), k)
 	for _, h := range []color.Heuristic{color.Chaitin, color.Briggs, color.MatulaBeck} {
-		sr := color.Simplify(g, costs, kf, h, color.CostOverDegree)
+		tr := obs.New(sink, "graph:"+h.String())
+		tr.BeginPhase(obs.PhaseSimplify)
+		t0 := time.Now()
+		sr := color.SimplifyTraced(g, costs, kf, h, color.CostOverDegree, tr)
+		tr.EndPhase(obs.PhaseSimplify, time.Since(t0))
 		var spilled []int32
 		var colors []int16
 		if h == color.Chaitin && len(sr.SpillMarked) > 0 {
 			spilled = sr.SpillMarked
 		} else {
-			colors, spilled = color.Select(g, sr.Stack, kf, h != color.Chaitin)
+			tr.BeginPhase(obs.PhaseColor)
+			t0 = time.Now()
+			colors, spilled = color.SelectTraced(g, sr, kf, h != color.Chaitin, tr)
+			tr.EndPhase(obs.PhaseColor, time.Since(t0))
 		}
 		cost := 0.0
 		for _, n := range spilled {
@@ -73,7 +154,7 @@ func main() {
 		}
 		fmt.Printf("%-12s spilled %3d node(s), cost %10.0f, scan work %d\n",
 			h.String()+":", len(spilled), cost, sr.ScanSteps)
-		if *verbose && colors != nil {
+		if verbose && colors != nil {
 			fmt.Printf("  colors: %v\n", colors)
 		}
 	}

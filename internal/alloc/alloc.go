@@ -15,61 +15,9 @@ import (
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
 	"regalloc/internal/liverange"
+	"regalloc/internal/obs"
 	"regalloc/internal/spill"
 )
-
-// Options configures a run of the allocator.
-type Options struct {
-	Heuristic color.Heuristic
-	// KInt and KFloat are the available general-purpose and
-	// floating-point register counts (the RT/PC has 16 and 8).
-	KInt   int
-	KFloat int
-	// Metric is the spill-choice figure of merit (default
-	// cost/degree, Chaitin's).
-	Metric color.Metric
-	// Coalesce enables copy coalescing in the build phase.
-	Coalesce bool
-	// ConservativeCoalesce switches from the paper's aggressive
-	// coalescing to the Briggs conservative test (TOPLAS 1994): only
-	// merge when the combined range provably stays colorable. Off by
-	// default (the paper's baseline); included for the ablation.
-	ConservativeCoalesce bool
-	// CostParams tunes the spill-cost estimator.
-	CostParams spill.CostParams
-	// Rematerialize enables Chaitin's never-killed-value refinement:
-	// constant-valued ranges are recomputed at each use instead of
-	// being stored and reloaded, and their spill cost drops
-	// accordingly. Off by default (the paper's baseline).
-	Rematerialize bool
-	// Split enables live-range splitting when spilling (the paper's
-	// §4 future work): a range used but not defined in a loop is
-	// reloaded once in the loop preheader instead of before every
-	// use. Off by default (the paper's baseline is spill-everywhere).
-	// Mutually exclusive with Rematerialize in this implementation;
-	// Split wins if both are set.
-	Split bool
-	// MaxPasses bounds the build–simplify–color–spill iteration;
-	// the paper never observed more than three passes.
-	MaxPasses int
-}
-
-// DefaultOptions returns the paper's configuration: the optimistic
-// heuristic on a 16 GPR + 8 FPR machine.
-func DefaultOptions() Options {
-	return Options{
-		Heuristic:  color.Briggs,
-		KInt:       16,
-		KFloat:     8,
-		Metric:     color.CostOverDegree,
-		Coalesce:   true,
-		CostParams: spill.DefaultCostParams(),
-		MaxPasses:  64,
-	}
-}
-
-// K returns the class-to-color-count function for the options.
-func (o Options) K() color.K { return color.NumColors(o.KInt, o.KFloat) }
 
 // PassStats records one trip around the Figure 4 cycle.
 type PassStats struct {
@@ -159,12 +107,15 @@ func (r *Result) TotalTime() time.Duration {
 }
 
 // Run allocates registers for f (on a private clone) and returns the
-// result. It fails if the iteration exceeds MaxPasses or if the
-// machine has too few registers to hold a single instruction's
-// operands (a spill temporary would itself need spilling).
+// result. Options are validated first (see Options.Validate); Run
+// then fails if the iteration exceeds MaxPasses or if the machine
+// has too few registers to hold a single instruction's operands (a
+// spill temporary would itself need spilling). When opt.Observer is
+// set, every phase additionally emits structured events (package
+// obs) as it runs.
 func Run(f *ir.Func, opt Options) (*Result, error) {
-	if opt.KInt < 1 || opt.KFloat < 1 {
-		return nil, fmt.Errorf("alloc: need at least one register per class (kInt=%d, kFloat=%d)", opt.KInt, opt.KFloat)
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	if opt.MaxPasses <= 0 {
 		opt.MaxPasses = 64
@@ -172,29 +123,35 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 	work := f.Clone()
 	res := &Result{Options: opt}
 	kf := opt.K()
+	tr := obs.New(opt.Observer, f.Name)
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		var ps PassStats
+		tr.SetPass(pass)
 
 		// Build: renumber into webs, coalesce copies, rebuild the
 		// graph, compute loop depths and spill costs.
+		tr.BeginPhase(obs.PhaseBuild)
 		t0 := time.Now()
 		liverange.Renumber(work)
 		var g *ig.Graph
 		if opt.Coalesce {
 			var moves int
+			tc := time.Now()
+			tr.BeginPhase(obs.PhaseCoalesce)
 			if opt.ConservativeCoalesce {
-				moves, g = coalesce.RunConservative(work, kf)
+				moves, g = coalesce.RunConservativeTraced(work, kf, tr)
 			} else {
-				moves, g = coalesce.Run(work)
+				moves, g = coalesce.RunTraced(work, tr)
 			}
+			tr.EndPhase(obs.PhaseCoalesce, time.Since(tc))
 			ps.CoalescedMoves = moves
 			if moves > 0 {
 				liverange.Renumber(work)
-				g = ig.Build(work)
+				g = ig.BuildTraced(work, tr)
 			}
 		} else {
-			g = ig.Build(work)
+			g = ig.BuildTraced(work, tr)
 		}
 		cfg.Analyze(work)
 		var rematOK []bool
@@ -209,21 +166,32 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		ps.Build = time.Since(t0)
 		ps.LiveRanges = work.NumRegs()
 		ps.Edges = g.NumEdges()
+		tr.EndPhase(obs.PhaseBuild, ps.Build)
+		if tr.Enabled() {
+			tr.Counter(obs.PhaseBuild, "graph.nodes", int64(ps.LiveRanges))
+			tr.Counter(obs.PhaseBuild, "graph.edges", int64(ps.Edges))
+			tr.Counter(obs.PhaseBuild, "coalesce.moves", int64(ps.CoalescedMoves))
+		}
 
 		// Simplify.
+		tr.BeginPhase(obs.PhaseSimplify)
 		t0 = time.Now()
-		sr := color.Simplify(g, costs, kf, opt.Heuristic, opt.Metric)
+		sr := color.SimplifyTraced(g, costs, kf, opt.Heuristic, opt.Metric, tr)
 		ps.Simplify = time.Since(t0)
 		ps.ScanSteps = sr.ScanSteps
+		tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
+		tr.Counter(obs.PhaseSimplify, "simplify.scan_steps", int64(ps.ScanSteps))
 
 		var toSpill []int32
 		if opt.Heuristic == color.Chaitin && len(sr.SpillMarked) > 0 {
 			// Chaitin: spill immediately, skip coloring this pass.
 			toSpill = sr.SpillMarked
 		} else {
+			tr.BeginPhase(obs.PhaseColor)
 			t0 = time.Now()
-			colors, uncolored := color.Select(g, sr.Stack, kf, opt.Heuristic != color.Chaitin)
+			colors, uncolored := color.SelectTraced(g, sr, kf, opt.Heuristic != color.Chaitin, tr)
 			ps.Color = time.Since(t0)
+			tr.EndPhase(obs.PhaseColor, ps.Color)
 			if len(uncolored) == 0 {
 				res.Passes = append(res.Passes, ps)
 				if err := color.Verify(g, colors, kf); err != nil {
@@ -247,6 +215,7 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 			ps.SpillCost += costs[n]
 		}
 		ps.Spilled = len(toSpill)
+		tr.BeginPhase(obs.PhaseSpill)
 		t0 = time.Now()
 		var st spill.Stats
 		switch {
@@ -262,6 +231,12 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		ps.StoresInserted = st.Stores
 		ps.Remats = st.Remats
 		ps.SplitLoads = st.SplitLoads
+		tr.EndPhase(obs.PhaseSpill, ps.Spill)
+		if tr.Enabled() {
+			tr.Counter(obs.PhaseSpill, "spill.ranges", int64(ps.Spilled))
+			tr.Counter(obs.PhaseSpill, "spill.cost", int64(ps.SpillCost))
+			st.Emit(tr)
+		}
 		res.Passes = append(res.Passes, ps)
 	}
 	return nil, fmt.Errorf("alloc: %s: no convergence after %d passes", f.Name, opt.MaxPasses)

@@ -8,6 +8,7 @@ package coalesce
 import (
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 )
 
 // Run coalesces moves in f until fixpoint, rewriting registers and
@@ -19,7 +20,22 @@ import (
 // reload temporary back into a long-lived range would undo the spill
 // and could keep the allocator from converging.
 func Run(f *ir.Func) (int, *ig.Graph) {
-	return run(f, nil)
+	return run(f, nil, nil)
+}
+
+// RunTraced is Run with an observability tracer: each build/coalesce
+// round emits counters for the moves examined and merged, which is
+// finer-grained than the total Run returns (the fixpoint loop's
+// convergence is visible round by round). A nil tracer makes it
+// identical to Run.
+func RunTraced(f *ir.Func, tr *obs.Tracer) (int, *ig.Graph) {
+	return run(f, nil, tr)
+}
+
+// RunConservativeTraced is RunConservative with an observability
+// tracer; see RunTraced.
+func RunConservativeTraced(f *ir.Func, k func(ir.Class) int, tr *obs.Tracer) (int, *ig.Graph) {
+	return run(f, k, tr)
 }
 
 // RunConservative coalesces with the Briggs conservative test that
@@ -31,13 +47,15 @@ func Run(f *ir.Func) (int, *ig.Graph) {
 // colorable graph into a spilling one. Included as an ablation — the
 // paper's own allocator coalesces aggressively.
 func RunConservative(f *ir.Func, k func(ir.Class) int) (int, *ig.Graph) {
-	return run(f, k)
+	return run(f, k, nil)
 }
 
-func run(f *ir.Func, conservativeK func(ir.Class) int) (int, *ig.Graph) {
+func run(f *ir.Func, conservativeK func(ir.Class) int, tr *obs.Tracer) (int, *ig.Graph) {
 	total := 0
+	rounds := 0
 	for {
 		g := ig.Build(f)
+		examined := 0
 		parent := make([]ir.Reg, f.NumRegs())
 		for i := range parent {
 			parent[i] = ir.Reg(i)
@@ -63,6 +81,7 @@ func run(f *ir.Func, conservativeK func(ir.Class) int) (int, *ig.Graph) {
 				if dst == src {
 					continue
 				}
+				examined++
 				// Only coalesce pairs untouched in this round: the
 				// static graph g cannot answer interference queries
 				// about a range merged moments ago (its true
@@ -94,7 +113,15 @@ func run(f *ir.Func, conservativeK func(ir.Class) int) (int, *ig.Graph) {
 				merged++
 			}
 		}
+		if tr.Enabled() {
+			tr.Counter(obs.PhaseCoalesce, "coalesce.examined", int64(examined))
+			tr.Counter(obs.PhaseCoalesce, "coalesce.merged", int64(merged))
+		}
+		rounds++
 		if merged == 0 {
+			if tr.Enabled() {
+				tr.Counter(obs.PhaseCoalesce, "coalesce.rounds", int64(rounds))
+			}
 			return total, g
 		}
 		total += merged

@@ -27,6 +27,7 @@ import (
 
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 )
 
 // Heuristic selects a coloring algorithm.
@@ -108,15 +109,24 @@ type SimplifyResult struct {
 // cost[n] is the estimated spill cost of node n (ignored by
 // MatulaBeck).
 func Simplify(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric) *SimplifyResult {
+	return SimplifyTraced(g, cost, k, h, metric, nil)
+}
+
+// SimplifyTraced is Simplify with an observability tracer: each time
+// the phase is stuck and falls back on the spill-choice metric, the
+// picked node, its current degree, its cost, and the metric value
+// that won are emitted as a spill-decision event. A nil tracer makes
+// it identical to Simplify.
+func SimplifyTraced(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric, tr *obs.Tracer) *SimplifyResult {
 	res := &SimplifyResult{}
 	// The integer and float subgraphs are disjoint; simplify each.
 	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
-		simplifyClass(g, cost, k(cls), cls, h, metric, res)
+		simplifyClass(g, cost, k(cls), cls, h, metric, res, tr)
 	}
 	return res
 }
 
-func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult) {
+func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult, tr *obs.Tracer) {
 	w := ig.NewWorklist(g, cls)
 	for w.Remaining() > 0 {
 		n := w.MinDegreeNode()
@@ -128,7 +138,8 @@ func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic
 		}
 		// Stuck: every remaining node has degree >= k. Fall back on
 		// the spill-choice metric (paper §2.3).
-		pick := chooseSpill(w, cost, metric)
+		pick, val := chooseSpill(w, cost, metric)
+		tr.SpillDecision(pick, w.Degree(pick), cost[pick], val)
 		w.Remove(pick)
 		res.Candidates = append(res.Candidates, pick)
 		if h == Chaitin {
@@ -140,9 +151,10 @@ func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic
 	res.ScanSteps += w.ScanSteps
 }
 
-// chooseSpill picks the node to remove while stuck. Ties are broken
-// toward the lowest node number.
-func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) int32 {
+// chooseSpill picks the node to remove while stuck and returns it
+// with its metric value. Ties are broken toward the lowest node
+// number.
+func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) (int32, float64) {
 	best := int32(-1)
 	bestVal := math.Inf(1)
 	w.ForEachRemaining(func(a int32) {
@@ -160,7 +172,7 @@ func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) int32 {
 			bestVal = v
 		}
 	})
-	return best
+	return best, bestVal
 }
 
 // NoColor marks an uncolored (spilled) node in a color assignment.
@@ -176,6 +188,27 @@ const NoColor int16 = -1
 // With optimistic=true (Briggs, Matula–Beck), colorless nodes stay
 // NoColor and are returned as the spill set.
 func Select(g *ig.Graph, stack []int32, k K, optimistic bool) (colors []int16, uncolored []int32) {
+	return SelectTraced(g, &SimplifyResult{Stack: stack}, k, optimistic, nil)
+}
+
+// SelectTraced is Select over a full SimplifyResult, with an
+// observability tracer. Whenever a node that simplify removed as a
+// spill candidate (sr.Candidates: degree >= k at removal) receives a
+// color after all, a color-reuse event is emitted carrying the
+// node's degree, the number of distinct colors its already-colored
+// neighbors occupy, and the color assigned — the event stream that
+// witnesses *why* optimistic coloring beats Chaitin (§2.2: many
+// high-degree nodes have neighbors that reuse few colors). A nil
+// tracer makes it identical to Select.
+func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs.Tracer) (colors []int16, uncolored []int32) {
+	stack := sr.Stack
+	var candidate []bool
+	if tr.Enabled() && len(sr.Candidates) > 0 {
+		candidate = make([]bool, g.NumNodes())
+		for _, n := range sr.Candidates {
+			candidate[n] = true
+		}
+	}
 	colors = make([]int16, g.NumNodes())
 	for i := range colors {
 		colors[i] = NoColor
@@ -198,10 +231,23 @@ func Select(g *ig.Graph, stack []int32, k K, optimistic bool) (colors []int16, u
 			}
 		}
 		c := int16(NoColor)
-		for j := 0; j < kn; j++ {
-			if !used[j] {
-				c = int16(j)
-				break
+		inUse := 0
+		if candidate == nil {
+			for j := 0; j < kn; j++ {
+				if !used[j] {
+					c = int16(j)
+					break
+				}
+			}
+		} else {
+			// Traced path: also count the distinct colors in use, the
+			// quantity the color-reuse event reports.
+			for j := 0; j < kn; j++ {
+				if used[j] {
+					inUse++
+				} else if c == NoColor {
+					c = int16(j)
+				}
 			}
 		}
 		inserted[n] = true
@@ -213,6 +259,9 @@ func Select(g *ig.Graph, stack []int32, k K, optimistic bool) (colors []int16, u
 			continue
 		}
 		colors[n] = c
+		if candidate != nil && candidate[n] {
+			tr.ColorReuse(n, int32(g.Degree(n)), inUse, c)
+		}
 	}
 	return colors, uncolored
 }

@@ -117,7 +117,7 @@ func Ablations() (*AblationResult, error) {
 	}
 
 	runWith := func(prog *regalloc.Program, routine string, mutate func(*regalloc.Options)) Outcome {
-		opt := regalloc.DefaultOptions()
+		opt := defaultOptions()
 		mutate(&opt)
 		r, err := prog.Allocate(routine, opt)
 		if err != nil {
@@ -143,7 +143,7 @@ func Ablations() (*AblationResult, error) {
 		prog := progs[ar.program]
 		row := CoalesceRow{Routine: ar.routine}
 		for _, mode := range []string{"aggressive", "conservative", "off"} {
-			opt := regalloc.DefaultOptions()
+			opt := defaultOptions()
 			opt.Coalesce = mode != "off"
 			opt.ConservativeCoalesce = mode == "conservative"
 			r, err := prog.Allocate(ar.routine, opt)
@@ -189,7 +189,7 @@ func Ablations() (*AblationResult, error) {
 		prog := progs[ar.program]
 		row := RematRow{Routine: ar.routine}
 		for _, on := range []bool{false, true} {
-			opt := regalloc.DefaultOptions()
+			opt := defaultOptions()
 			opt.Rematerialize = on
 			r, err := prog.Allocate(ar.routine, opt)
 			if err != nil {
@@ -230,7 +230,7 @@ func Ablations() (*AblationResult, error) {
 		row := SplitRow{Scenario: sc.name}
 		var digests [2]uint64
 		for i, split := range []bool{false, true} {
-			opt := regalloc.DefaultOptions()
+			opt := defaultOptions()
 			opt.Split = split
 			opt.KInt = sc.k
 			m := regalloc.RTPC().WithGPR(sc.k)

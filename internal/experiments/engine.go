@@ -74,7 +74,7 @@ func (e InterpEngine) StoreFloat(a int64, v float64) { e.I.StoreFloat(a, v) }
 // NewVMEngine assembles prog with the given heuristic on the paper's
 // machine and returns a simulator engine.
 func NewVMEngine(prog *regalloc.Program, h regalloc.Heuristic, m regalloc.Machine) (VMEngine, error) {
-	opt := regalloc.DefaultOptions()
+	opt := defaultOptions()
 	opt.Heuristic = h
 	code, _, err := prog.Assemble(m, opt)
 	if err != nil {

@@ -81,13 +81,13 @@ func Figure5() (*Figure5Result, error) {
 // staticRow allocates one routine under both heuristics.
 func staticRow(prog *regalloc.Program, program, routine string, m regalloc.Machine) (Fig5Row, error) {
 	row := Fig5Row{Program: program, Routine: routine}
-	oldOpt := regalloc.DefaultOptions()
+	oldOpt := defaultOptions()
 	oldOpt.Heuristic = regalloc.Chaitin
 	oldRes, err := prog.Allocate(routine, oldOpt)
 	if err != nil {
 		return row, fmt.Errorf("figure5: %s (chaitin): %w", routine, err)
 	}
-	newOpt := regalloc.DefaultOptions()
+	newOpt := defaultOptions()
 	newOpt.Heuristic = regalloc.Briggs
 	newRes, err := prog.Allocate(routine, newOpt)
 	if err != nil {

@@ -57,7 +57,7 @@ func Figure6(elements int64) (*Figure6Result, error) {
 		}
 		run := func(h regalloc.Heuristic) (side, error) {
 			var s side
-			opt := regalloc.DefaultOptions()
+			opt := defaultOptions()
 			opt.Heuristic = h
 			opt.KInt = k
 			res, err := prog.Allocate("QSORT", opt)

@@ -51,13 +51,13 @@ func Figure7() (*Figure7Result, error) {
 	}
 	for _, s := range wanted {
 		prog := compiled[s.program]
-		oldOpt := regalloc.DefaultOptions()
+		oldOpt := defaultOptions()
 		oldOpt.Heuristic = regalloc.Chaitin
 		oldRes, err := prog.Allocate(s.routine, oldOpt)
 		if err != nil {
 			return nil, fmt.Errorf("figure7: %s chaitin: %w", s.routine, err)
 		}
-		newOpt := regalloc.DefaultOptions()
+		newOpt := defaultOptions()
 		newOpt.Heuristic = regalloc.Briggs
 		newRes, err := prog.Allocate(s.routine, newOpt)
 		if err != nil {

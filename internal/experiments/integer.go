@@ -104,7 +104,7 @@ func IntegerStudy() (*IntegerStudyResult, error) {
 		for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
 			spills[h] = make(map[string]int)
 			for _, rt := range w.Routines {
-				opt := regalloc.DefaultOptions()
+				opt := defaultOptions()
 				opt.Heuristic = h
 				opt.KInt = k
 				res, err := prog.Allocate(rt, opt)

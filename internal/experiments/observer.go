@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"regalloc"
+	"regalloc/internal/obs"
+)
+
+// observer is the sink every experiment's allocator runs feed; nil
+// (the default) keeps them unobserved. cmd/bench sets it from the
+// -trace and -metrics flags before regenerating a figure.
+var observer obs.Sink
+
+// SetObserver routes all subsequent experiment allocations to sink
+// (nil disconnects). Not safe to call while experiments are running.
+func SetObserver(sink obs.Sink) { observer = sink }
+
+// defaultOptions is regalloc.DefaultOptions with the package
+// observer attached; every experiment builds its Options through it.
+func defaultOptions() regalloc.Options {
+	o := regalloc.DefaultOptions()
+	o.Observer = observer
+	return o
+}

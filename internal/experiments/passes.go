@@ -45,7 +45,7 @@ func PassStudy() (*PassStudyResult, error) {
 		for _, rt := range w.Routines {
 			row := PassRow{Program: w.Program, Routine: rt}
 			for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs} {
-				opt := regalloc.DefaultOptions()
+				opt := defaultOptions()
 				opt.Heuristic = h
 				res, err := prog.Allocate(rt, opt)
 				if err != nil {

@@ -17,6 +17,7 @@ import (
 	"regalloc/internal/bitset"
 	"regalloc/internal/dataflow"
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 )
 
 // bitMatrixLimit bounds the dense representation: up to this many
@@ -135,12 +136,22 @@ func (g *Graph) Degree(a int32) int { return len(g.adj[a]) }
 // source. That exception is Chaitin's: the move dst/src pair should
 // be coalescable, not conflicting, when dst's value is just src's.
 func Build(f *ir.Func) *Graph {
+	return BuildTraced(f, nil)
+}
+
+// BuildTraced is Build with an observability tracer: the finished
+// graph's node and edge totals, and the interference-query work done
+// while building (edge insertions attempted, including duplicates
+// the edge-hash rejected), are emitted as build-phase counters. A
+// nil tracer makes it identical to Build.
+func BuildTraced(f *ir.Func, tr *obs.Tracer) *Graph {
 	classes := make([]ir.Class, f.NumRegs())
 	for i := range classes {
 		classes[i] = f.RegClass(ir.Reg(i))
 	}
 	g := New(classes)
 	lv := dataflow.ComputeLiveness(f)
+	attempts := 0
 	for _, b := range f.Blocks {
 		lv.LiveAcross(f, b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
 			d := in.Def()
@@ -153,10 +164,14 @@ func Build(f *ir.Func) *Graph {
 			}
 			liveAfter.ForEach(func(l int) {
 				if ir.Reg(l) != d && ir.Reg(l) != moveSrc {
+					attempts++
 					g.AddEdge(int32(d), int32(l))
 				}
 			})
 		})
+	}
+	if tr.Enabled() {
+		tr.Counter(obs.PhaseBuild, "ig.edge_inserts", int64(attempts))
 	}
 	return g
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 )
 
 // CostParams tunes the cost estimator.
@@ -69,6 +70,20 @@ type Stats struct {
 	Slots      int
 	Remats     int // constant recomputations replacing reloads
 	SplitLoads int // preheader reloads shared by a whole loop
+}
+
+// Emit publishes the insertion totals as spill-phase counters on tr
+// (no-op for a nil tracer), keeping the trace stream reconciled with
+// the PassStats record.
+func (s Stats) Emit(tr *obs.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Counter(obs.PhaseSpill, "spill.loads", int64(s.Loads))
+	tr.Counter(obs.PhaseSpill, "spill.stores", int64(s.Stores))
+	tr.Counter(obs.PhaseSpill, "spill.slots", int64(s.Slots))
+	tr.Counter(obs.PhaseSpill, "spill.remats", int64(s.Remats))
+	tr.Counter(obs.PhaseSpill, "spill.split_loads", int64(s.SplitLoads))
 }
 
 // InsertCode rewrites f so that every register in spilled lives in

@@ -1,0 +1,81 @@
+// Package target models the simulated machine: the register files,
+// the instruction encoding size, and the cycle cost of each
+// operation. It stands in for the paper's IBM RT/PC (§5 of
+// DESIGN.md): a 32-bit RISC-ish machine with 16 general-purpose and
+// 8 floating-point registers. The static model here is what both the
+// assembler (object size) and the simulator (dynamic cycle counts)
+// charge against, so Figure 5's static and dynamic columns share one
+// source of truth.
+package target
+
+import "regalloc/internal/ir"
+
+// Machine describes one target configuration. The register-file
+// sizes are the allocator's color counts; the quicksort study
+// (Figure 6) shrinks NumGPR below the RT/PC's 16 to raise pressure.
+type Machine struct {
+	Name   string
+	NumGPR int // general-purpose (integer) registers
+	NumFPR int // floating-point registers
+}
+
+// RTPC returns the paper's machine: 16 GPRs and 8 FPRs.
+func RTPC() Machine { return Machine{Name: "rt/pc", NumGPR: 16, NumFPR: 8} }
+
+// K returns the number of registers available to the class.
+func (m Machine) K(c ir.Class) int {
+	if c == ir.ClassFloat {
+		return m.NumFPR
+	}
+	return m.NumGPR
+}
+
+// WithGPR returns a copy of m with the general-purpose file resized
+// (the Figure 6 register study).
+func (m Machine) WithGPR(n int) Machine {
+	m.NumGPR = n
+	return m
+}
+
+// WithFPR returns a copy of m with the floating-point file resized.
+func (m Machine) WithFPR(n int) Machine {
+	m.NumFPR = n
+	return m
+}
+
+// BytesPerInstr is the fixed encoding width of one instruction; the
+// "object size" columns are instruction counts times this.
+const BytesPerInstr = 4
+
+// CallOverhead is the fixed cycle cost charged for a call: linkage,
+// prologue, and epilogue on the simulated machine.
+const CallOverhead uint64 = 8
+
+// TakenBranchExtra is the extra cycle a taken branch costs (the
+// "taken +1" of the DESIGN.md cycle model); the simulator adds it on
+// top of Cycles(OpBr/OpBrIf) when the branch actually redirects.
+const TakenBranchExtra uint64 = 1
+
+// Cycles returns the cycle cost of executing op once, per the cycle
+// model in DESIGN.md §4: integer ALU 1, load/store 2, FP add-class 2,
+// FP multiply 4, FP divide and the long intrinsics 17, branch 1 (+1
+// taken, charged by the simulator), call CallOverhead.
+func Cycles(op ir.Op) uint64 {
+	switch op {
+	case ir.OpLoad, ir.OpStore, ir.OpSpillLoad, ir.OpSpillStore:
+		return 2
+	case ir.OpFAdd, ir.OpFSub, ir.OpFNeg, ir.OpFMin, ir.OpFMax,
+		ir.OpFAbs, ir.OpFSign, ir.OpItoF, ir.OpFtoI:
+		return 2
+	case ir.OpFMul:
+		return 4
+	case ir.OpFDiv, ir.OpFSqrt, ir.OpFExp, ir.OpFLog, ir.OpFSin,
+		ir.OpFCos, ir.OpFMod, ir.OpFPow:
+		return 17
+	case ir.OpCall:
+		return CallOverhead
+	default:
+		// Integer ALU, moves, constants, branches, returns: 1.
+		return 1
+	}
+}

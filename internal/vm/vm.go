@@ -228,6 +228,7 @@ func (vm *VM) run(f *asm.Func, args []Value) (Value, error) {
 				vm.Mem[a] = uint64(gpr[in.A])
 			}
 		case ir.OpBr:
+			vm.Cycles += target.TakenBranchExtra
 			pc = in.T0
 			continue
 		case ir.OpBrIf:
@@ -238,6 +239,7 @@ func (vm *VM) run(f *asm.Func, args []Value) (Value, error) {
 				taken = icmp(in.Cmp, gpr[in.A], gpr[in.B])
 			}
 			if taken {
+				vm.Cycles += target.TakenBranchExtra
 				pc = in.T0
 				continue
 			}

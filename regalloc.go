@@ -8,22 +8,54 @@
 // The typical flow is:
 //
 //	prog, err := regalloc.Compile(source)
-//	res, err := prog.Allocate("SVD", regalloc.Options{Heuristic: regalloc.Briggs, KInt: 16, KFloat: 8, ...})
-//	// res.FirstPassSpilled(), res.LiveRanges(), ...
+//	res, err := prog.Allocate("SVD", regalloc.DefaultOptions())
 //
-// and for dynamic (simulated) measurements:
+// Result carries everything the paper measures: FirstPassSpilled and
+// FirstPassSpillCost (Figure 5's static columns), TotalSpilled and
+// TotalSpillCost (all passes), LiveRanges (the first graph's size),
+// TotalTime (summed phase times), and the full per-pass PassStats
+// slice in Result.Passes (Figure 7's per-phase durations plus graph
+// sizes, coalesced moves, scan steps, and inserted spill code).
+//
+// For dynamic (simulated) measurements:
 //
 //	machine := regalloc.RTPC()
 //	code, _, err := prog.Assemble(machine, opts)
 //	m := regalloc.NewVM(code, memWords)
 //	m.Call("QSORT", vm.Int(base), vm.Int(n))
 //
+// # Observability
+//
+// Setting Options.Observer streams structured events out of the
+// allocator while it runs: one span per Figure 4 phase per pass
+// (whose durations equal the PassStats record exactly), counters for
+// graph sizes, coalescing, scan work and spill code, spill-decision
+// events carrying the cost and metric value behind each choice, and
+// color-reuse events witnessing each optimistic win over Chaitin's
+// pessimism. Three sinks are provided: NewJSONSink (one JSON object
+// per line), NewTextSink (log lines), and NewMetricsSink (in-process
+// counters + duration histograms); MultiSink combines them.
+//
+//	ms := regalloc.NewMetricsSink()
+//	opt := regalloc.DefaultOptions()
+//	opt.Observer = ms
+//	res, err := prog.Allocate("SVD", opt)
+//	fmt.Print(ms.Snapshot())
+//
+// Options misuse fails loudly: Allocate, Assemble, and
+// AssembleContext validate first and return errors matchable with
+// errors.Is against ErrBadK, ErrBadHeuristic, ErrBadMetric,
+// ErrConflictingSpillModes, and ErrBadWorkers.
+//
 // Subpackages under internal/ implement each stage; this package is
 // the stable surface.
 package regalloc
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"runtime"
 	"sync"
 
 	"regalloc/internal/alloc"
@@ -32,6 +64,7 @@ import (
 	"regalloc/internal/ir"
 	"regalloc/internal/irgen"
 	"regalloc/internal/irinterp"
+	"regalloc/internal/obs"
 	"regalloc/internal/opt"
 	"regalloc/internal/parser"
 	"regalloc/internal/sem"
@@ -58,6 +91,54 @@ type Options = alloc.Options
 
 // Result is a completed allocation; it is alloc.Result re-exported.
 type Result = alloc.Result
+
+// PassStats records one trip around the paper's Figure 4 cycle:
+// per-phase durations plus the pass's graph size, coalesced moves,
+// spills, inserted spill code, and scan work. Result.Passes holds
+// one per pass. It is alloc.PassStats re-exported so callers never
+// import internal/alloc.
+type PassStats = alloc.PassStats
+
+// Typed option errors, re-exported from internal/alloc. Validation
+// failures wrap these; match with errors.Is.
+var (
+	ErrBadK                  = alloc.ErrBadK
+	ErrBadHeuristic          = alloc.ErrBadHeuristic
+	ErrBadMetric             = alloc.ErrBadMetric
+	ErrConflictingSpillModes = alloc.ErrConflictingSpillModes
+	ErrBadWorkers            = alloc.ErrBadWorkers
+)
+
+// Observer is the allocator's event-sink interface (obs.Sink
+// re-exported): anything with Emit(TraceEvent) can receive the live
+// event stream via Options.Observer. Sinks used with Assemble or
+// AssembleContext must be safe for concurrent use.
+type Observer = obs.Sink
+
+// TraceEvent is one structured observation (obs.Event re-exported):
+// a phase span boundary, a counter, a spill decision, or a
+// color-reuse witness.
+type TraceEvent = obs.Event
+
+// Metrics is a point-in-time aggregate from a MetricsSink.
+type Metrics = obs.Metrics
+
+// NewJSONSink returns an Observer writing one JSON object per event
+// per line to w — the format cmd/regalloc -trace and cmd/bench
+// -trace emit.
+func NewJSONSink(w io.Writer) Observer { return obs.NewJSONSink(w) }
+
+// NewTextSink returns an Observer writing one human-readable line
+// per event to w.
+func NewTextSink(w io.Writer) Observer { return obs.NewTextSink(w) }
+
+// NewMetricsSink returns an aggregating Observer; call Snapshot for
+// the accumulated counters and per-phase duration histograms.
+func NewMetricsSink() *obs.MetricsSink { return obs.NewMetricsSink() }
+
+// MultiSink fans events out to several observers; nil entries are
+// dropped.
+func MultiSink(sinks ...Observer) Observer { return obs.Multi(sinks...) }
 
 // Machine describes the simulated target.
 type Machine = target.Machine
@@ -125,8 +206,13 @@ func (p *Program) Functions() []string {
 // Func returns the IR of one unit, or nil.
 func (p *Program) Func(name string) *ir.Func { return p.IR.Func(name) }
 
-// Allocate runs register allocation for one unit.
+// Allocate runs register allocation for one unit. Options are
+// validated first; misuse returns one of the typed errors (ErrBadK,
+// ErrConflictingSpillModes, ...).
 func (p *Program) Allocate(name string, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	f := p.IR.Func(name)
 	if f == nil {
 		return nil, fmt.Errorf("regalloc: no unit %s", name)
@@ -134,25 +220,59 @@ func (p *Program) Allocate(name string, opt Options) (*Result, error) {
 	return alloc.Run(f, opt)
 }
 
-// Assemble allocates every unit with opt and lowers the result to
-// machine code for m. Units are independent, so they are allocated
-// in parallel; the output is deterministic (unit order and every
-// per-unit result are position-fixed). It returns the code and the
-// per-unit allocation results.
-func (p *Program) Assemble(m Machine, opt Options) (*asm.Program, map[string]*Result, error) {
+// AssembleContext allocates every unit with opt and lowers the
+// result to machine code for m. Units are independent, so they are
+// allocated on a worker pool bounded by opt.Workers (0 means
+// GOMAXPROCS); the output is deterministic regardless (unit order
+// and every per-unit result are position-fixed). It returns the code
+// and the per-unit allocation results.
+//
+// The machine is authoritative for register budgets: opt.KInt and
+// opt.KFloat are set to m.NumGPR and m.NumFPR, because the lowered
+// code addresses m's physical register files and a larger budget
+// could not be encoded. To color for a budget decoupled from any
+// machine, use Allocate. The remaining options are validated before
+// any work starts; misuse returns a typed error.
+//
+// Cancelling ctx stops the run: units not yet started are skipped
+// and the context's error is returned. Units already in flight run
+// to completion (a single-unit allocation is fast; there is no
+// preemption point inside a pass).
+func (p *Program) AssembleContext(ctx context.Context, m Machine, opt Options) (*asm.Program, map[string]*Result, error) {
 	opt.KInt = m.NumGPR
 	opt.KFloat = m.NumFPR
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	type slot struct {
 		af  *asm.Func
 		res *Result
 		err error
 	}
 	slots := make([]slot, len(p.IR.Funcs))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, f := range p.IR.Funcs {
+		// Check cancellation before racing it against a free worker
+		// slot: a done context always wins.
+		if ctx.Err() != nil {
+			slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, ctx.Err())
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, ctx.Err())
+			continue
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
 		go func(i int, f *ir.Func) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			res, err := alloc.Run(f, opt)
 			if err != nil {
 				slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, err)
@@ -177,6 +297,13 @@ func (p *Program) Assemble(m Machine, opt Options) (*asm.Program, map[string]*Re
 		results[f.Name] = slots[i].res
 	}
 	return code, results, nil
+}
+
+// Assemble is AssembleContext with a background context: allocate
+// and lower every unit for m. As documented there, m's register-file
+// sizes override opt.KInt and opt.KFloat.
+func (p *Program) Assemble(m Machine, opt Options) (*asm.Program, map[string]*Result, error) {
+	return p.AssembleContext(context.Background(), m, opt)
 }
 
 // MemWords suggests a simulator memory size: enough for the static

@@ -34,30 +34,47 @@ func main() {
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated allocator metrics after the figures")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable phase benchmark to this file and exit")
+	benchReps := flag.Int("bench-reps", 3, "repetitions per configuration in -bench-json mode (best is kept)")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		fail(runBenchJSON(*benchJSON, *benchReps))
+		return
+	}
+
 	var traceSink obs.Sink
+	closeTrace := func() error { return nil }
 	if *tracePath != "" {
 		w := os.Stdout
+		var f *os.File
 		if *tracePath != "-" {
-			f, err := os.Create(*tracePath)
+			var err error
+			f, err = os.Create(*tracePath)
 			fail(err)
-			defer f.Close()
 			w = f
 		}
-		traceSink = obs.NewJSONSink(w)
+		js := obs.NewJSONSink(w)
+		traceSink = js
+		// Checked at exit, not dropped in a defer: a full disk
+		// surfaces as a mid-stream write error (remembered by the
+		// sink) or at close, and either must fail the run instead of
+		// shipping a silently truncated trace.
+		closeTrace = func() error {
+			if err := js.Err(); err != nil {
+				return err
+			}
+			if f != nil {
+				return f.Close()
+			}
+			return nil
+		}
 	}
 	var metricsSink *obs.MetricsSink
 	if *metrics {
 		metricsSink = obs.NewMetricsSink()
 	}
 	experiments.SetObserver(obs.Multi(traceSink, metricsSink))
-	if metricsSink != nil {
-		defer func() {
-			fmt.Println("=== Allocator metrics (aggregated over every run above) ===")
-			fmt.Print(metricsSink.Snapshot())
-		}()
-	}
 
 	run5 := *figure == "5" || *figure == "all"
 	run6 := *figure == "6" || *figure == "all"
@@ -105,6 +122,15 @@ func main() {
 		res, err := experiments.PassStudy()
 		fail(err)
 		fmt.Println(res)
+	}
+
+	if metricsSink != nil {
+		fmt.Println("=== Allocator metrics (aggregated over every run above) ===")
+		fmt.Print(metricsSink.Snapshot())
+	}
+	if err := closeTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: closing trace:", err)
+		os.Exit(1)
 	}
 }
 

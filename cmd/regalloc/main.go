@@ -57,15 +57,31 @@ func main() {
 	flag.Parse()
 
 	var traceSink obs.Sink
+	closeTrace := func() error { return nil }
 	if *tracePath != "" {
 		w := os.Stdout
+		var f *os.File
 		if *tracePath != "-" {
-			f, err := os.Create(*tracePath)
+			var err error
+			f, err = os.Create(*tracePath)
 			fail(err)
-			defer f.Close()
 			w = f
 		}
-		traceSink = obs.NewJSONSink(w)
+		js := obs.NewJSONSink(w)
+		traceSink = js
+		// Checked at exit, not dropped in a defer: a write error
+		// (full disk, quota) surfaces mid-stream or at close, and
+		// either must fail the run instead of silently truncating
+		// the trace.
+		closeTrace = func() error {
+			if err := js.Err(); err != nil {
+				return err
+			}
+			if f != nil {
+				return f.Close()
+			}
+			return nil
+		}
 	}
 	var metricsSink *obs.MetricsSink
 	if *metrics {
@@ -80,6 +96,10 @@ func main() {
 	}
 	if metricsSink != nil {
 		fmt.Print(metricsSink.Snapshot())
+	}
+	if err := closeTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "regalloc: closing trace:", err)
+		os.Exit(1)
 	}
 }
 

@@ -7,9 +7,9 @@ package alloc
 
 import (
 	"fmt"
+	"math"
 	"time"
 
-	"regalloc/internal/cfg"
 	"regalloc/internal/coalesce"
 	"regalloc/internal/color"
 	"regalloc/internal/ig"
@@ -129,31 +129,38 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		var ps PassStats
 		tr.SetPass(pass)
 
-		// Build: renumber into webs, coalesce copies, rebuild the
-		// graph, compute loop depths and spill costs.
+		// Build: renumber into webs, analyze once (liveness + CFG,
+		// cached in the pass context), coalesce copies, rebuild the
+		// graph, compute spill costs from the stamped loop depths.
 		tr.BeginPhase(obs.PhaseBuild)
 		t0 := time.Now()
 		liverange.Renumber(work)
+		pc := newPassCtx(work)
 		var g *ig.Graph
 		if opt.Coalesce {
-			var moves int
+			var ck func(ir.Class) int
+			if opt.ConservativeCoalesce {
+				ck = kf
+			}
 			tc := time.Now()
 			tr.BeginPhase(obs.PhaseCoalesce)
-			if opt.ConservativeCoalesce {
-				moves, g = coalesce.RunConservativeTraced(work, kf, tr)
-			} else {
-				moves, g = coalesce.RunTraced(work, tr)
-			}
+			cs, cg := coalesce.RunWithLiveness(work, pc.lv, ck, opt.Workers, tr)
 			tr.EndPhase(obs.PhaseCoalesce, time.Since(tc))
-			ps.CoalescedMoves = moves
-			if moves > 0 {
+			ps.CoalescedMoves = cs.Moves
+			pc.livenessRuns += cs.LivenessRuns
+			g = cg // non-nil exactly when no move merged
+			if cs.Moves > 0 {
+				// Coalescing rewrote the code (and so returned no
+				// graph): renumber the merged webs and rebuild on
+				// fresh liveness. The CFG analysis stays valid — no
+				// block was touched.
 				liverange.Renumber(work)
-				g = ig.BuildTraced(work, tr)
+				pc.refreshLiveness(work)
+				g = ig.BuildWithLiveness(work, pc.lv, opt.Workers, tr)
 			}
 		} else {
-			g = ig.BuildTraced(work, tr)
+			g = ig.BuildWithLiveness(work, pc.lv, opt.Workers, tr)
 		}
-		cfg.Analyze(work)
 		var rematOK []bool
 		var rematVals []spill.RematValue
 		var costs []float64
@@ -167,6 +174,7 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		ps.LiveRanges = work.NumRegs()
 		ps.Edges = g.NumEdges()
 		tr.EndPhase(obs.PhaseBuild, ps.Build)
+		pc.emitCounters(tr)
 		if tr.Enabled() {
 			tr.Counter(obs.PhaseBuild, "graph.nodes", int64(ps.LiveRanges))
 			tr.Counter(obs.PhaseBuild, "graph.edges", int64(ps.Edges))
@@ -220,7 +228,10 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		var st spill.Stats
 		switch {
 		case opt.Split:
-			st = spill.InsertCodeSplit(work, regs, cfg.Analyze(work))
+			// pc.info is still the analysis of work: nothing since the
+			// pass started has added or removed a block. (Recomputing
+			// here was the second cfg.Analyze per split-mode pass.)
+			st = spill.InsertCodeSplit(work, regs, pc.info)
 		case opt.Rematerialize:
 			st = spill.InsertCodeRemat(work, regs, rematOK, rematVals)
 		default:
@@ -234,7 +245,12 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 		tr.EndPhase(obs.PhaseSpill, ps.Spill)
 		if tr.Enabled() {
 			tr.Counter(obs.PhaseSpill, "spill.ranges", int64(ps.Spilled))
-			tr.Counter(obs.PhaseSpill, "spill.cost", int64(ps.SpillCost))
+			// Fixed-point millicost: cost estimates are fractional
+			// (cost/degree metrics, remat discounts), and a plain
+			// int64 truncation made trace totals drift from
+			// PassStats.SpillCost. value/1000 reconciles exactly to
+			// the rounding.
+			tr.Counter(obs.PhaseSpill, "spill.cost_milli", int64(math.Round(ps.SpillCost*1000)))
 			st.Emit(tr)
 		}
 		res.Passes = append(res.Passes, ps)

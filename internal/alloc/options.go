@@ -70,7 +70,12 @@ type Options struct {
 	Observer obs.Sink
 	// Workers bounds the worker pool used by whole-program
 	// allocation (regalloc.AssembleContext); 0 means GOMAXPROCS.
-	// Single-unit allocation ignores it.
+	// Within a single unit, Workers > 1 additionally shards the
+	// interference-graph build across goroutines (see
+	// ig.BuildWithLiveness); the effective shard count is capped at
+	// GOMAXPROCS and small units stay sequential. The sharded build
+	// merges deterministically, so results are byte-identical to
+	// Workers <= 1 — only the build wall time changes.
 	Workers int
 }
 

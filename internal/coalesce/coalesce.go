@@ -6,10 +6,25 @@
 package coalesce
 
 import (
+	"regalloc/internal/dataflow"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
 )
+
+// Stats summarizes one coalescing run for the caller's accounting.
+type Stats struct {
+	// Moves is the total number of copies eliminated.
+	Moves int
+	// Rounds is the number of build/coalesce rounds run (always at
+	// least one; the last round merges nothing).
+	Rounds int
+	// LivenessRuns counts the liveness recomputations forced by
+	// merging rounds: the round that reaches fixpoint reuses the
+	// liveness it was handed, so a function with no coalescable
+	// moves costs zero recomputations.
+	LivenessRuns int
+}
 
 // Run coalesces moves in f until fixpoint, rewriting registers and
 // deleting the eliminated copies. It returns the number of moves
@@ -20,7 +35,8 @@ import (
 // reload temporary back into a long-lived range would undo the spill
 // and could keep the allocator from converging.
 func Run(f *ir.Func) (int, *ig.Graph) {
-	return run(f, nil, nil)
+	st, g := RunWithLiveness(f, dataflow.ComputeLiveness(f), nil, 1, nil)
+	return st.Moves, finalGraph(f, g, nil)
 }
 
 // RunTraced is Run with an observability tracer: each build/coalesce
@@ -29,13 +45,26 @@ func Run(f *ir.Func) (int, *ig.Graph) {
 // convergence is visible round by round). A nil tracer makes it
 // identical to Run.
 func RunTraced(f *ir.Func, tr *obs.Tracer) (int, *ig.Graph) {
-	return run(f, nil, tr)
+	st, g := RunWithLiveness(f, dataflow.ComputeLiveness(f), nil, 1, tr)
+	return st.Moves, finalGraph(f, g, tr)
 }
 
 // RunConservativeTraced is RunConservative with an observability
 // tracer; see RunTraced.
 func RunConservativeTraced(f *ir.Func, k func(ir.Class) int, tr *obs.Tracer) (int, *ig.Graph) {
-	return run(f, k, tr)
+	st, g := RunWithLiveness(f, dataflow.ComputeLiveness(f), k, 1, tr)
+	return st.Moves, finalGraph(f, g, tr)
+}
+
+// finalGraph upholds the convenience entry points' contract of always
+// returning a graph: when RunWithLiveness skipped the final build
+// (because merged moves force the caller to renumber and rebuild
+// anyway), build one for the rewritten function here.
+func finalGraph(f *ir.Func, g *ig.Graph, tr *obs.Tracer) *ig.Graph {
+	if g == nil {
+		g = ig.BuildWithLiveness(f, dataflow.ComputeLiveness(f), 1, tr)
+	}
+	return g
 }
 
 // RunConservative coalesces with the Briggs conservative test that
@@ -47,14 +76,48 @@ func RunConservativeTraced(f *ir.Func, k func(ir.Class) int, tr *obs.Tracer) (in
 // colorable graph into a spilling one. Included as an ablation — the
 // paper's own allocator coalesces aggressively.
 func RunConservative(f *ir.Func, k func(ir.Class) int) (int, *ig.Graph) {
-	return run(f, k, nil)
+	st, g := RunWithLiveness(f, dataflow.ComputeLiveness(f), k, 1, nil)
+	return st.Moves, finalGraph(f, g, nil)
 }
 
-func run(f *ir.Func, conservativeK func(ir.Class) int, tr *obs.Tracer) (int, *ig.Graph) {
-	total := 0
-	rounds := 0
+// interferer is the one question a coalescing round asks of the
+// interference relation.
+type interferer interface {
+	Interfere(a, b int32) bool
+}
+
+// RunWithLiveness is the allocator's cache-aware entry point: lv must
+// be a current liveness for f, which the first build/coalesce round
+// reuses instead of recomputing. Liveness is revalidated only when a
+// round actually merged moves (the rewrite renames registers, so the
+// cached sets go stale); the common converged round costs no dataflow
+// at all. conservativeK, when non-nil, switches to the Briggs
+// conservative test; workers > 1 shards the graph builds (see
+// ig.BuildWithLiveness).
+//
+// The returned graph is non-nil only when no move was merged: a
+// convergence-without-merges round's graph still describes f exactly,
+// so the caller can color on it directly. After any merge, f has been
+// rewritten and the caller must renumber before building the graph it
+// will color on — returning one here would only be thrown away, so
+// none is built. (The aggressive rounds after the first never build
+// full graphs at all: they only need membership queries, which the
+// much cheaper ig.BuildMatrix answers. Conservative rounds always
+// need full graphs — the Briggs test reads neighbor lists.)
+func RunWithLiveness(f *ir.Func, lv *dataflow.Liveness, conservativeK func(ir.Class) int, workers int, tr *obs.Tracer) (Stats, *ig.Graph) {
+	var st Stats
 	for {
-		g := ig.Build(f)
+		var q interferer
+		var g *ig.Graph
+		if conservativeK != nil || st.Rounds == 0 {
+			// The first round's graph doubles as the return value when
+			// the function has no coalescable moves — the overwhelmingly
+			// common case on every pass after the first.
+			g = ig.BuildWithLiveness(f, lv, workers, tr)
+			q = g
+		} else {
+			q = ig.BuildMatrix(f, lv, workers, tr)
+		}
 		examined := 0
 		parent := make([]ir.Reg, f.NumRegs())
 		for i := range parent {
@@ -97,7 +160,7 @@ func run(f *ir.Func, conservativeK func(ir.Class) int, tr *obs.Tracer) (int, *ig
 				if f.RegFlags(dst)&ir.FlagSpillTemp != 0 || f.RegFlags(src)&ir.FlagSpillTemp != 0 {
 					continue
 				}
-				if g.Interfere(int32(dst), int32(src)) {
+				if q.Interfere(int32(dst), int32(src)) {
 					continue
 				}
 				if conservativeK != nil && !briggsTest(g, f, dst, src, conservativeK) {
@@ -117,15 +180,22 @@ func run(f *ir.Func, conservativeK func(ir.Class) int, tr *obs.Tracer) (int, *ig
 			tr.Counter(obs.PhaseCoalesce, "coalesce.examined", int64(examined))
 			tr.Counter(obs.PhaseCoalesce, "coalesce.merged", int64(merged))
 		}
-		rounds++
+		st.Rounds++
 		if merged == 0 {
 			if tr.Enabled() {
-				tr.Counter(obs.PhaseCoalesce, "coalesce.rounds", int64(rounds))
+				tr.Counter(obs.PhaseCoalesce, "coalesce.rounds", int64(st.Rounds))
 			}
-			return total, g
+			if st.Moves > 0 {
+				g = nil // f was rewritten; see the contract above
+			}
+			return st, g
 		}
-		total += merged
+		st.Moves += merged
 		rewrite(f, find)
+		// The rewrite renamed registers, invalidating lv; the next
+		// round needs fresh sets.
+		lv = dataflow.ComputeLiveness(f)
+		st.LivenessRuns++
 	}
 }
 

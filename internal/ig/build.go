@@ -1,0 +1,475 @@
+package ig
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regalloc/internal/bitset"
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ir"
+	"regalloc/internal/obs"
+)
+
+// minParallelInstrs is the smallest function (by instruction count)
+// worth sharding: below it the goroutine handoff and the merge
+// bookkeeping cost more than the enumeration saves.
+const minParallelInstrs = 256
+
+// effectiveShards caps a worker request at the parallelism actually
+// available: sharding beyond GOMAXPROCS only interleaves goroutines
+// on the same cores, paying the buffering and merge overhead with no
+// compensating wall-time win. The sharded and sequential paths build
+// byte-identical graphs, so the cap never changes results.
+func effectiveShards(workers, total int) int {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers > total {
+		workers = total
+	}
+	return workers
+}
+
+// BuildWithLiveness constructs the interference graph of f reusing a
+// precomputed liveness (which must describe f's current registers —
+// any renumbering or rewriting since lv was computed invalidates it).
+// This is the allocator's per-pass analysis-cache entry point: the
+// Figure 4 cycle computes liveness once per pass and threads it
+// through coalescing and graph construction instead of recomputing it
+// at every build.
+//
+// For workers > 1 the edge enumeration is sharded across a worker
+// pool; the shards are merged deterministically in enumeration-stream
+// order, so the resulting graph — adjacency vectors included, and
+// therefore simplify order, worklist tie-breaks, and final colors —
+// is byte-identical to the sequential build. A nil tracer disables
+// the build counters.
+func BuildWithLiveness(f *ir.Func, lv *dataflow.Liveness, workers int, tr *obs.Tracer) *Graph {
+	classes := make([]ir.Class, f.NumRegs())
+	for i := range classes {
+		classes[i] = f.RegClass(ir.Reg(i))
+	}
+	g := New(classes)
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Instrs)
+	}
+	if shards := effectiveShards(workers, total); shards > 1 && total >= minParallelInstrs {
+		buildSharded(g, f, lv, shards, total, tr)
+	} else {
+		buildSequential(g, f, lv, tr)
+	}
+	return g
+}
+
+// piece is a contiguous instruction range [lo, hi) of one block. The
+// sequential enumeration stream visits pieces in (block ascending,
+// lo descending) order — descending because LiveAcross walks each
+// block backward — and each piece's instructions from hi-1 down to
+// lo. Sharding hands each worker a run of pieces that is contiguous
+// in *ascending* instruction space; the merge re-serializes buffers
+// in stream order, restoring the exact sequential edge order.
+type piece struct {
+	bi       int
+	lo, hi   int
+	liveAtHi *bitset.Set // live after instr hi-1; nil = block live-out
+}
+
+// enumeratePiece walks one piece's instructions backward and reports
+// every candidate interference (def × live-after, minus the defined
+// register itself and a move's source) to emit. It is the single
+// definition of the enumeration both build paths and the membership
+// matrix share.
+func enumeratePiece(f *ir.Func, lv *dataflow.Liveness, p piece, emit func(d, l int32)) {
+	b := f.Blocks[p.bi]
+	lv.LiveAcrossRange(f, b, p.lo, p.hi, p.liveAtHi, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+		d := in.Def()
+		if d == ir.NoReg {
+			return
+		}
+		moveSrc := ir.NoReg
+		if in.IsMove() {
+			moveSrc = in.A
+		}
+		liveAfter.ForEach(func(l int) {
+			if ir.Reg(l) != d && ir.Reg(l) != moveSrc {
+				emit(int32(d), int32(l))
+			}
+		})
+	})
+}
+
+// wholeBlock is the piece covering all of block bi.
+func wholeBlock(f *ir.Func, bi int) piece {
+	return piece{bi: bi, lo: 0, hi: len(f.Blocks[bi].Instrs)}
+}
+
+// buildSequential is the single-threaded enumeration: every candidate
+// goes straight into the graph, which dedups via its bit-matrix/hash
+// dual.
+func buildSequential(g *Graph, f *ir.Func, lv *dataflow.Liveness, tr *obs.Tracer) {
+	attempts := 0
+	for bi := range f.Blocks {
+		enumeratePiece(f, lv, wholeBlock(f, bi), func(d, l int32) {
+			attempts++
+			g.AddEdge(d, l)
+		})
+	}
+	if tr.Enabled() {
+		tr.Counter(obs.PhaseBuild, "ig.edge_inserts", int64(attempts))
+	}
+}
+
+// splitPieces cuts f's instruction stream into shards spans of
+// near-equal size, slicing inside blocks where a block straddles a
+// boundary. (Generated code routinely concentrates >90% of a routine
+// in one straight-line block, so block-granular sharding cannot
+// balance.) Each shard's piece list is in ascending block order with
+// at most one piece per block; the lists jointly cover every
+// instruction exactly once. Boundary live sets for the intra-block
+// cuts come from one cheap backward sweep per cut block.
+func splitPieces(f *ir.Func, lv *dataflow.Liveness, shards, total int) [][]piece {
+	out := make([][]piece, shards)
+	bounds := make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		bounds[s] = s * total / shards
+	}
+	base := 0
+	s := 0
+	for bi, b := range f.Blocks {
+		n := len(b.Instrs)
+		if n == 0 {
+			continue
+		}
+		end := base + n
+		for bounds[s+1] <= base {
+			s++
+		}
+		for t := s; t < shards && bounds[t] < end; t++ {
+			lo := bounds[t]
+			if lo < base {
+				lo = base
+			}
+			hi := bounds[t+1]
+			if hi > end {
+				hi = end
+			}
+			out[t] = append(out[t], piece{bi: bi, lo: lo - base, hi: hi - base})
+		}
+		base = end
+	}
+	// Seed the intra-block cuts: every piece that stops short of its
+	// block's end needs the live set at its hi boundary. A block split
+	// across k shards has k-1 cuts; one backward sweep serves them all.
+	cut := make(map[int][]*piece)
+	for s := range out {
+		for i := range out[s] {
+			p := &out[s][i]
+			if p.hi < len(f.Blocks[p.bi].Instrs) {
+				cut[p.bi] = append(cut[p.bi], p)
+			}
+		}
+	}
+	for bi, ps := range cut {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].hi < ps[j].hi })
+		cuts := make([]int, len(ps))
+		for i, p := range ps {
+			cuts[i] = p.hi
+		}
+		sets := lv.LiveAtCuts(f, f.Blocks[bi], cuts)
+		for i, p := range ps {
+			p.liveAtHi = sets[i]
+		}
+	}
+	return out
+}
+
+// edgePair is one undirected candidate edge in shard order.
+type edgePair struct{ a, b int32 }
+
+// edgeSeen is the per-shard local dedup structure, mirroring the
+// graph's own dual representation: a triangular bit matrix up to
+// bitMatrixLimit nodes, a hash set beyond it.
+type edgeSeen struct {
+	n    int
+	bits []uint64
+	set  map[uint64]struct{}
+}
+
+func newEdgeSeen(n int) *edgeSeen {
+	s := &edgeSeen{n: n}
+	if n <= bitMatrixLimit {
+		s.bits = make([]uint64, (n*(n-1)/2+63)/64)
+	} else {
+		s.set = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// insert records the unordered pair (a, b) and reports whether it was
+// new.
+func (s *edgeSeen) insert(a, b int32) bool {
+	if a > b {
+		a, b = b, a
+	}
+	if s.bits != nil {
+		i := triIndex(a, b)
+		if s.bits[i/64]&(1<<uint(i%64)) != 0 {
+			return false
+		}
+		s.bits[i/64] |= 1 << uint(i%64)
+		return true
+	}
+	k := edgeKey(a, b)
+	if _, dup := s.set[k]; dup {
+		return false
+	}
+	s.set[k] = struct{}{}
+	return true
+}
+
+// buildSharded enumerates the pieces concurrently into per-piece
+// locally-deduped buffers, then merges the buffers in enumeration-
+// stream order. A shard's pieces are ascending by block with one
+// piece per block, so a shard-wide dedup still keeps exactly the
+// shard's stream-first occurrence of each edge; the stream-order
+// merge then dedups globally, so first occurrence wins exactly as in
+// the sequential build's AddEdge stream and the adjacency vectors
+// come out byte-identical to buildSequential's.
+func buildSharded(g *Graph, f *ir.Func, lv *dataflow.Liveness, shards, total int, tr *obs.Tracer) {
+	t0 := time.Now()
+	work := splitPieces(f, lv, shards, total)
+	type pieceBuf struct {
+		p     piece
+		edges []edgePair
+	}
+	bufs := make([][]pieceBuf, shards)
+	attemptsBy := make([]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seen := newEdgeSeen(g.n)
+			pb := make([]pieceBuf, len(work[s]))
+			att := 0
+			for i := range work[s] {
+				p := work[s][i]
+				pb[i].p = p
+				edges := pb[i].edges
+				enumeratePiece(f, lv, p, func(d, l int32) {
+					att++
+					// Filter what the graph would reject (cross-class
+					// pairs) before buffering, and dedup locally:
+					// duplicates within a shard would lose the global
+					// first-occurrence race anyway.
+					if g.class[d] != g.class[l] {
+						return
+					}
+					if seen.insert(d, l) {
+						edges = append(edges, edgePair{d, l})
+					}
+				})
+				pb[i].edges = edges
+			}
+			attemptsBy[s] = att
+			bufs[s] = pb
+		}(s)
+	}
+	wg.Wait()
+	shardDur := time.Since(t0)
+
+	t0 = time.Now()
+	var all []pieceBuf
+	for s := range bufs {
+		all = append(all, bufs[s]...)
+	}
+	// Stream order: blocks ascending; within a split block the walk
+	// is backward, so higher-lo pieces come first.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p.bi != all[j].p.bi {
+			return all[i].p.bi < all[j].p.bi
+		}
+		return all[i].p.lo > all[j].p.lo
+	})
+	// Pre-size the adjacency vectors from the buffers' endpoint
+	// counts (an upper bound on final degree — cross-shard duplicates
+	// inflate it slightly) and carve them all from one backing array.
+	// The merge's appends then never reallocate; growing the vectors
+	// one append at a time was the single largest cost in the profile.
+	attempts, buffered := 0, 0
+	for s := range attemptsBy {
+		attempts += attemptsBy[s]
+	}
+	deg := make([]int32, g.n)
+	for _, pb := range all {
+		buffered += len(pb.edges)
+		for _, e := range pb.edges {
+			deg[e.a]++
+			deg[e.b]++
+		}
+	}
+	totalDeg := 0
+	for _, d := range deg {
+		totalDeg += int(d)
+	}
+	backing := make([]int32, totalDeg)
+	off := 0
+	for i, d := range deg {
+		g.adj[i] = backing[off : off : off+int(d)]
+		off += int(d)
+	}
+	for _, pb := range all {
+		for _, e := range pb.edges {
+			g.AddEdge(e.a, e.b)
+		}
+	}
+	mergeDur := time.Since(t0)
+
+	if tr.Enabled() {
+		tr.Counter(obs.PhaseBuild, "ig.edge_inserts", int64(attempts))
+		tr.Counter(obs.PhaseBuild, "ig.par.shards", int64(shards))
+		tr.Counter(obs.PhaseBuild, "ig.par.buffered_edges", int64(buffered))
+		tr.Counter(obs.PhaseBuild, "ig.par.shard_ns", shardDur.Nanoseconds())
+		tr.Counter(obs.PhaseBuild, "ig.par.merge_ns", mergeDur.Nanoseconds())
+	}
+}
+
+// Matrix is the membership-only face of the interference relation:
+// the dual representation's bit matrix (or hash set, past
+// bitMatrixLimit) without the adjacency vectors. The aggressive
+// coalescing rounds between the first build and the post-coalesce
+// rebuild only ever ask "do these two ranges interfere?", so they use
+// a Matrix instead of a full Graph — skipping the adjacency appends
+// that dominate build time, and freeing the parallel build from any
+// ordering obligation: setting bits is commutative, so shards write
+// one shared matrix directly and there is no merge step at all.
+type Matrix struct {
+	n     int
+	class []ir.Class
+	bits  []uint64
+	edges map[uint64]struct{}
+}
+
+// Interfere reports whether a and b interfere, exactly as the full
+// graph built from the same function and liveness would.
+func (m *Matrix) Interfere(a, b int32) bool {
+	if a == b {
+		return false
+	}
+	if m.bits != nil {
+		if a > b {
+			a, b = b, a
+		}
+		i := triIndex(a, b)
+		return m.bits[i/64]&(1<<uint(i%64)) != 0
+	}
+	_, ok := m.edges[edgeKey(a, b)]
+	return ok
+}
+
+// BuildMatrix constructs the membership-only interference relation of
+// f from a precomputed liveness. For workers > 1 (and a function
+// large enough, with few enough registers for the bit matrix) the
+// enumeration is sharded with the same instruction-weighted cuts as
+// the full build; shards publish bits with atomic or, which commutes,
+// so the result is identical for any worker count.
+func BuildMatrix(f *ir.Func, lv *dataflow.Liveness, workers int, tr *obs.Tracer) *Matrix {
+	m := &Matrix{n: f.NumRegs()}
+	m.class = make([]ir.Class, m.n)
+	for i := range m.class {
+		m.class[i] = f.RegClass(ir.Reg(i))
+	}
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Instrs)
+	}
+	if m.n <= bitMatrixLimit {
+		m.bits = make([]uint64, (m.n*(m.n-1)/2+63)/64)
+		if shards := effectiveShards(workers, total); shards > 1 && total >= minParallelInstrs {
+			buildMatrixSharded(m, f, lv, shards, total, tr)
+			return m
+		}
+	} else {
+		m.edges = make(map[uint64]struct{})
+	}
+	attempts := 0
+	for bi := range f.Blocks {
+		enumeratePiece(f, lv, wholeBlock(f, bi), func(d, l int32) {
+			attempts++
+			if m.class[d] != m.class[l] {
+				return
+			}
+			if m.bits != nil {
+				i := triIndex2(d, l)
+				m.bits[i/64] |= 1 << uint(i%64)
+			} else {
+				m.edges[edgeKey(d, l)] = struct{}{}
+			}
+		})
+	}
+	if tr.Enabled() {
+		tr.Counter(obs.PhaseCoalesce, "ig.matrix_inserts", int64(attempts))
+	}
+	return m
+}
+
+// triIndex2 is triIndex for a possibly-unordered pair.
+func triIndex2(a, b int32) int {
+	if a > b {
+		a, b = b, a
+	}
+	return triIndex(a, b)
+}
+
+// buildMatrixSharded fills m.bits from all shards at once. The
+// pre-check load keeps the common duplicate case off the contended
+// atomic path; both the load and the or are atomic so the build is
+// clean under the race detector.
+func buildMatrixSharded(m *Matrix, f *ir.Func, lv *dataflow.Liveness, shards, total int, tr *obs.Tracer) {
+	work := splitPieces(f, lv, shards, total)
+	attemptsBy := make([]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			att := 0
+			for _, p := range work[s] {
+				enumeratePiece(f, lv, p, func(d, l int32) {
+					att++
+					if m.class[d] != m.class[l] {
+						return
+					}
+					i := triIndex2(d, l)
+					w, mask := i/64, uint64(1)<<uint(i%64)
+					// CAS loop standing in for an atomic or (1.22
+					// toolchains lack atomic.OrUint64). The load
+					// doubles as the duplicate check, keeping the
+					// common already-set case off the contended path.
+					for {
+						old := atomic.LoadUint64(&m.bits[w])
+						if old&mask != 0 {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&m.bits[w], old, old|mask) {
+							break
+						}
+					}
+				})
+			}
+			attemptsBy[s] = att
+		}(s)
+	}
+	wg.Wait()
+	if tr.Enabled() {
+		attempts := 0
+		for _, a := range attemptsBy {
+			attempts += a
+		}
+		tr.Counter(obs.PhaseCoalesce, "ig.matrix_inserts", int64(attempts))
+	}
+}

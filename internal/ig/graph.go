@@ -14,7 +14,6 @@ package ig
 import (
 	"fmt"
 
-	"regalloc/internal/bitset"
 	"regalloc/internal/dataflow"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
@@ -144,36 +143,12 @@ func Build(f *ir.Func) *Graph {
 // while building (edge insertions attempted, including duplicates
 // the edge-hash rejected), are emitted as build-phase counters. A
 // nil tracer makes it identical to Build.
+//
+// Both Build and BuildTraced compute liveness from scratch; callers
+// holding a current liveness (the allocator's per-pass cache) should
+// use BuildWithLiveness.
 func BuildTraced(f *ir.Func, tr *obs.Tracer) *Graph {
-	classes := make([]ir.Class, f.NumRegs())
-	for i := range classes {
-		classes[i] = f.RegClass(ir.Reg(i))
-	}
-	g := New(classes)
-	lv := dataflow.ComputeLiveness(f)
-	attempts := 0
-	for _, b := range f.Blocks {
-		lv.LiveAcross(f, b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
-			d := in.Def()
-			if d == ir.NoReg {
-				return
-			}
-			moveSrc := ir.NoReg
-			if in.IsMove() {
-				moveSrc = in.A
-			}
-			liveAfter.ForEach(func(l int) {
-				if ir.Reg(l) != d && ir.Reg(l) != moveSrc {
-					attempts++
-					g.AddEdge(int32(d), int32(l))
-				}
-			})
-		})
-	}
-	if tr.Enabled() {
-		tr.Counter(obs.PhaseBuild, "ig.edge_inserts", int64(attempts))
-	}
-	return g
+	return BuildWithLiveness(f, dataflow.ComputeLiveness(f), 1, tr)
 }
 
 // String summarizes the graph.

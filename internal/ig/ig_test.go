@@ -1,6 +1,7 @@
 package ig_test
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -201,6 +202,43 @@ func TestBitMatrixAndHashAgree(t *testing.T) {
 			if big.Interfere(a, b) != small.Interfere(a, b) {
 				t.Fatalf("Interfere(%d,%d) diverges", a, b)
 			}
+		}
+	}
+}
+
+// TestScanWorkBound pins the Matula–Beck linear-work guarantee that
+// the resume-at-scanFrom refinement provides (and that a reverted
+// "reset scanFrom to zero" guard would break): across a full
+// simplification the bucket cells inspected stay within |V| + 2|E|.
+// The worklist comment in MinDegreeNode points here.
+func TestScanWorkBound(t *testing.T) {
+	type input struct {
+		name string
+		g    *ig.Graph
+	}
+	var inputs []input
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, _ := graphgen.Random(200, 0.08, seed)
+		inputs = append(inputs, input{fmt.Sprintf("random-%d", seed), g})
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, _ := graphgen.SVDLike(60, 40, 8, 12, 3, seed)
+		inputs = append(inputs, input{fmt.Sprintf("svdlike-%d", seed), g})
+	}
+	{
+		g, _ := graphgen.Cycle(300)
+		inputs = append(inputs, input{"cycle-300", g})
+	}
+	for _, in := range inputs {
+		w := ig.NewWorklist(in.g, ir.ClassInt)
+		nodes := w.Remaining()
+		for w.Remaining() > 0 {
+			w.Remove(w.MinDegreeNode())
+		}
+		bound := nodes + 2*in.g.NumEdges()
+		if w.ScanSteps > bound {
+			t.Errorf("%s: ScanSteps = %d exceeds |V|+2|E| = %d",
+				in.name, w.ScanSteps, bound)
 		}
 	}
 }

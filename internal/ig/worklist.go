@@ -121,12 +121,16 @@ func (w *Worklist) Remove(a int32) {
 // when the worklist is empty. Nodes in a bucket are returned in
 // last-in-first-out order; determinism follows from the fixed
 // construction order.
+//
+// scanFrom is always >= 0: it starts at zero and only ever moves
+// down to a neighbor's decremented degree, and degrees are
+// non-negative. The resume-at-scanFrom refinement is what gives the
+// Matula–Beck bound of at most |V| + 2|E| bucket cells inspected
+// over a full simplification (each Remove lowers scanFrom by at most
+// deg(node) in total), which TestScanWorkBound pins.
 func (w *Worklist) MinDegreeNode() int32 {
 	if w.remaining == 0 {
 		return -1
-	}
-	if w.scanFrom < 0 {
-		w.scanFrom = 0
 	}
 	for d := w.scanFrom; int(d) < len(w.head); d++ {
 		w.ScanSteps++

@@ -35,6 +35,7 @@ type jsonEvent struct {
 type JSONSink struct {
 	mu  sync.Mutex
 	enc *json.Encoder
+	err error
 }
 
 // NewJSONSink returns a JSONSink writing to w.
@@ -75,7 +76,22 @@ func (s *JSONSink) Emit(e Event) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.enc.Encode(je) //nolint:errcheck // tracing is best-effort
+	// Tracing stays best-effort per event (the allocator never stops
+	// for a sick trace file), but the first failure is remembered so
+	// the CLI can exit nonzero instead of shipping a silently
+	// truncated trace.
+	if err := s.enc.Encode(je); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error Emit encountered, if any. A
+// trace consumer should check it after the run: ENOSPC and friends
+// often surface mid-stream, not at file close.
+func (s *JSONSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // TextSink writes one human-readable line per event. It is safe for

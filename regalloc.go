@@ -125,8 +125,10 @@ type Metrics = obs.Metrics
 
 // NewJSONSink returns an Observer writing one JSON object per event
 // per line to w — the format cmd/regalloc -trace and cmd/bench
-// -trace emit.
-func NewJSONSink(w io.Writer) Observer { return obs.NewJSONSink(w) }
+// -trace emit. Check Err after the run when w is a file: per-event
+// write failures are remembered there rather than stopping the
+// allocator mid-stream.
+func NewJSONSink(w io.Writer) *obs.JSONSink { return obs.NewJSONSink(w) }
 
 // NewTextSink returns an Observer writing one human-readable line
 // per event to w.

@@ -16,6 +16,7 @@ import (
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/pcolor"
 	"regalloc/internal/workloads"
 )
 
@@ -51,6 +52,22 @@ type benchGraph struct {
 	NS        int64  `json:"ns"`
 }
 
+// benchPColor compares the speculative parallel colorer against the
+// sequential smallest-last heuristic on one large stress graph.
+type benchPColor struct {
+	Name      string  `json:"name"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	Workers   int     `json:"workers"`
+	SeqNS     int64   `json:"seq_ns"`
+	ParNS     int64   `json:"par_ns"`
+	Speedup   float64 `json:"speedup"`
+	Rounds    int     `json:"rounds"`
+	Conflicts int     `json:"conflicts"`
+	SeqColors int     `json:"seq_colors"`
+	ParColors int     `json:"par_colors"`
+}
+
 type benchReport struct {
 	Schema     string             `json:"schema"`
 	GoMaxProcs int                `json:"gomaxprocs"`
@@ -58,6 +75,7 @@ type benchReport struct {
 	Reps       int                `json:"reps"`
 	Runs       []benchRun         `json:"runs"`
 	Graphs     []benchGraph       `json:"graphs"`
+	PColor     []benchPColor      `json:"pcolor"`
 	BuildPct   map[string]float64 `json:"build_improvement_pct"`
 	Note       string             `json:"note"`
 }
@@ -96,7 +114,7 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema:     "regalloc-bench/2",
+		Schema:     "regalloc-bench/3",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Reps:       reps,
@@ -196,6 +214,66 @@ func runBenchJSON(path string, reps int) error {
 				Edges:     ge.g.NumEdges(),
 				Spilled:   spilled,
 				NS:        bestNS,
+			})
+		}
+	}
+
+	// Speculative parallel coloring on large random graphs: the
+	// sequential side is the same smallest-last machinery timed
+	// above, the parallel side the Rokos-style engine at 1 worker
+	// (scheme overhead) and at GOMAXPROCS (the speedup claim: on a
+	// host with GOMAXPROCS >= 4 the latter beats sequential wall
+	// clock on Random(n >= 20000)).
+	for _, spec := range []struct {
+		name string
+		n    int
+		p    float64
+		seed uint64
+	}{
+		{"random-20000-0.0012", 20000, 0.0012, 21},
+		{"random-32000-0.0008", 32000, 0.0008, 22},
+	} {
+		g, _ := graphgen.Random(spec.n, spec.p, spec.seed)
+		var seqNS int64
+		var seq *pcolor.Stats
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			_, st := pcolor.Sequential(g)
+			if ns := time.Since(t0).Nanoseconds(); seqNS == 0 || ns < seqNS {
+				seqNS = ns
+			}
+			seq = st
+		}
+		workerCounts := []int{1}
+		if gmp := runtime.GOMAXPROCS(0); gmp > 1 {
+			workerCounts = append(workerCounts, gmp)
+		}
+		for _, workers := range workerCounts {
+			var parNS int64
+			var st *pcolor.Stats
+			var colors []int16
+			for rep := 0; rep < reps; rep++ {
+				t0 := time.Now()
+				colors, st = pcolor.Color(g, pcolor.Options{Workers: workers, Seed: 1})
+				if ns := time.Since(t0).Nanoseconds(); parNS == 0 || ns < parNS {
+					parNS = ns
+				}
+			}
+			if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
+				return fmt.Errorf("pcolor %s workers=%d: %w", spec.name, workers, err)
+			}
+			report.PColor = append(report.PColor, benchPColor{
+				Name:      spec.name,
+				Nodes:     g.NumNodes(),
+				Edges:     g.NumEdges(),
+				Workers:   st.Workers,
+				SeqNS:     seqNS,
+				ParNS:     parNS,
+				Speedup:   float64(seqNS) / float64(parNS),
+				Rounds:    st.Rounds,
+				Conflicts: st.Conflicts,
+				SeqColors: seq.ColorsInt,
+				ParColors: st.ColorsInt,
 			})
 		}
 	}

@@ -8,6 +8,7 @@
 //	bench -figure ablations  # design-choice studies (DESIGN.md §7)
 //	bench -figure integer    # the §3.2 integer-kernel extension
 //	bench -figure passes     # §3.3 convergence of the Figure 4 cycle
+//	bench -figure pcolor     # speculative parallel coloring study
 //	bench -figure all        # everything
 //	bench -figure 6 -n 200000
 //
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated allocator metrics after the figures")
@@ -82,8 +83,9 @@ func main() {
 	runAb := *figure == "ablations" || *figure == "all"
 	runInt := *figure == "integer" || *figure == "all"
 	runPass := *figure == "passes" || *figure == "all"
-	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass {
-		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, or all)\n", *figure)
+	runPC := *figure == "pcolor" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, or all)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -120,6 +122,12 @@ func main() {
 	if runPass {
 		fmt.Println("=== Convergence (§3.3: passes around the Figure 4 cycle) ===")
 		res, err := experiments.PassStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runPC {
+		fmt.Println("=== Speculative parallel coloring (Rokos-style; beyond the paper) ===")
+		res, err := experiments.PColorStudy()
 		fail(err)
 		fmt.Println(res)
 	}

@@ -10,6 +10,12 @@
 //	regalloc -k 16 -svdlike          color the paper's SVD pressure pattern
 //	regalloc -src prog.f             allocate every routine of a source file
 //
+// Graph mode can additionally run the speculative parallel colorer
+// (internal/pcolor, unbounded palette — it reports colors used
+// rather than spills within -k):
+//
+//	regalloc -pcolor -workers 4 -pseed 1 graph.ig
+//
 // Observability (either mode):
 //
 //	-trace out.jsonl   write the allocator's event stream as JSON
@@ -43,6 +49,7 @@ import (
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
+	"regalloc/internal/pcolor"
 )
 
 func main() {
@@ -51,6 +58,9 @@ func main() {
 	svdlike := flag.Bool("svdlike", false, "generate the paper's SVD pressure pattern")
 	src := flag.String("src", "", "run the full allocator over a mini-FORTRAN source file")
 	heuristic := flag.String("heuristic", "briggs", "-src mode: coloring heuristic (chaitin, briggs, mb)")
+	usePColor := flag.Bool("pcolor", false, "graph mode: also run the speculative parallel colorer")
+	workers := flag.Int("workers", 0, "-pcolor: worker goroutines (0 = GOMAXPROCS)")
+	pseed := flag.Uint64("pseed", 1, "-pcolor: permutation seed")
 	verbose := flag.Bool("v", false, "print the full color assignment")
 	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated metrics after the run")
@@ -93,6 +103,9 @@ func main() {
 		runSource(*src, *heuristic, *k, sink)
 	} else {
 		runGraph(*k, *random, *svdlike, *verbose, sink)
+		if *usePColor {
+			runPColor(*workers, *pseed, *random, *svdlike, *verbose, sink)
+		}
 	}
 	if metricsSink != nil {
 		fmt.Print(metricsSink.Snapshot())
@@ -133,22 +146,12 @@ func runSource(path, heuristic string, k int, sink obs.Sink) {
 // runGraph colors a standalone interference graph with all three
 // heuristics, tracing each under the unit name "graph:<heuristic>".
 func runGraph(k int, random string, svdlike, verbose bool, sink obs.Sink) {
-	var g *ig.Graph
-	var costs []float64
-	var err error
-	switch {
-	case random != "":
-		g, costs, err = parseRandom(random)
-		fail(err)
-	case svdlike:
-		g, costs = graphgen.SVDLike(10, 4, 3, 10, 8, 42)
-	case flag.NArg() == 1:
-		g, costs, err = readGraph(flag.Arg(0))
-		fail(err)
-	default:
-		fmt.Fprintln(os.Stderr, "usage: regalloc [-k N] (graph.ig | -random n,p,seed | -svdlike | -src file.f)")
+	g, costs, err := loadGraph(random, svdlike)
+	if err == errNoInput {
+		fmt.Fprintln(os.Stderr, "usage: regalloc [-k N] [-pcolor] (graph.ig | -random n,p,seed | -svdlike | -src file.f)")
 		os.Exit(2)
 	}
+	fail(err)
 
 	kf := func(ir.Class) int { return k }
 	fmt.Printf("graph: %d nodes, %d edges, k = %d\n", g.NumNodes(), g.NumEdges(), k)
@@ -179,6 +182,44 @@ func runGraph(k int, random string, svdlike, verbose bool, sink obs.Sink) {
 		}
 	}
 }
+
+// runPColor runs the speculative parallel colorer on the same graph
+// as runGraph (the generators are deterministic, so re-generating
+// yields the identical graph), tracing under "graph:pcolor".
+func runPColor(workers int, seed uint64, random string, svdlike, verbose bool, sink obs.Sink) {
+	g, _, err := loadGraph(random, svdlike)
+	fail(err)
+	tr := obs.New(sink, "graph:pcolor")
+	tr.BeginPhase(obs.PhaseColor)
+	t0 := time.Now()
+	colors, st := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: seed, Tracer: tr})
+	dur := time.Since(t0)
+	tr.EndPhase(obs.PhaseColor, dur)
+	if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
+		fail(fmt.Errorf("pcolor produced an improper coloring: %w", err))
+	}
+	fmt.Printf("pcolor:      %d worker(s), seed %d: %d int + %d float color(s) in %d round(s), %d conflict(s), %d recolored, %s (verified)\n",
+		st.Workers, seed, st.ColorsInt, st.ColorsFloat, st.Rounds, st.Conflicts, st.Recolored, dur)
+	if verbose {
+		fmt.Printf("  colors: %v\n", colors)
+	}
+}
+
+// loadGraph resolves the graph-mode input exactly like runGraph.
+func loadGraph(random string, svdlike bool) (*ig.Graph, []float64, error) {
+	switch {
+	case random != "":
+		return parseRandom(random)
+	case svdlike:
+		g, costs := graphgen.SVDLike(10, 4, 3, 10, 8, 42)
+		return g, costs, nil
+	case flag.NArg() == 1:
+		return readGraph(flag.Arg(0))
+	}
+	return nil, nil, errNoInput
+}
+
+var errNoInput = fmt.Errorf("no graph input")
 
 func parseRandom(spec string) (*ig.Graph, []float64, error) {
 	parts := strings.Split(spec, ",")

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"regalloc/internal/color"
+	"regalloc/internal/graphgen"
+	"regalloc/internal/ig"
+	"regalloc/internal/obs"
+	"regalloc/internal/pcolor"
+)
+
+// PColorRow is one graph of the speculative-coloring study: the
+// sequential smallest-last baseline against the parallel engine at
+// one worker count.
+type PColorRow struct {
+	Graph     string
+	Nodes     int
+	Edges     int
+	Workers   int
+	SeqColors int
+	ParColors int
+	Rounds    int
+	Conflicts int
+	Recolored int
+	SeqNS     int64
+	ParNS     int64
+	Speedup   float64
+}
+
+// PColorStudyResult is the full table.
+type PColorStudyResult struct {
+	GoMaxProcs int
+	Rows       []PColorRow
+}
+
+// PColorStudy compares the speculative parallel colorer against the
+// sequential smallest-last heuristic on the standalone graphgen
+// corpus — the parallel extension of the paper's Figure 6 standalone
+// coloring study, following the Rokos–Gorman–Kelly blueprint from
+// PAPERS.md. Each graph is colored sequentially and then with the
+// engine at 1 worker and at GOMAXPROCS workers; the rows report
+// palette sizes, rounds, conflict and recolor work, and wall-clock
+// times (best of three). Runs feed the package observer, so -trace
+// surfaces the per-round iteration counters.
+func PColorStudy() (*PColorStudyResult, error) {
+	type spec struct {
+		name string
+		g    *ig.Graph
+	}
+	var specs []spec
+	{
+		g, _ := graphgen.Random(4000, 0.004, 11)
+		specs = append(specs, spec{"random-4000-0.004", g})
+	}
+	{
+		g, _ := graphgen.Random(12000, 0.0015, 12)
+		specs = append(specs, spec{"random-12000-0.0015", g})
+	}
+	{
+		g, _ := graphgen.TwoClass(3000, 0.006, 13)
+		specs = append(specs, spec{"twoclass-3000-0.006", g})
+	}
+	{
+		g, _ := graphgen.SVDLike(60, 40, 8, 12, 3, 14)
+		specs = append(specs, spec{"svdlike-60x40", g})
+	}
+
+	out := &PColorStudyResult{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts = workerCounts[:1]
+	}
+	const reps = 3
+	for _, s := range specs {
+		var seqNS int64
+		var seq *pcolor.Stats
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			_, st := pcolor.Sequential(s.g)
+			if ns := time.Since(t0).Nanoseconds(); seqNS == 0 || ns < seqNS {
+				seqNS = ns
+			}
+			seq = st
+		}
+		for _, workers := range workerCounts {
+			tr := obs.New(observer, "pcolor:"+s.name)
+			var parNS int64
+			var st *pcolor.Stats
+			var colors []int16
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				colors, st = pcolor.Color(s.g, pcolor.Options{Workers: workers, Seed: 1, Tracer: tr})
+				if ns := time.Since(t0).Nanoseconds(); parNS == 0 || ns < parNS {
+					parNS = ns
+				}
+			}
+			if err := color.Verify(s.g, colors, pcolor.KFor(st)); err != nil {
+				return nil, fmt.Errorf("pcolor study: %s workers=%d: %w", s.name, workers, err)
+			}
+			out.Rows = append(out.Rows, PColorRow{
+				Graph:     s.name,
+				Nodes:     s.g.NumNodes(),
+				Edges:     s.g.NumEdges(),
+				Workers:   workers,
+				SeqColors: seq.ColorsInt + seq.ColorsFloat,
+				ParColors: st.ColorsInt + st.ColorsFloat,
+				Rounds:    st.Rounds,
+				Conflicts: st.Conflicts,
+				Recolored: st.Recolored,
+				SeqNS:     seqNS,
+				ParNS:     parNS,
+				Speedup:   float64(seqNS) / float64(parNS),
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the study table.
+func (r *PColorStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "speculative parallel coloring vs sequential smallest-last (GOMAXPROCS=%d)\n", r.GoMaxProcs)
+	fmt.Fprintf(&b, "%-22s | %7s %8s | %2s | %6s %6s | %6s %9s %9s | %10s %10s %7s\n",
+		"graph", "nodes", "edges", "w", "seq", "par", "rounds", "conflicts", "recolored", "seq", "par", "speedup")
+	b.WriteString(strings.Repeat("-", 132) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s | %7d %8d | %2d | %6d %6d | %6d %9d %9d | %10s %10s %6.2fx\n",
+			row.Graph, row.Nodes, row.Edges, row.Workers,
+			row.SeqColors, row.ParColors,
+			row.Rounds, row.Conflicts, row.Recolored,
+			time.Duration(row.SeqNS), time.Duration(row.ParNS), row.Speedup)
+	}
+	b.WriteString("colors are summed over the int and float classes; times are best-of-3 wall clock\n")
+	return b.String()
+}

@@ -18,6 +18,15 @@ import (
 //	e <a> <b>          interference edge, 0-based
 //	c <a> <cost>       spill cost (default 1)
 //	# comment          (and blank lines) ignored
+//
+// The parser is strict: self edges, duplicate edges, negative or NaN
+// costs, and node counts beyond MaxNodes are all rejected — .ig
+// files come from outside the process, and a malformed graph
+// accepted silently would surface much later as a nonsense coloring.
+
+// MaxNodes bounds the node count ReadGraph accepts, so untrusted
+// input cannot make it allocate unbounded memory.
+const MaxNodes = 1 << 20
 
 // ReadGraph parses the .ig format.
 func ReadGraph(rd io.Reader) (*ig.Graph, []float64, error) {
@@ -46,6 +55,9 @@ func ReadGraph(rd io.Reader) (*ig.Graph, []float64, error) {
 			if err != nil || n < 0 {
 				return bad("bad node count")
 			}
+			if n > MaxNodes {
+				return bad("node count exceeds limit")
+			}
 			g = ig.New(make([]ir.Class, n))
 			costs = make([]float64, n)
 			for i := range costs {
@@ -60,6 +72,12 @@ func ReadGraph(rd io.Reader) (*ig.Graph, []float64, error) {
 			if err1 != nil || err2 != nil || a < 0 || b < 0 || a >= g.NumNodes() || b >= g.NumNodes() {
 				return bad("edge out of range")
 			}
+			if a == b {
+				return bad("self edge")
+			}
+			if g.Interfere(int32(a), int32(b)) {
+				return bad("duplicate edge")
+			}
 			g.AddEdge(int32(a), int32(b))
 		case "c":
 			if g == nil || len(fields) != 3 {
@@ -69,6 +87,9 @@ func ReadGraph(rd io.Reader) (*ig.Graph, []float64, error) {
 			c, err2 := strconv.ParseFloat(fields[2], 64)
 			if err1 != nil || err2 != nil || a < 0 || a >= g.NumNodes() {
 				return bad("cost out of range")
+			}
+			if !(c >= 0) { // rejects negative costs and NaN in one test
+				return bad("negative cost")
 			}
 			costs[a] = c
 		default:

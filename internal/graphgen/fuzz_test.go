@@ -1,0 +1,61 @@
+package graphgen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"regalloc/internal/graphgen"
+)
+
+// FuzzReadGraph hammers the .ig parser with arbitrary text: it must
+// never panic, and whatever it accepts must satisfy the format's
+// invariants and survive a write/read round trip with an identical
+// shape.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 3\ne 0 1\nc 1 2.5\n")
+	f.Add("# comment\n\nn 2\ne 1 0\n")
+	f.Add("n 0\n")
+	f.Add("n 4\ne 0 1\ne 2 3\nc 0 0.5\nc 3 100\n")
+	f.Add("n 2\ne 0 0\n")
+	f.Add("e 0 1\n")
+	f.Add("n 2\ne 0 1\ne 0 1\n")
+	f.Add("n 1\nc 0 -3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, costs, err := graphgen.ReadGraph(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics and bad accepts are not
+		}
+		if len(costs) != g.NumNodes() {
+			t.Fatalf("%d costs for %d nodes", len(costs), g.NumNodes())
+		}
+		for i, c := range costs {
+			if !(c >= 0) {
+				t.Fatalf("accepted negative or NaN cost %g at node %d", c, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := graphgen.WriteGraph(&buf, g, costs); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, costs2, err := graphgen.ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected our own output: %v\n%q", err, buf.String())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v -> %v", g, g2)
+		}
+		for a := int32(0); a < int32(g.NumNodes()); a++ {
+			for _, b := range g.Neighbors(a) {
+				if !g2.Interfere(a, b) {
+					t.Fatalf("round trip lost edge %d-%d", a, b)
+				}
+			}
+		}
+		for i := range costs {
+			if costs[i] != costs2[i] {
+				t.Fatalf("round trip changed cost[%d]: %g -> %g", i, costs[i], costs2[i])
+			}
+		}
+	})
+}

@@ -136,23 +136,51 @@ func TestGraphFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadGraphErrors covers every malformed-input path of the .ig
+// parser, one named case per rejection rule.
 func TestReadGraphErrors(t *testing.T) {
-	bad := []string{
-		"",               // no n
-		"e 0 1\n",        // edge before n
-		"n 2\ne 0 5\n",   // edge out of range
-		"n 2\nc 9 1.5\n", // cost out of range
-		"n 2\nz 1 2\n",   // unknown directive
-		"n two\n",        // bad count
-		"n 2\nn 3\n",     // duplicate n
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string // substring of the error message
+	}{
+		{"empty input", "", "no 'n' directive"},
+		{"truncated header", "n\n", "malformed"},
+		{"truncated header with edges", "n\ne 0 1\n", "malformed"},
+		{"bad node count", "n two\n", "bad node count"},
+		{"negative node count", "n -4\n", "bad node count"},
+		{"node count exceeds limit", "n 99999999\n", "exceeds limit"},
+		{"duplicate n directive", "n 2\nn 3\n", "duplicate n"},
+		{"edge before n", "e 0 1\n", "malformed edge"},
+		{"malformed edge arity", "n 2\ne 0\n", "malformed edge"},
+		{"bad edge endpoint high", "n 2\ne 0 5\n", "edge out of range"},
+		{"bad edge endpoint negative", "n 2\ne -1 0\n", "edge out of range"},
+		{"bad edge endpoint text", "n 2\ne a b\n", "edge out of range"},
+		{"self edge", "n 2\ne 1 1\n", "self edge"},
+		{"duplicate edge", "n 3\ne 0 1\ne 0 1\n", "duplicate edge"},
+		{"duplicate edge reversed", "n 3\ne 0 1\ne 1 0\n", "duplicate edge"},
+		{"cost before n", "c 0 1\n", "malformed cost"},
+		{"malformed cost arity", "n 2\nc 0\n", "malformed cost"},
+		{"cost out of range", "n 2\nc 9 1.5\n", "cost out of range"},
+		{"cost not a number", "n 2\nc 0 cheap\n", "cost out of range"},
+		{"negative cost", "n 2\nc 0 -5\n", "negative cost"},
+		{"nan cost", "n 2\nc 0 NaN\n", "negative cost"},
+		{"unknown directive", "n 2\nz 1 2\n", "unknown directive"},
 	}
-	for _, src := range bad {
-		if _, _, err := graphgen.ReadGraph(strings.NewReader(src)); err == nil {
-			t.Errorf("no error for %q", src)
-		}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := graphgen.ReadGraph(strings.NewReader(c.input))
+			if err == nil {
+				t.Fatalf("no error for %q", c.input)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
 	}
-	// Comments and blanks are fine.
-	ok := "# hello\n\nn 3\ne 0 1\nc 1 2.5\n"
+	// Comments, blank lines, and repeated cost directives are fine.
+	ok := "# hello\n\nn 3\ne 0 1\nc 1 9\nc 1 2.5\n"
 	g, costs, err := graphgen.ReadGraph(strings.NewReader(ok))
 	if err != nil || g.NumEdges() != 1 || costs[1] != 2.5 || costs[0] != 1 {
 		t.Fatalf("good input rejected: %v", err)

@@ -1,0 +1,408 @@
+// Package pcolor is a speculative parallel graph colorer in the
+// style of Rokos, Gorman & Kelly, "A Fast and Scalable Graph
+// Coloring Algorithm for Multi-core and Many-core Architectures"
+// (2015): nodes are partitioned across workers, every worker colors
+// its share optimistically against a read-mostly shared assignment,
+// conflicts on partition-boundary edges are detected after a
+// barrier, and the (shrinking) conflict set is recolored in further
+// rounds until a proper coloring remains.
+//
+// Unlike color.Simplify/Select — which color within a fixed budget k
+// and spill the overflow — pcolor colors with an unbounded first-fit
+// palette, so every node receives a color and the figure of merit is
+// how many colors were needed. That makes it the right backend for
+// the standalone-graph paths (cmd/regalloc's graph mode, cmd/bench's
+// stress graphs, the experiments package), not for the allocator's
+// Figure 4 cycle, where the sequential heuristics remain the
+// default.
+//
+// Determinism: for a fixed (Seed, Workers) pair the result is
+// byte-identical across runs. Each round partitions the pending
+// nodes into Workers contiguous chunks of a seeded permutation;
+// during speculation a worker sees only committed colors and the
+// tentative colors of its *own* chunk, so no cross-worker read races
+// with a write and the outcome cannot depend on scheduling. Conflict
+// resolution is by permutation rank (lower rank wins), which is also
+// schedule-independent.
+//
+// Termination: every round commits at least the minimum-rank node of
+// each conflicting component (it loses to nobody), and every
+// conflict-free pending node, so the pending set strictly shrinks;
+// in practice a few rounds suffice (the Stats record and the
+// "pcolor.round.*" trace counters make the iteration visible).
+package pcolor
+
+import (
+	"runtime"
+	"sync"
+
+	"regalloc/internal/color"
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+	"regalloc/internal/obs"
+)
+
+// Options configures a parallel coloring run.
+type Options struct {
+	// Workers is the number of coloring goroutines; <= 0 means
+	// GOMAXPROCS. The (Seed, Workers) pair fully determines the
+	// coloring, so fix both for reproducible results.
+	Workers int
+	// Seed drives the node permutation that sets the processing
+	// order, the partition boundaries, and the conflict priorities.
+	Seed uint64
+	// Tracer, when non-nil, receives per-round counters
+	// (pcolor.round.pending, pcolor.round.conflicts) and run totals
+	// (pcolor.rounds, pcolor.conflicts, pcolor.recolored,
+	// pcolor.workers), all scoped to the color phase.
+	Tracer *obs.Tracer
+}
+
+// Stats reports how the speculative iteration behaved.
+type Stats struct {
+	// Workers is the effective worker count after resolving <= 0.
+	Workers int
+	// Rounds is the number of speculate/detect rounds run (>= 1 for
+	// a non-empty graph).
+	Rounds int
+	// Conflicts counts the boundary-edge conflicts detected across
+	// all rounds (each conflicting edge counted once).
+	Conflicts int
+	// Recolored is the recolor work: nodes that lost a conflict and
+	// had to be colored again in a later round.
+	Recolored int
+	// ColorsInt and ColorsFloat are the per-class palette sizes of
+	// the final coloring (max color + 1; 0 when the class is empty).
+	ColorsInt   int
+	ColorsFloat int
+}
+
+// Colors returns the palette size for class c.
+func (s *Stats) Colors(c ir.Class) int {
+	if c == ir.ClassInt {
+		return s.ColorsInt
+	}
+	return s.ColorsFloat
+}
+
+// Slack is the documented color-count slack of the speculative
+// colorer: on the graphgen corpus, pcolor uses at most
+// seq + Slack(seq) colors per class, where seq is the palette size
+// of the sequential smallest-last heuristic (Sequential). The
+// speculative first-fit order is a seeded permutation rather than
+// the degree-aware smallest-last order, which costs a couple of
+// colors on dense graphs; the differential tests pin this bound.
+func Slack(seq int) int {
+	s := seq / 4
+	if s < 2 {
+		return 2
+	}
+	return s
+}
+
+// Color colors g with an unbounded first-fit palette using the
+// speculative parallel scheme and returns the assignment (indexed by
+// node, always a proper coloring per color.Verify against
+// KFor(stats)) together with the iteration stats.
+func Color(g *ig.Graph, o Options) ([]int16, *Stats) {
+	n := g.NumNodes()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	st := &Stats{Workers: workers}
+	colors := make([]int16, n)
+	for i := range colors {
+		colors[i] = color.NoColor
+	}
+	if n == 0 {
+		emitTotals(o.Tracer, st)
+		return colors, st
+	}
+
+	// Seeded permutation: processing order, partition boundaries, and
+	// conflict priority (rank[v] = position of v in perm; lower rank
+	// wins a conflict) all derive from it.
+	perm := permutation(g, o.Seed)
+	rank := make([]int32, n)
+	for i, v := range perm {
+		rank[v] = int32(i)
+	}
+
+	// Round-stamped speculation state. stamp[v] == round marks v as
+	// pending this round; tent[v] is then its tentative color and
+	// owner[v] the chunk that colored it.
+	tent := make([]int16, n)
+	stamp := make([]int32, n) // 0 = never pending; round numbers start at 1
+	owner := make([]int32, n)
+	lost := make([]bool, n)
+
+	// Per-worker first-fit scratch: a node needs at most degree+1
+	// colors, so maxDegree+2 cells always hold the scan.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	scratch := make([][]bool, workers)
+	for w := range scratch {
+		scratch[w] = make([]bool, maxDeg+2)
+	}
+
+	pending := perm
+	for round := int32(1); len(pending) > 0; round++ {
+		st.Rounds++
+		if st.Rounds > 1 {
+			st.Recolored += len(pending)
+		}
+		chunks := chunkBounds(len(pending), workers)
+
+		// Reset the round state sequentially before any goroutine
+		// starts: stamp/owner/lost/tent become read-only (or
+		// owner-written-only) during the parallel phases, so no read
+		// of a neighbor's state can race with a write.
+		for w := 0; w < len(chunks)-1; w++ {
+			for _, v := range pending[chunks[w]:chunks[w+1]] {
+				stamp[v] = round
+				owner[v] = int32(w)
+				lost[v] = false
+				tent[v] = color.NoColor
+			}
+		}
+
+		// Phase 1 — speculate: each worker first-fit colors its chunk
+		// against the committed assignment plus the tentatives of its
+		// *own* chunk's already-processed nodes (tent[u] >= 0 with the
+		// same owner). colors[] is read-only here; tent is written
+		// only for nodes the worker owns, so the one cross-chunk read
+		// (the owner check) touches data frozen before the round.
+		var wg sync.WaitGroup
+		for w := 0; w < len(chunks)-1; w++ {
+			lo, hi := chunks[w], chunks[w+1]
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, chunk []int32) {
+				defer wg.Done()
+				used := scratch[w]
+				for _, v := range chunk {
+					deg := g.Degree(v)
+					lim := int16(deg + 1) // first-fit needs at most deg+1 colors
+					for c := int16(0); c <= lim; c++ {
+						used[c] = false
+					}
+					for _, u := range g.Neighbors(v) {
+						if c := colors[u]; c >= 0 && c <= lim {
+							used[c] = true
+						}
+						if owner[u] == int32(w) && stamp[u] == round {
+							if c := tent[u]; c >= 0 && c <= lim {
+								used[c] = true
+							}
+						}
+					}
+					for c := int16(0); c <= lim; c++ {
+						if !used[c] {
+							tent[v] = c
+							break
+						}
+					}
+				}
+			}(w, pending[lo:hi])
+		}
+		wg.Wait()
+
+		// Phase 2 — detect & commit: a pending node conflicts when a
+		// neighbor pending in another chunk picked the same tentative
+		// color; the higher rank loses and is recolored next round.
+		// Winners commit (colors[] writes race with nothing: this
+		// phase reads only tent/stamp/rank).
+		conflicts := make([]int, len(chunks)-1)
+		for w := 0; w < len(chunks)-1; w++ {
+			lo, hi := chunks[w], chunks[w+1]
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, chunk []int32) {
+				defer wg.Done()
+				for _, v := range chunk {
+					for _, u := range g.Neighbors(v) {
+						if stamp[u] != round || tent[u] != tent[v] {
+							continue
+						}
+						// One conflicting edge, counted once: the loser
+						// (higher rank) records it.
+						if rank[u] < rank[v] {
+							conflicts[w]++
+							lost[v] = true
+						}
+					}
+					if !lost[v] {
+						colors[v] = tent[v]
+					}
+				}
+			}(w, pending[lo:hi])
+		}
+		wg.Wait()
+
+		roundConflicts := 0
+		for _, c := range conflicts {
+			roundConflicts += c
+		}
+		st.Conflicts += roundConflicts
+		if tr := o.Tracer; tr.Enabled() {
+			tr.Counter(obs.PhaseColor, "pcolor.round.pending", int64(len(pending)))
+			tr.Counter(obs.PhaseColor, "pcolor.round.conflicts", int64(roundConflicts))
+		}
+
+		// Losers, in permutation order, are the next round's pending
+		// set (the order is scan order, so determinism is preserved).
+		var next []int32
+		for _, v := range pending {
+			if lost[v] {
+				next = append(next, v)
+			}
+		}
+		pending = next
+	}
+
+	for v := int32(0); v < int32(n); v++ {
+		pal := &st.ColorsInt
+		if g.Class(v) == ir.ClassFloat {
+			pal = &st.ColorsFloat
+		}
+		if c := int(colors[v]) + 1; c > *pal {
+			*pal = c
+		}
+	}
+	emitTotals(o.Tracer, st)
+	return colors, st
+}
+
+func emitTotals(tr *obs.Tracer, st *Stats) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Counter(obs.PhaseColor, "pcolor.workers", int64(st.Workers))
+	tr.Counter(obs.PhaseColor, "pcolor.rounds", int64(st.Rounds))
+	tr.Counter(obs.PhaseColor, "pcolor.conflicts", int64(st.Conflicts))
+	tr.Counter(obs.PhaseColor, "pcolor.recolored", int64(st.Recolored))
+}
+
+// permutation returns the processing order: degree-descending (the
+// Welsh–Powell order, whose first-fit palette tracks smallest-last
+// closely — a uniformly random order costs ~30% more colors on dense
+// G(n,p)), with ties broken by a seeded Fisher–Yates shuffle. The
+// shuffle uses the same xorshift64* generator as package graphgen so
+// corpora stay reproducible across packages.
+func permutation(g *ig.Graph, seed uint64) []int32 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := seed
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 0x2545F4914F6CDD1D
+	}
+	n := g.NumNodes()
+	shuffled := make([]int32, n)
+	for i := range shuffled {
+		shuffled[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	// Stable counting sort by degree, descending: O(n + maxdeg),
+	// cheaper than a comparison sort on the timed path.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	count := make([]int, maxDeg+1)
+	for _, v := range shuffled {
+		count[maxDeg-g.Degree(v)]++
+	}
+	start := 0
+	for d := range count {
+		c := count[d]
+		count[d] = start
+		start += c
+	}
+	perm := make([]int32, n)
+	for _, v := range shuffled {
+		slot := maxDeg - g.Degree(v)
+		perm[count[slot]] = v
+		count[slot]++
+	}
+	return perm
+}
+
+// chunkBounds splits length items into at most workers contiguous
+// chunks, returning the boundary offsets (len = chunks+1). The split
+// depends only on (length, workers), keeping partitioning — and
+// therefore the coloring — schedule-independent.
+func chunkBounds(length, workers int) []int {
+	if workers > length {
+		workers = length
+	}
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * length / workers
+	}
+	return bounds
+}
+
+// KFor returns the color.K bound matching a finished pcolor run, for
+// verifying the assignment with color.Verify.
+func KFor(st *Stats) color.K {
+	return func(c ir.Class) int {
+		n := st.Colors(c)
+		if n < 1 {
+			n = 1 // color.Verify requires a positive bound even for empty classes
+		}
+		return n
+	}
+}
+
+// Sequential is the sequential comparator: smallest-last
+// simplification (Matula–Beck) with an unbounded optimistic select —
+// exactly what color.Simplify/Select degenerate to when k exceeds
+// every degree. It returns the assignment and its stats (Workers and
+// Rounds forced to 1, no conflicts), so callers can compare palette
+// sizes and wall time against the speculative engine.
+func Sequential(g *ig.Graph) ([]int16, *Stats) {
+	n := g.NumNodes()
+	kf := func(ir.Class) int { return n + 1 }
+	costs := make([]float64, n)
+	sr := color.Simplify(g, costs, kf, color.MatulaBeck, color.CostOverDegree)
+	colors, uncolored := color.Select(g, sr.Stack, kf, true)
+	if len(uncolored) != 0 {
+		// k = n+1 exceeds any degree, so optimistic select cannot fail.
+		panic("pcolor: sequential baseline left nodes uncolored")
+	}
+	st := &Stats{Workers: 1, Rounds: 1}
+	for v := int32(0); v < int32(n); v++ {
+		pal := &st.ColorsInt
+		if g.Class(v) == ir.ClassFloat {
+			pal = &st.ColorsFloat
+		}
+		if c := int(colors[v]) + 1; c > *pal {
+			*pal = c
+		}
+	}
+	return colors, st
+}

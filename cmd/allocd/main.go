@@ -1,0 +1,95 @@
+// Command allocd serves the register allocator over HTTP: a small
+// production-shaped service wrapping the library, with the full
+// export surface a fleet expects.
+//
+//	allocd -addr :8080
+//
+// Endpoints:
+//
+//	POST /alloc          allocate a mini-FORTRAN source or color a
+//	                     .ig interference graph (the body; the kind
+//	                     is sniffed, or forced with ?input=src|ig).
+//	                     Query parameters mirror the library's
+//	                     Options: heuristic, kint, kfloat, metric,
+//	                     coalesce, conservative, remat, split,
+//	                     workers, maxpasses; plus unit=NAME to pick
+//	                     one routine, colors=1 to include the
+//	                     assignment, and for ?heuristic=pcolor the
+//	                     seed and workers of the parallel engine.
+//	GET  /metrics        Prometheus text exposition: the run
+//	                     registry (spills, palettes, per-phase
+//	                     latency histograms) plus live trace-counter
+//	                     totals and service gauges.
+//	GET  /healthz        liveness (always ok while the process runs).
+//	GET  /readyz         readiness (503 once draining begins).
+//	GET  /debug/pprof/   the standard Go profiler endpoints.
+//
+// On SIGTERM or SIGINT the service stops advertising readiness,
+// drains in-flight requests for -drain at most, then exits 0; a
+// second signal aborts immediately.
+//
+// Example:
+//
+//	curl -sS -X POST --data-binary @examples/saxpyish.f \
+//	  'localhost:8080/alloc?heuristic=briggs&kint=8'
+//	curl -sS localhost:8080/metrics | grep regalloc_runs_total
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrently served /alloc requests (others queue)")
+	flag.Parse()
+
+	s := newServer(*maxInflight)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "allocd: listening on %s (max-inflight %d)\n", *addr, *maxInflight)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to bind or a fatal
+		// accept error; either way the service is dead.
+		fmt.Fprintln(os.Stderr, "allocd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "allocd: %s: draining for up to %s\n", sig, *drain)
+		s.beginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "allocd: second signal, aborting")
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "allocd: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "allocd: drained, exiting")
+	}
+}

@@ -1,0 +1,508 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"regalloc"
+	"regalloc/internal/color"
+	"regalloc/internal/graphgen"
+	"regalloc/internal/ir"
+	"regalloc/internal/obs"
+	"regalloc/internal/obs/promtext"
+	"regalloc/internal/pcolor"
+)
+
+// server is the allocd state: the run registry and live-event
+// aggregate behind /metrics, plus the admission semaphore bounding
+// concurrent /alloc work. Handlers are safe for concurrent use.
+type server struct {
+	reg     *obs.Registry
+	metrics *obs.MetricsSink
+	sem     chan struct{} // admission: one slot per in-flight /alloc
+	ready   atomic.Bool
+	started time.Time
+}
+
+func newServer(maxInflight int) *server {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	s := &server{
+		reg:     obs.NewRegistry(),
+		metrics: obs.NewMetricsSink(),
+		sem:     make(chan struct{}, maxInflight),
+		started: time.Now(),
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// routes mounts the full handler set on a fresh mux. pprof is
+// mounted explicitly (rather than via the package's DefaultServeMux
+// side effect) so the service owns every route it serves.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alloc", s.handleAlloc)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// beginShutdown flips readiness off so load balancers drain the
+// instance before Shutdown closes the listener.
+func (s *server) beginShutdown() { s.ready.Store(false) }
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := promtext.Write(w, s.reg.Snapshot()); err != nil {
+		return // client went away; nothing sensible to do
+	}
+	if err := promtext.WriteMetrics(w, s.metrics.Snapshot()); err != nil {
+		return
+	}
+	ready := 0
+	if s.ready.Load() {
+		ready = 1
+	}
+	fmt.Fprintf(w, "# HELP allocd_inflight_requests Allocation requests currently admitted.\n# TYPE allocd_inflight_requests gauge\nallocd_inflight_requests %d\n", len(s.sem))
+	fmt.Fprintf(w, "# HELP allocd_ready Whether the instance is accepting traffic.\n# TYPE allocd_ready gauge\nallocd_ready %d\n", ready)
+	fmt.Fprintf(w, "# HELP allocd_uptime_seconds Seconds since the service started.\n# TYPE allocd_uptime_seconds gauge\nallocd_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
+}
+
+// httpError is the JSON error envelope every failure returns.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds the request body: mini-FORTRAN sources and .ig
+// graphs are small; anything larger is a mistake or abuse.
+const maxBodyBytes = 8 << 20
+
+// igFirstLine recognizes a .ig graph body by its mandatory leading
+// node-count directive.
+var igFirstLine = regexp.MustCompile(`^n\s+\d+`)
+
+func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a mini-FORTRAN source or .ig graph body")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		httpError(w, http.StatusBadRequest, "empty body: POST a mini-FORTRAN source or .ig graph")
+		return
+	}
+
+	// Admission: one semaphore slot per in-flight allocation, so a
+	// burst queues instead of oversubscribing the host (each request
+	// may itself fan out opt.Workers goroutines). A client that gives
+	// up while queued is released by its request context.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
+		return
+	}
+
+	input := r.URL.Query().Get("input")
+	if input == "" {
+		if igFirstLine.MatchString(strings.TrimSpace(string(body))) {
+			input = "ig"
+		} else {
+			input = "src"
+		}
+	}
+	switch input {
+	case "src":
+		s.allocSource(w, r, string(body))
+	case "ig":
+		s.allocGraph(w, r, body)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown input kind %q (want src or ig)", input)
+	}
+}
+
+// optionsFromQuery builds an alloc Options from query parameters,
+// mirroring the library's Options field by field. Unset parameters
+// keep the paper's defaults.
+func optionsFromQuery(q map[string][]string) (regalloc.Options, error) {
+	opt := regalloc.DefaultOptions()
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var err error
+	if v := get("heuristic"); v != "" {
+		opt.Heuristic, err = color.ParseHeuristic(v)
+		if err != nil {
+			return opt, err
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"kint", &opt.KInt}, {"kfloat", &opt.KFloat}, {"workers", &opt.Workers}, {"maxpasses", &opt.MaxPasses}} {
+		if v := get(p.name); v != "" {
+			*p.dst, err = strconv.Atoi(v)
+			if err != nil {
+				return opt, fmt.Errorf("%s: %v", p.name, err)
+			}
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *bool
+	}{{"coalesce", &opt.Coalesce}, {"conservative", &opt.ConservativeCoalesce}, {"remat", &opt.Rematerialize}, {"split", &opt.Split}} {
+		if v := get(p.name); v != "" {
+			*p.dst, err = strconv.ParseBool(v)
+			if err != nil {
+				return opt, fmt.Errorf("%s: %v", p.name, err)
+			}
+		}
+	}
+	if v := get("metric"); v != "" {
+		opt.Metric, err = parseMetric(v)
+		if err != nil {
+			return opt, err
+		}
+	}
+	return opt, nil
+}
+
+func parseMetric(s string) (color.Metric, error) {
+	switch s {
+	case "costdegree", "cost/degree", "cost-over-degree":
+		return color.CostOverDegree, nil
+	case "cost":
+		return color.CostOnly, nil
+	case "degree":
+		return color.DegreeOnly, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (want costdegree, cost, or degree)", s)
+}
+
+// unitResponse is one routine's allocation in the /alloc reply.
+type unitResponse struct {
+	Unit         string           `json:"unit"`
+	LiveRanges   int              `json:"live_ranges"`
+	Edges        int              `json:"edges"`
+	Passes       int              `json:"passes"`
+	Spilled      int              `json:"spilled"`
+	SpillCost    float64          `json:"spill_cost"`
+	PaletteInt   int              `json:"palette_int"`
+	PaletteFloat int              `json:"palette_float"`
+	TotalNS      int64            `json:"total_ns"`
+	PhaseNS      map[string]int64 `json:"phase_ns"`
+	Colors       []int16          `json:"colors,omitempty"`
+}
+
+type allocResponse struct {
+	Input        string         `json:"input"`
+	Units        []unitResponse `json:"units"`
+	SpilledTotal int            `json:"spilled_total"`
+	SpillCost    float64        `json:"spill_cost_total"`
+	TotalNS      int64          `json:"total_ns"`
+}
+
+// allocSource compiles a mini-FORTRAN body and allocates its
+// routines (all of them, or just ?unit=NAME) on the bounded worker
+// pool, recording one RunSummary per routine.
+func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string) {
+	opt, err := optionsFromQuery(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	opt.Observer = s.metrics
+	if err := opt.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	prog, err := regalloc.Compile(src)
+	if err != nil {
+		s.reg.Record(obs.RunSummary{Unit: "(compile)", Error: true})
+		httpError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+
+	wantUnit := r.URL.Query().Get("unit")
+	var results map[string]*regalloc.Result
+	if wantUnit != "" {
+		res, err := prog.Allocate(wantUnit, opt)
+		if err != nil {
+			s.reg.Record(obs.RunSummary{Unit: wantUnit, Error: true})
+			httpError(w, http.StatusBadRequest, "allocate %s: %v", wantUnit, err)
+			return
+		}
+		results = map[string]*regalloc.Result{wantUnit: res}
+	} else {
+		results, err = prog.AllocateAllContext(r.Context(), opt)
+		if err != nil {
+			s.reg.Record(obs.RunSummary{Unit: "(program)", Error: true})
+			httpError(w, http.StatusBadRequest, "allocate: %v", err)
+			return
+		}
+	}
+
+	includeColors := boolParam(r, "colors")
+	resp := allocResponse{Input: "src"}
+	for _, name := range prog.Functions() {
+		res, ok := results[name]
+		if !ok {
+			continue
+		}
+		sum := regalloc.Summarize(name, res)
+		s.reg.Record(sum)
+		u := unitResponse{
+			Unit:         name,
+			LiveRanges:   sum.LiveRanges,
+			Edges:        sum.Edges,
+			Passes:       sum.Passes,
+			Spilled:      sum.Spills,
+			SpillCost:    float64(sum.SpillCostMilli) / 1000,
+			PaletteInt:   sum.PaletteInt,
+			PaletteFloat: sum.PaletteFloat,
+			TotalNS:      sum.TotalNS,
+			PhaseNS:      phaseNSMap(sum),
+		}
+		if includeColors {
+			u.Colors = res.Colors
+		}
+		resp.Units = append(resp.Units, u)
+		resp.SpilledTotal += sum.Spills
+		resp.SpillCost += float64(sum.SpillCostMilli) / 1000
+		resp.TotalNS += sum.TotalNS
+	}
+	writeJSON(w, resp)
+}
+
+// graphResponse is the /alloc reply for an interference-graph body.
+type graphResponse struct {
+	Input     string  `json:"input"`
+	Heuristic string  `json:"heuristic"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	Spilled   []int32 `json:"spilled"`
+	SpillCost float64 `json:"spill_cost"`
+	Colors    []int16 `json:"colors,omitempty"`
+
+	// pcolor only:
+	Workers     int `json:"workers,omitempty"`
+	Rounds      int `json:"rounds,omitempty"`
+	Conflicts   int `json:"conflicts,omitempty"`
+	Recolored   int `json:"recolored,omitempty"`
+	ColorsInt   int `json:"colors_int,omitempty"`
+	ColorsFloat int `json:"colors_float,omitempty"`
+}
+
+// allocGraph colors a standalone .ig graph body under one heuristic
+// (chaitin, briggs, mb, or the speculative parallel engine with
+// ?heuristic=pcolor).
+func (s *server) allocGraph(w http.ResponseWriter, r *http.Request, body []byte) {
+	g, costs, err := graphgen.ReadGraph(strings.NewReader(string(body)))
+	if err != nil {
+		s.reg.Record(obs.RunSummary{Unit: "(graph)", Error: true})
+		httpError(w, http.StatusBadRequest, "parse graph: %v", err)
+		return
+	}
+	name := r.URL.Query().Get("unit")
+	if name == "" {
+		name = "graph"
+	}
+	hname := r.URL.Query().Get("heuristic")
+	if hname == "" {
+		hname = "briggs"
+	}
+	includeColors := boolParam(r, "colors")
+
+	if hname == "pcolor" {
+		workers, seed := 0, uint64(1)
+		if v := r.URL.Query().Get("workers"); v != "" {
+			if workers, err = strconv.Atoi(v); err != nil {
+				httpError(w, http.StatusBadRequest, "workers: %v", err)
+				return
+			}
+		}
+		if v := r.URL.Query().Get("seed"); v != "" {
+			if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+				httpError(w, http.StatusBadRequest, "seed: %v", err)
+				return
+			}
+		}
+		t0 := time.Now()
+		colors, st := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: seed})
+		dur := time.Since(t0)
+		if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
+			s.reg.Record(obs.RunSummary{Unit: name, Error: true})
+			httpError(w, http.StatusInternalServerError, "pcolor verify: %v", err)
+			return
+		}
+		sum := obs.RunSummary{
+			Unit:            name,
+			LiveRanges:      g.NumNodes(),
+			Edges:           g.NumEdges(),
+			PaletteInt:      st.ColorsInt,
+			PaletteFloat:    st.ColorsFloat,
+			PColorRounds:    st.Rounds,
+			PColorConflicts: st.Conflicts,
+			TotalNS:         dur.Nanoseconds(),
+		}
+		sum.PhaseNS[obs.PhaseColor] = dur.Nanoseconds()
+		s.reg.Record(sum)
+		resp := graphResponse{
+			Input: "ig", Heuristic: "pcolor", Nodes: g.NumNodes(), Edges: g.NumEdges(),
+			Spilled: []int32{}, Workers: st.Workers, Rounds: st.Rounds,
+			Conflicts: st.Conflicts, Recolored: st.Recolored,
+			ColorsInt: st.ColorsInt, ColorsFloat: st.ColorsFloat,
+		}
+		if includeColors {
+			resp.Colors = colors
+		}
+		writeJSON(w, resp)
+		return
+	}
+
+	h, err := color.ParseHeuristic(hname)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := optionsFromQuery(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	kf := func(c ir.Class) int {
+		if c == ir.ClassInt {
+			return opt.KInt
+		}
+		return opt.KFloat
+	}
+	tr := obs.New(s.metrics, name)
+	t0 := time.Now()
+	tr.BeginPhase(obs.PhaseSimplify)
+	sr := color.SimplifyTraced(g, costs, kf, h, opt.Metric, tr)
+	simplifyDur := time.Since(t0)
+	tr.EndPhase(obs.PhaseSimplify, simplifyDur)
+	var spilled []int32
+	var colors []int16
+	var colorDur time.Duration
+	if h == color.Chaitin && len(sr.SpillMarked) > 0 {
+		spilled = sr.SpillMarked
+	} else {
+		tc := time.Now()
+		tr.BeginPhase(obs.PhaseColor)
+		colors, spilled = color.SelectTraced(g, sr, kf, h != color.Chaitin, tr)
+		colorDur = time.Since(tc)
+		tr.EndPhase(obs.PhaseColor, colorDur)
+	}
+	dur := time.Since(t0)
+	cost := 0.0
+	for _, n := range spilled {
+		cost += costs[n]
+	}
+	sum := obs.RunSummary{
+		Unit:           name,
+		LiveRanges:     g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Spills:         len(spilled),
+		SpillCostMilli: obs.SpillCostMilli(cost),
+		TotalNS:        dur.Nanoseconds(),
+	}
+	if colors != nil {
+		var maxInt, maxFloat int16 = -1, -1
+		for n, c := range colors {
+			if c < 0 {
+				continue
+			}
+			if g.Class(int32(n)) == ir.ClassFloat {
+				if c > maxFloat {
+					maxFloat = c
+				}
+			} else if c > maxInt {
+				maxInt = c
+			}
+		}
+		sum.PaletteInt = int(maxInt) + 1
+		sum.PaletteFloat = int(maxFloat) + 1
+	}
+	sum.PhaseNS[obs.PhaseSimplify] = simplifyDur.Nanoseconds()
+	sum.PhaseNS[obs.PhaseColor] = colorDur.Nanoseconds()
+	s.reg.Record(sum)
+
+	if spilled == nil {
+		spilled = []int32{}
+	}
+	resp := graphResponse{
+		Input: "ig", Heuristic: h.String(), Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		Spilled: spilled, SpillCost: cost,
+	}
+	if includeColors {
+		resp.Colors = colors
+	}
+	writeJSON(w, resp)
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get(name))
+	return err == nil && v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// phaseNSMap renders a RunSummary's phase array with phase names as
+// keys, for the JSON reply.
+func phaseNSMap(s obs.RunSummary) map[string]int64 {
+	m := make(map[string]int64, obs.NumPhases)
+	for p := 0; p < obs.NumPhases; p++ {
+		if s.PhaseNS[p] > 0 {
+			m[obs.Phase(p).String()] = s.PhaseNS[p]
+		}
+	}
+	return m
+}

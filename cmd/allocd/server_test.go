@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"regalloc/internal/obs/promtext"
+)
+
+const testSource = `
+      SUBROUTINE SAXPYISH(N,A,X,Y)
+      REAL A,X(*),Y(*)
+      REAL T1,T2,T3,T4
+      INTEGER I,N
+      DO I = 1,N-3,4
+         T1 = A*X(I)
+         T2 = A*X(I+1)
+         T3 = A*X(I+2)
+         T4 = A*X(I+3)
+         Y(I) = Y(I) + T1
+         Y(I+1) = Y(I+1) + T2
+         Y(I+2) = Y(I+2) + T3
+         Y(I+3) = Y(I+3) + T4
+      ENDDO
+      RETURN
+      END
+`
+
+const testGraph = `n 4
+e 0 1
+e 1 2
+e 2 3
+e 3 0
+c 0 5
+`
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(4)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postAlloc(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestAllocSource(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, data := postAlloc(t, ts, "/alloc?heuristic=briggs&kint=8&kfloat=4", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp allocResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if resp.Input != "src" || len(resp.Units) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	u := resp.Units[0]
+	if u.Unit != "SAXPYISH" || u.LiveRanges == 0 || u.Passes == 0 || u.PaletteInt == 0 {
+		t.Fatalf("unit = %+v", u)
+	}
+	if u.Colors != nil {
+		t.Fatal("colors included without ?colors=1")
+	}
+
+	code, data = postAlloc(t, ts, "/alloc?colors=1", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var withColors allocResponse
+	if err := json.Unmarshal(data, &withColors); err != nil {
+		t.Fatal(err)
+	}
+	if len(withColors.Units[0].Colors) == 0 {
+		t.Fatal("?colors=1 returned no assignment")
+	}
+}
+
+func TestAllocGraphSniffedAndExplicit(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/alloc?kint=2", "/alloc?input=ig&kint=2"} {
+		code, data := postAlloc(t, ts, path, testGraph)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, code, data)
+		}
+		var resp graphResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		// The 4-cycle with k=2 is the paper's Figure 3: briggs
+		// colors it with zero spills.
+		if resp.Input != "ig" || resp.Nodes != 4 || resp.Edges != 4 || len(resp.Spilled) != 0 {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+	// Chaitin on the same graph must spill (the pessimistic half of
+	// Figure 3).
+	code, data := postAlloc(t, ts, "/alloc?kint=2&heuristic=chaitin", testGraph)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp graphResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spilled) == 0 {
+		t.Fatal("chaitin k=2 on a 4-cycle did not spill")
+	}
+}
+
+func TestAllocGraphPColor(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, data := postAlloc(t, ts, "/alloc?heuristic=pcolor&workers=2&seed=7&colors=1", testGraph)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp graphResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Heuristic != "pcolor" || resp.Rounds == 0 || resp.ColorsInt == 0 || len(resp.Colors) != 4 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/alloc", "", http.StatusBadRequest},
+		{"/alloc", "NOT FORTRAN AT ALL ((", http.StatusBadRequest},
+		{"/alloc?kint=0", testSource, http.StatusBadRequest},
+		{"/alloc?heuristic=bogus", testSource, http.StatusBadRequest},
+		{"/alloc?metric=bogus", testSource, http.StatusBadRequest},
+		{"/alloc?input=bogus", testSource, http.StatusBadRequest},
+		{"/alloc?unit=MISSING", testSource, http.StatusBadRequest},
+		{"/alloc?input=ig", "n x\n", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, data := postAlloc(t, ts, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.path, code, tc.want, data)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error reply not a JSON envelope: %s", tc.path, data)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /alloc: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Drive some work through both input kinds, concurrently, then
+	// scrape.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postAlloc(t, ts, "/alloc?kint=8", testSource)
+			postAlloc(t, ts, "/alloc?input=ig&kint=2", testGraph)
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if err := promtext.Lint(data); err != nil {
+		t.Fatalf("/metrics fails Lint: %v\n%s", err, data)
+	}
+	for _, want := range []string{
+		"regalloc_runs_total 16",
+		`regalloc_unit_runs_total{unit="SAXPYISH"} 8`,
+		`regalloc_unit_runs_total{unit="graph"} 8`,
+		"regalloc_events_total{", // live trace counters from the MetricsSink observer
+		"allocd_ready 1",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthReadyAndDrain(t *testing.T) {
+	s, ts := newTestServer(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	s.beginShutdown()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: status %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays green while draining.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}

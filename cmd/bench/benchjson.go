@@ -2,6 +2,17 @@
 // benchmark over the paper's figure-7 routines and the standalone
 // graph-coloring stress generators, written as one JSON document so
 // CI can archive it and successive PRs can be diffed.
+//
+// Schema history (readers of older reports keep working — every bump
+// is additive, and the history is repeated in the report's
+// schema_history field so an archived file explains itself):
+//
+//	regalloc-bench/3  runs, graphs, pcolor, build_improvement_pct
+//	regalloc-bench/4  adds phase_latency and run_latency: p50/p95/p99
+//	                  (plus mean/max/count) over EVERY rep of every
+//	                  figure-7 allocation, computed from the obs
+//	                  registry's fixed-bucket histograms — the "runs"
+//	                  entries remain best-of-reps and are unchanged
 package main
 
 import (
@@ -13,9 +24,11 @@ import (
 
 	"regalloc"
 	"regalloc/internal/color"
+	"regalloc/internal/fsutil"
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/obs"
 	"regalloc/internal/pcolor"
 	"regalloc/internal/workloads"
 )
@@ -68,16 +81,46 @@ type benchPColor struct {
 	ParColors int     `json:"par_colors"`
 }
 
+// benchQuantiles summarizes one obs.LatencyHistogram: percentile
+// estimates by linear interpolation within the 1-2-5 buckets, clamped
+// to the observed maximum.
+type benchQuantiles struct {
+	Count  int64 `json:"count"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+func quantilesOf(h obs.LatencyHistogram) benchQuantiles {
+	return benchQuantiles{
+		Count:  h.Count,
+		P50NS:  h.Quantile(0.50).Nanoseconds(),
+		P95NS:  h.Quantile(0.95).Nanoseconds(),
+		P99NS:  h.Quantile(0.99).Nanoseconds(),
+		MeanNS: h.Mean().Nanoseconds(),
+		MaxNS:  h.MaxNS,
+	}
+}
+
 type benchReport struct {
-	Schema     string             `json:"schema"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	NumCPU     int                `json:"num_cpu"`
-	Reps       int                `json:"reps"`
-	Runs       []benchRun         `json:"runs"`
-	Graphs     []benchGraph       `json:"graphs"`
-	PColor     []benchPColor      `json:"pcolor"`
-	BuildPct   map[string]float64 `json:"build_improvement_pct"`
-	Note       string             `json:"note"`
+	Schema        string             `json:"schema"`
+	SchemaHistory []string           `json:"schema_history"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	NumCPU        int                `json:"num_cpu"`
+	Reps          int                `json:"reps"`
+	Runs          []benchRun         `json:"runs"`
+	Graphs        []benchGraph       `json:"graphs"`
+	PColor        []benchPColor      `json:"pcolor"`
+	BuildPct      map[string]float64 `json:"build_improvement_pct"`
+	// PhaseLatency aggregates every rep of every figure-7 allocation
+	// (not just the best-of-reps kept in Runs) per Figure 4 phase;
+	// RunLatency does the same for whole-allocation wall time. New in
+	// regalloc-bench/4.
+	PhaseLatency map[string]benchQuantiles `json:"phase_latency"`
+	RunLatency   benchQuantiles            `json:"run_latency"`
+	Note         string                    `json:"note"`
 }
 
 // figure7Routines is the paper's four large routines, the workloads
@@ -114,16 +157,27 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema:     "regalloc-bench/3",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Reps:       reps,
-		BuildPct:   map[string]float64{},
+		Schema: "regalloc-bench/4",
+		SchemaHistory: []string{
+			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
+			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
+		},
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Reps:         reps,
+		BuildPct:     map[string]float64{},
+		PhaseLatency: map[string]benchQuantiles{},
 		Note: "times are best-of-reps wall clock; workers are capped at " +
 			"GOMAXPROCS, so on a single-CPU host the workers=4 run takes the " +
 			"same sequential path and the improvement reflects machine noise " +
-			"only — compare build_improvement_pct against gomaxprocs",
+			"only — compare build_improvement_pct against gomaxprocs; " +
+			"phase_latency/run_latency aggregate every rep, not the best",
 	}
+
+	// Every rep of every allocation below is also recorded here, so
+	// the /4 latency quantiles see the full distribution rather than
+	// the minimum that Runs keeps.
+	reg := regalloc.NewRegistry()
 
 	buildTotals := map[string]map[int]int64{} // routine -> workers -> build ns
 	for _, s := range wanted {
@@ -138,6 +192,7 @@ func runBenchJSON(path string, reps int) error {
 				if err != nil {
 					return fmt.Errorf("%s workers=%d: %w", s.routine, workers, err)
 				}
+				reg.Record(regalloc.Summarize(s.routine, res))
 				run := benchRun{Routine: s.routine, Workers: workers}
 				for _, p := range res.Passes {
 					run.Passes = append(run.Passes, benchPass{
@@ -278,6 +333,14 @@ func runBenchJSON(path string, reps int) error {
 		}
 	}
 
+	snap := reg.Snapshot()
+	for p := 0; p < obs.NumPhases; p++ {
+		if h := snap.Phase[p]; h.Count > 0 {
+			report.PhaseLatency[obs.Phase(p).String()] = quantilesOf(h)
+		}
+	}
+	report.RunLatency = quantilesOf(snap.Total)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -288,10 +351,8 @@ func runBenchJSON(path string, reps int) error {
 		f.Close()
 		return err
 	}
-	// A dropped close error here is exactly the silent-truncation bug
-	// the -trace path had: the OS may only report a full disk at close.
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("closing %s: %w", path, err)
-	}
-	return nil
+	// A dropped fsync/close error here is exactly the
+	// silent-truncation bug the -trace path had: the OS may only
+	// report a full disk at sync or close.
+	return fsutil.SyncClose(f)
 }

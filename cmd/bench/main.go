@@ -14,11 +14,16 @@
 //
 // Observability:
 //
-//	bench -figure 7 -trace out.jsonl   stream every allocator event
-//	                                   (phase spans, counters, spill
-//	                                   decisions) as JSON lines
-//	bench -figure all -metrics         print aggregated counters and
-//	                                   per-phase duration histograms
+//	bench -figure 7 -trace out.jsonl        stream every allocator
+//	                                        event (phase spans,
+//	                                        counters, spill
+//	                                        decisions) as JSON lines
+//	bench -figure 7 -trace-perfetto t.json  write the same run as
+//	                                        Chrome trace-event JSON
+//	                                        for ui.perfetto.dev
+//	bench -figure all -metrics              print aggregated counters
+//	                                        and per-phase duration
+//	                                        histograms
 package main
 
 import (
@@ -27,13 +32,16 @@ import (
 	"os"
 
 	"regalloc/internal/experiments"
+	"regalloc/internal/fsutil"
 	"regalloc/internal/obs"
+	"regalloc/internal/obs/traceevent"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
+	perfettoPath := flag.String("trace-perfetto", "", "write a Chrome/Perfetto trace-event JSON file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated allocator metrics after the figures")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable phase benchmark to this file and exit")
 	benchReps := flag.Int("bench-reps", 3, "repetitions per configuration in -bench-json mode (best is kept)")
@@ -59,23 +67,44 @@ func main() {
 		traceSink = js
 		// Checked at exit, not dropped in a defer: a full disk
 		// surfaces as a mid-stream write error (remembered by the
-		// sink) or at close, and either must fail the run instead of
-		// shipping a silently truncated trace.
+		// sink), at fsync, or at close, and any of them must fail the
+		// run instead of shipping a silently truncated trace.
 		closeTrace = func() error {
 			if err := js.Err(); err != nil {
 				return err
 			}
 			if f != nil {
-				return f.Close()
+				return fsutil.SyncClose(f)
 			}
 			return nil
+		}
+	}
+	var perfettoSink *traceevent.Sink
+	closePerfetto := func() error { return nil }
+	if *perfettoPath != "" {
+		perfettoSink = traceevent.New()
+		// Buffered in the sink and written once at exit, through the
+		// same fsync-or-error close path as every other result file.
+		closePerfetto = func() error {
+			if *perfettoPath == "-" {
+				return perfettoSink.WriteJSON(os.Stdout)
+			}
+			f, err := os.Create(*perfettoPath)
+			if err != nil {
+				return err
+			}
+			if err := perfettoSink.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return fsutil.SyncClose(f)
 		}
 	}
 	var metricsSink *obs.MetricsSink
 	if *metrics {
 		metricsSink = obs.NewMetricsSink()
 	}
-	experiments.SetObserver(obs.Multi(traceSink, metricsSink))
+	experiments.SetObserver(obs.Multi(traceSink, metricsSink, perfettoSink))
 
 	run5 := *figure == "5" || *figure == "all"
 	run6 := *figure == "6" || *figure == "all"
@@ -138,6 +167,10 @@ func main() {
 	}
 	if err := closeTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "bench: closing trace:", err)
+		os.Exit(1)
+	}
+	if err := closePerfetto(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: writing perfetto trace:", err)
 		os.Exit(1)
 	}
 }

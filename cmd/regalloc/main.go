@@ -18,11 +18,17 @@
 //
 // Observability (either mode):
 //
-//	-trace out.jsonl   write the allocator's event stream as JSON
-//	                   lines ("-" for stdout): phase spans, counters,
-//	                   spill decisions, color-reuse witnesses
-//	-metrics           print aggregated counters and per-phase
-//	                   duration histograms after the run
+//	-trace out.jsonl          write the allocator's event stream as
+//	                          JSON lines ("-" for stdout): phase
+//	                          spans, counters, spill decisions,
+//	                          color-reuse witnesses
+//	-trace-perfetto out.json  write the same run as Chrome
+//	                          trace-event JSON, openable directly in
+//	                          ui.perfetto.dev (one named thread per
+//	                          unit, phases nested as they ran)
+//	-metrics                  print aggregated counters and
+//	                          per-phase duration histograms after
+//	                          the run
 //
 // Graph file format (text): one directive per line.
 //
@@ -45,10 +51,12 @@ import (
 
 	"regalloc"
 	"regalloc/internal/color"
+	"regalloc/internal/fsutil"
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
+	"regalloc/internal/obs/traceevent"
 	"regalloc/internal/pcolor"
 )
 
@@ -63,6 +71,7 @@ func main() {
 	pseed := flag.Uint64("pseed", 1, "-pcolor: permutation seed")
 	verbose := flag.Bool("v", false, "print the full color assignment")
 	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file (\"-\" for stdout)")
+	perfettoPath := flag.String("trace-perfetto", "", "write a Chrome/Perfetto trace-event JSON file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated metrics after the run")
 	flag.Parse()
 
@@ -80,24 +89,46 @@ func main() {
 		js := obs.NewJSONSink(w)
 		traceSink = js
 		// Checked at exit, not dropped in a defer: a write error
-		// (full disk, quota) surfaces mid-stream or at close, and
-		// either must fail the run instead of silently truncating
-		// the trace.
+		// (full disk, quota) surfaces mid-stream, at fsync, or at
+		// close, and any of them must fail the run instead of
+		// silently truncating the trace.
 		closeTrace = func() error {
 			if err := js.Err(); err != nil {
 				return err
 			}
 			if f != nil {
-				return f.Close()
+				return fsutil.SyncClose(f)
 			}
 			return nil
+		}
+	}
+	var perfettoSink *traceevent.Sink
+	closePerfetto := func() error { return nil }
+	if *perfettoPath != "" {
+		perfettoSink = traceevent.New()
+		// The trace-event file is buffered in the sink and written
+		// once at exit, through the same fsync-or-error close path as
+		// the JSON-lines trace.
+		closePerfetto = func() error {
+			if *perfettoPath == "-" {
+				return perfettoSink.WriteJSON(os.Stdout)
+			}
+			f, err := os.Create(*perfettoPath)
+			if err != nil {
+				return err
+			}
+			if err := perfettoSink.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return fsutil.SyncClose(f)
 		}
 	}
 	var metricsSink *obs.MetricsSink
 	if *metrics {
 		metricsSink = obs.NewMetricsSink()
 	}
-	sink := obs.Multi(traceSink, metricsSink)
+	sink := obs.Multi(traceSink, metricsSink, perfettoSink)
 
 	if *src != "" {
 		runSource(*src, *heuristic, *k, sink)
@@ -112,6 +143,10 @@ func main() {
 	}
 	if err := closeTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "regalloc: closing trace:", err)
+		os.Exit(1)
+	}
+	if err := closePerfetto(); err != nil {
+		fmt.Fprintln(os.Stderr, "regalloc: writing perfetto trace:", err)
 		os.Exit(1)
 	}
 }

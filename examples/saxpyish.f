@@ -1,0 +1,26 @@
+* A small unrolled SAXPY-style loop in the mini-FORTRAN dialect the
+* allocator front end accepts. Four temporaries carried across the
+* unrolled body give the interference graph enough pressure that the
+* default k=8 forces one spill-and-retry trip around the Figure 4
+* cycle — small, but every allocator phase runs.
+*
+* Try it against the CLI or the allocd service:
+*
+*   regalloc -src examples/saxpyish.f
+*   curl --data-binary @examples/saxpyish.f 'localhost:8080/alloc?kint=8'
+      SUBROUTINE SAXPYISH(N,A,X,Y)
+      REAL A,X(*),Y(*)
+      REAL T1,T2,T3,T4
+      INTEGER I,N
+      DO I = 1,N-3,4
+         T1 = A*X(I)
+         T2 = A*X(I+1)
+         T3 = A*X(I+2)
+         T4 = A*X(I+3)
+         Y(I) = Y(I) + T1
+         Y(I+1) = Y(I+1) + T2
+         Y(I+2) = Y(I+2) + T3
+         Y(I+3) = Y(I+3) + T4
+      ENDDO
+      RETURN
+      END

@@ -1,0 +1,26 @@
+// Package fsutil holds the one filesystem idiom every CLI output
+// path in this repo must share: a file that carries results (traces,
+// metrics, benchmark reports) is synced and closed with errors
+// checked, because ENOSPC and quota errors routinely surface only at
+// fsync or close — dropping them ships a silently truncated file.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// SyncClose fsyncs then closes f, returning the first error. It is
+// the uniform close path for every result-carrying file the CLIs
+// write; use it instead of a bare f.Close() (and never in a defer
+// whose error would be dropped).
+func SyncClose(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSyncCloseOK(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncClose(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestSyncCloseReportsClosedFile(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := SyncClose(f); err == nil {
+		t.Fatal("SyncClose on a closed file returned nil")
+	}
+}

@@ -138,6 +138,19 @@ func New(sink Sink, unit string) *Tracer {
 	return &Tracer{sink: sink, unit: unit, now: time.Now}
 }
 
+// NewWithClock is New with an injected clock, for tests (and replay
+// tooling) that need deterministic event timestamps. A nil now means
+// time.Now.
+func NewWithClock(sink Sink, unit string, now func() time.Time) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{sink: sink, unit: unit, now: now}
+}
+
 // Enabled reports whether events are being collected.
 func (t *Tracer) Enabled() bool { return t != nil }
 

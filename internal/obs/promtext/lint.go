@@ -1,0 +1,249 @@
+package promtext
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks that data is well-formed Prometheus text exposition
+// format (version 0.0.4) and that the histogram invariants scrapers
+// depend on hold: every sample belongs to a family with a TYPE
+// declaration, bucket counts are cumulative and non-decreasing, and
+// each +Inf bucket equals the series count. It returns the first
+// problem found, or nil.
+//
+// This is a validator for output this repo generates, not a full
+// scraper: it covers the constructs Write and WriteMetrics emit
+// (counters, gauges, histograms; no timestamps, no exemplars).
+func Lint(data []byte) error {
+	metricName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+	types := map[string]string{} // family -> declared type
+	// histogram series state, keyed by family + sorted non-le labels
+	type histState struct {
+		lastBucket float64
+		infBucket  float64
+		haveInf    bool
+		count      float64
+		haveCount  bool
+	}
+	hists := map[string]*histState{}
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !metricName.MatchString(fields[2]) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE missing kind", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !metricName.MatchString(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		for _, l := range labels {
+			if !labelName.MatchString(l.name) {
+				return fmt.Errorf("line %d: bad label name %q", lineNo, l.name)
+			}
+		}
+
+		family, suffix := name, ""
+		if _, ok := types[name]; !ok {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, s); base != name && types[base] == "histogram" {
+					family, suffix = base, s
+					break
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram family %s sampled without _bucket/_sum/_count", lineNo, family)
+			}
+			key, le, haveLE := histKey(family, labels)
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if !haveLE {
+					return fmt.Errorf("line %d: _bucket without le label", lineNo)
+				}
+				if value < st.lastBucket {
+					return fmt.Errorf("line %d: bucket counts not cumulative in %s", lineNo, key)
+				}
+				st.lastBucket = value
+				if le == "+Inf" {
+					st.infBucket, st.haveInf = value, true
+				}
+			case "_count":
+				st.count, st.haveCount = value, true
+			}
+		} else if value < 0 && typ == "counter" {
+			return fmt.Errorf("line %d: negative counter %s", lineNo, name)
+		}
+	}
+
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := hists[k]
+		if !st.haveInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", k)
+		}
+		if !st.haveCount {
+			return fmt.Errorf("histogram %s: missing _count", k)
+		}
+		if st.infBucket != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", k, st.infBucket, st.count)
+		}
+	}
+	return nil
+}
+
+type label struct{ name, value string }
+
+// parseSample splits `name{labels} value` (no timestamp support).
+func parseSample(line string) (name string, labels []label, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\' && inQuote:
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) ([]label, error) {
+	var out []label
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		name := s[:eq]
+		i := eq + 2
+		var val strings.Builder
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in %q", s[i], s)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out = append(out, label{name, val.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// histKey builds the series identity for histogram reconciliation:
+// the family plus every label except le, sorted.
+func histKey(family string, labels []label) (key, le string, haveLE bool) {
+	rest := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.name == "le" {
+			le, haveLE = l.value, true
+			continue
+		}
+		rest = append(rest, l.name+"="+l.value)
+	}
+	sort.Strings(rest)
+	return family + "{" + strings.Join(rest, ",") + "}", le, haveLE
+}

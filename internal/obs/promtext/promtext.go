@@ -1,0 +1,150 @@
+// Package promtext renders obs aggregates in the Prometheus text
+// exposition format (version 0.0.4), the format a Prometheus server
+// scrapes from a /metrics endpoint. It is written by hand rather
+// than against a client library — the repo's no-new-dependency rule —
+// which is viable because the exposition format is a stable,
+// line-oriented text protocol. Lint checks the invariants scrapers
+// rely on and is used by the package's own tests, cmd/allocd's
+// tests, and the CI smoke job.
+//
+// Output is deterministic: families appear in a fixed order and
+// every label-keyed series within a family is sorted, so scrapes
+// diff cleanly and golden tests stay stable.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regalloc/internal/obs"
+)
+
+// Write renders a registry snapshot. Counter families use the
+// _total suffix convention; per-phase span latencies are exported as
+// one Prometheus histogram family keyed by a "phase" label, whose
+// buckets are obs.LatencyBuckets in seconds.
+func Write(w io.Writer, s obs.RegistrySnapshot) error {
+	bw := bufio.NewWriter(w)
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("regalloc_runs_total", "Completed allocation or coloring runs recorded in the registry.", s.Runs)
+	counter("regalloc_run_errors_total", "Recorded runs that failed.", s.Errors)
+	counter("regalloc_passes_total", "Trips around the Figure 4 allocation cycle, summed over runs.", s.Passes)
+	counter("regalloc_spills_total", "Live ranges spilled, summed over runs.", s.Spills)
+	counter("regalloc_spill_cost_milli_total", "Estimated spill cost in fixed-point milli units, summed over runs.", s.SpillCostMilli)
+	counter("regalloc_coalesced_moves_total", "Copies removed by coalescing, summed over runs.", s.CoalescedMoves)
+	counter("regalloc_pcolor_rounds_total", "Speculative parallel-coloring rounds, summed over runs.", s.PColorRounds)
+	counter("regalloc_pcolor_conflicts_total", "Boundary conflicts detected by parallel coloring, summed over runs.", s.PColorConflicts)
+	gauge("regalloc_palette_int_max", "Largest integer-register palette any recorded run used.", int64(s.PaletteIntMax))
+	gauge("regalloc_palette_float_max", "Largest float-register palette any recorded run used.", int64(s.PaletteFloatMax))
+
+	if len(s.UnitRuns) > 0 {
+		fmt.Fprintf(bw, "# HELP regalloc_unit_runs_total Recorded runs per allocation unit.\n# TYPE regalloc_unit_runs_total counter\n")
+		units := make([]string, 0, len(s.UnitRuns))
+		for u := range s.UnitRuns {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(bw, "regalloc_unit_runs_total{unit=%s} %d\n", quoteLabel(u), s.UnitRuns[u])
+		}
+	}
+
+	fmt.Fprintf(bw, "# HELP regalloc_phase_duration_seconds Wall time of one allocator phase within one run.\n# TYPE regalloc_phase_duration_seconds histogram\n")
+	for p := 0; p < obs.NumPhases; p++ {
+		writeHistogram(bw, "regalloc_phase_duration_seconds", fmt.Sprintf("phase=%s", quoteLabel(obs.Phase(p).String())), s.Phase[p])
+	}
+	fmt.Fprintf(bw, "# HELP regalloc_run_duration_seconds Total wall time of one recorded run.\n# TYPE regalloc_run_duration_seconds histogram\n")
+	writeHistogram(bw, "regalloc_run_duration_seconds", "", s.Total)
+
+	return bw.Flush()
+}
+
+// WriteMetrics renders a live-event aggregate (obs.Metrics) as two
+// families: the summed trace counters, labeled by phase and counter
+// name, and the spill/reuse decision totals. Keys are sorted, so the
+// output is deterministic for a given snapshot.
+func WriteMetrics(w io.Writer, m obs.Metrics) error {
+	bw := bufio.NewWriter(w)
+	if len(m.Counters) > 0 {
+		fmt.Fprintf(bw, "# HELP regalloc_events_total Trace counter totals, labeled by phase and counter name.\n# TYPE regalloc_events_total counter\n")
+		keys := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			phase, name := k, ""
+			if i := strings.IndexByte(k, '/'); i >= 0 {
+				phase, name = k[:i], k[i+1:]
+			}
+			fmt.Fprintf(bw, "regalloc_events_total{phase=%s,name=%s} %d\n", quoteLabel(phase), quoteLabel(name), m.Counters[k])
+		}
+	}
+	fmt.Fprintf(bw, "# HELP regalloc_spill_decisions_total Simplify stuck-choices observed in the event stream.\n# TYPE regalloc_spill_decisions_total counter\nregalloc_spill_decisions_total %d\n", m.SpillDecisions)
+	fmt.Fprintf(bw, "# HELP regalloc_color_reuses_total Optimistic coloring wins observed in the event stream.\n# TYPE regalloc_color_reuses_total counter\nregalloc_color_reuses_total %d\n", m.ColorReuses)
+	return bw.Flush()
+}
+
+// writeHistogram emits the _bucket/_sum/_count triple for one series.
+// labels is a pre-rendered `k="v"` list without braces ("" for none).
+func writeHistogram(w io.Writer, family, labels string, h obs.LatencyHistogram) {
+	with := func(extra string) string {
+		switch {
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	var cum int64
+	for i, ub := range obs.LatencyBuckets {
+		cum += h.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", family, with(`le="`+formatSeconds(ub.Seconds())+`"`), cum)
+	}
+	cum += h.Buckets[obs.NumLatencyBuckets]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", family, with(`le="+Inf"`), cum)
+	sumLabels := ""
+	if labels != "" {
+		sumLabels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", family, sumLabels, formatSeconds(float64(h.SumNS)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", family, sumLabels, h.Count)
+}
+
+// formatSeconds renders a float the shortest way that round-trips,
+// matching how Prometheus clients print le bounds and sums.
+func formatSeconds(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// quoteLabel renders a label value with the exposition format's
+// escaping (backslash, double quote, newline).
+func quoteLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

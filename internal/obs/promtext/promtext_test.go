@@ -1,0 +1,118 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"regalloc/internal/obs"
+)
+
+func sampleSnapshot() obs.RegistrySnapshot {
+	reg := obs.NewRegistry()
+	for i := 0; i < 40; i++ {
+		s := obs.RunSummary{
+			Unit:           []string{"SVD", "DQRDC", `we"ird\name`}[i%3],
+			Passes:         1 + i%2,
+			Spills:         i % 5,
+			SpillCostMilli: obs.SpillCostMilli(float64(i) * 2.5),
+			CoalescedMoves: i % 3,
+			PaletteInt:     1 + i%12,
+			PaletteFloat:   i % 6,
+			TotalNS:        int64(1500 * (i + 1)),
+		}
+		s.PhaseNS[obs.PhaseBuild] = int64(900 * (i + 1))
+		s.PhaseNS[obs.PhaseSimplify] = int64(300 * (i + 1))
+		reg.Record(s)
+	}
+	reg.Record(obs.RunSummary{Unit: "SVD", Error: true})
+	reg.Record(obs.RunSummary{Unit: "graph", PColorRounds: 3, PColorConflicts: 17, PaletteInt: 9})
+	return reg.Snapshot()
+}
+
+func TestWriteLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Fatalf("Write output fails Lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"regalloc_runs_total 42",
+		"regalloc_run_errors_total 1",
+		"regalloc_pcolor_conflicts_total 17",
+		`regalloc_unit_runs_total{unit="SVD"} 15`,
+		`regalloc_unit_runs_total{unit="we\"ird\\name"} 13`,
+		`regalloc_phase_duration_seconds_bucket{phase="build",le="+Inf"} 40`,
+		`regalloc_phase_duration_seconds_count{phase="spill"} 0`,
+		"regalloc_run_duration_seconds_count 40",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	snap := sampleSnapshot()
+	var a, b bytes.Buffer
+	if err := Write(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of one snapshot differ")
+	}
+}
+
+func TestWriteMetricsLints(t *testing.T) {
+	ms := obs.NewMetricsSink()
+	ms.Emit(obs.Event{Kind: obs.KindCounter, Phase: obs.PhaseBuild, Name: "graph.nodes", Value: 11})
+	ms.Emit(obs.Event{Kind: obs.KindCounter, Phase: obs.PhaseSpill, Name: "spill.ranges", Value: 2})
+	ms.Emit(obs.Event{Kind: obs.KindSpillDecision, Cost: 4})
+	ms.Emit(obs.Event{Kind: obs.KindColorReuse})
+	ms.Emit(obs.Event{Kind: obs.KindSpanEnd, Phase: obs.PhaseBuild, Dur: time.Millisecond})
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, ms.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Fatalf("WriteMetrics output fails Lint: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		`regalloc_events_total{phase="build",name="graph.nodes"} 11`,
+		"regalloc_spill_decisions_total 1",
+		"regalloc_color_reuses_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":        "some_metric 3\n",
+		"bad value":      "# TYPE m counter\nm three\n",
+		"bad type":       "# TYPE m histogramish\n",
+		"non-cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf != count":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"no inf bucket":  "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n",
+		"bad label":      "# TYPE m counter\nm{le=x} 3\n",
+		"negative ctr":   "# TYPE m counter\nm -1\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: Lint accepted %q", name, in)
+		}
+	}
+	good := "# HELP m helpful\n# TYPE m counter\nm{unit=\"a b\"} 3\n"
+	if err := Lint([]byte(good)); err != nil {
+		t.Errorf("Lint rejected valid input: %v", err)
+	}
+}

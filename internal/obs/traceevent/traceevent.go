@@ -1,0 +1,147 @@
+// Package traceevent renders an obs event stream as Chrome
+// trace-event JSON — the "JSON Array Format" with B/E duration
+// events — which ui.perfetto.dev and chrome://tracing open directly.
+// Each allocation unit becomes one named thread row, so a
+// whole-program Assemble shows its units side by side with the
+// Figure 4 phases nested within each (coalesce inside build, exactly
+// as the allocator runs them); counters become counter tracks and
+// spill/reuse decisions become instant events on the unit's row.
+//
+// The sink buffers events in memory and serializes on demand: CLI
+// traces are bounded (one event per phase boundary, counter, and
+// decision), and buffering lets the writer normalize timestamps to
+// the earliest event so the trace always starts at t=0.
+package traceevent
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"regalloc/internal/obs"
+)
+
+// Sink collects obs events for later serialization. It is safe for
+// concurrent use; a nil *Sink passed through obs.Multi is dropped
+// there, so callers can wire it unconditionally.
+type Sink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+// New returns an empty Sink.
+func New() *Sink { return &Sink{} }
+
+// Emit buffers e.
+func (s *Sink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Len reports how many events are buffered.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// traceEvent is one element of the traceEvents array. ts and dur are
+// microseconds (the format's unit); float64 keeps nanosecond
+// precision.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON serializes the buffered events. Units are assigned
+// thread ids in order of first appearance and named via thread_name
+// metadata; timestamps are rebased so the earliest event is t=0.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	events := make([]obs.Event, len(s.events))
+	copy(events, s.events)
+	s.mu.Unlock()
+
+	var t0 time.Time
+	for _, e := range events {
+		if t0.IsZero() || e.Time.Before(t0) {
+			t0 = e.Time
+		}
+	}
+	ts := func(e obs.Event) float64 {
+		return float64(e.Time.Sub(t0).Nanoseconds()) / 1e3
+	}
+
+	tids := map[string]int{}
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	tidFor := func(unit string) int {
+		if id, ok := tids[unit]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[unit] = id
+		name := unit
+		if name == "" {
+			name = "(unnamed)"
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: id,
+			Args: map[string]any{"name": name},
+		})
+		return id
+	}
+
+	for _, e := range events {
+		tid := tidFor(e.Unit)
+		switch e.Kind {
+		case obs.KindSpanBegin:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: e.Phase.String(), Cat: "phase", Ph: "B", TS: ts(e), PID: 1, TID: tid,
+				Args: map[string]any{"pass": e.Pass},
+			})
+		case obs.KindSpanEnd:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: e.Phase.String(), Cat: "phase", Ph: "E", TS: ts(e), PID: 1, TID: tid,
+			})
+		case obs.KindCounter:
+			// One counter track per unit+name; the phase stays as a
+			// category so filtering works.
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: e.Unit + "/" + e.Name, Cat: e.Phase.String(), Ph: "C", TS: ts(e), PID: 1, TID: tid,
+				Args: map[string]any{e.Name: e.Value},
+			})
+		case obs.KindSpillDecision:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("spill n%d", e.Node), Cat: "spill_decision", Ph: "i", TS: ts(e), PID: 1, TID: tid, S: "t",
+				Args: map[string]any{"node": e.Node, "degree": e.Degree, "cost": e.Cost, "metric": e.Metric},
+			})
+		case obs.KindColorReuse:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("reuse n%d", e.Node), Cat: "color_reuse", Ph: "i", TS: ts(e), PID: 1, TID: tid, S: "t",
+				Args: map[string]any{"node": e.Node, "degree": e.Degree, "color": e.Color, "in_use_colors": e.InUseColors},
+			})
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -142,6 +142,72 @@ func NewMetricsSink() *obs.MetricsSink { return obs.NewMetricsSink() }
 // dropped.
 func MultiSink(sinks ...Observer) Observer { return obs.Multi(sinks...) }
 
+// Registry accumulates per-run summaries across many Allocate and
+// Assemble calls (obs.Registry re-exported); see NewRegistry and
+// Summarize. Exporters live in internal/obs/promtext (Prometheus
+// text) and are served by cmd/allocd's /metrics.
+type Registry = obs.Registry
+
+// RunSummary is one completed run's condensed record
+// (obs.RunSummary re-exported); Summarize builds one from a Result.
+type RunSummary = obs.RunSummary
+
+// NewRegistry returns an empty, thread-safe run registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Summarize condenses a completed allocation into the record a
+// Registry accumulates: spill totals (in the same fixed-point milli
+// units as the spill.cost_milli trace counter, so registry totals
+// reconcile exactly with summed PassStats), palette sizes actually
+// used per register class, coalescing totals, and per-phase wall
+// time summed across passes.
+func Summarize(unit string, res *Result) RunSummary {
+	s := RunSummary{Unit: unit, Passes: len(res.Passes)}
+	if len(res.Passes) > 0 {
+		s.LiveRanges = res.Passes[0].LiveRanges
+		s.Edges = res.Passes[0].Edges
+	}
+	var cost float64
+	for _, p := range res.Passes {
+		s.Spills += p.Spilled
+		cost += p.SpillCost
+		s.CoalescedMoves += p.CoalescedMoves
+		s.PhaseNS[obs.PhaseBuild] += p.Build.Nanoseconds()
+		s.PhaseNS[obs.PhaseSimplify] += p.Simplify.Nanoseconds()
+		s.PhaseNS[obs.PhaseColor] += p.Color.Nanoseconds()
+		s.PhaseNS[obs.PhaseSpill] += p.Spill.Nanoseconds()
+	}
+	s.SpillCostMilli = obs.SpillCostMilli(cost)
+	s.TotalNS = res.TotalTime().Nanoseconds()
+	if res.Func != nil {
+		var maxColor int16 = -1
+		for _, c := range res.Colors {
+			if c > maxColor {
+				maxColor = c
+			}
+		}
+		seen := make([]bool, 2*(int(maxColor)+1)) // [class][color]
+		for r, c := range res.Colors {
+			if c < 0 {
+				continue
+			}
+			cls := 0
+			if res.Func.RegClass(ir.Reg(r)) == ir.ClassFloat {
+				cls = 1
+			}
+			if i := cls*(int(maxColor)+1) + int(c); !seen[i] {
+				seen[i] = true
+				if cls == 1 {
+					s.PaletteFloat++
+				} else {
+					s.PaletteInt++
+				}
+			}
+		}
+	}
+	return s
+}
+
 // Machine describes the simulated target.
 type Machine = target.Machine
 
@@ -246,16 +312,61 @@ func (p *Program) AssembleContext(ctx context.Context, m Machine, opt Options) (
 	if err := opt.Validate(); err != nil {
 		return nil, nil, err
 	}
+	slots, err := p.allocUnits(ctx, opt, func(res *Result) (*asm.Func, error) {
+		return asm.Lower(res.Func, res.Colors, m)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	code := asm.NewProgram()
+	results := make(map[string]*Result, len(p.IR.Funcs))
+	for i, f := range p.IR.Funcs {
+		code.Add(slots[i].af)
+		results[f.Name] = slots[i].res
+	}
+	return code, results, nil
+}
+
+// AllocateAllContext allocates every unit of the program with opt on
+// the same bounded worker pool AssembleContext uses, without lowering
+// to machine code — so the register budget comes from opt (KInt and
+// KFloat as given) rather than from a machine. Options are validated
+// first; cancelling ctx skips units not yet started and returns the
+// context's error. The result maps unit names to their allocations.
+func (p *Program) AllocateAllContext(ctx context.Context, opt Options) (map[string]*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	slots, err := p.allocUnits(ctx, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]*Result, len(p.IR.Funcs))
+	for i, f := range p.IR.Funcs {
+		results[f.Name] = slots[i].res
+	}
+	return results, nil
+}
+
+// allocSlot is one unit's outcome from the shared worker pool.
+type allocSlot struct {
+	af  *asm.Func
+	res *Result
+	err error
+}
+
+// allocUnits is the worker-pool core shared by AssembleContext and
+// AllocateAllContext: allocate every unit with opt on a pool bounded
+// by opt.Workers (0 means GOMAXPROCS), optionally post-processing
+// each result with lower (nil to skip). The output is deterministic
+// regardless of scheduling: unit order and every per-unit result are
+// position-fixed. The first error (or the context's) wins.
+func (p *Program) allocUnits(ctx context.Context, opt Options, lower func(*Result) (*asm.Func, error)) ([]allocSlot, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type slot struct {
-		af  *asm.Func
-		res *Result
-		err error
-	}
-	slots := make([]slot, len(p.IR.Funcs))
+	slots := make([]allocSlot, len(p.IR.Funcs))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, f := range p.IR.Funcs {
@@ -280,25 +391,24 @@ func (p *Program) AssembleContext(ctx context.Context, m Machine, opt Options) (
 				slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, err)
 				return
 			}
-			af, err := asm.Lower(res.Func, res.Colors, m)
-			if err != nil {
-				slots[i].err = err
-				return
+			var af *asm.Func
+			if lower != nil {
+				af, err = lower(res)
+				if err != nil {
+					slots[i].err = err
+					return
+				}
 			}
-			slots[i] = slot{af: af, res: res}
+			slots[i] = allocSlot{af: af, res: res}
 		}(i, f)
 	}
 	wg.Wait()
-	code := asm.NewProgram()
-	results := make(map[string]*Result, len(p.IR.Funcs))
-	for i, f := range p.IR.Funcs {
+	for i := range slots {
 		if slots[i].err != nil {
-			return nil, nil, slots[i].err
+			return nil, slots[i].err
 		}
-		code.Add(slots[i].af)
-		results[f.Name] = slots[i].res
 	}
-	return code, results, nil
+	return slots, nil
 }
 
 // Assemble is AssembleContext with a background context: allocate

@@ -1,0 +1,171 @@
+package regalloc_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"regalloc"
+)
+
+// TestRegistryReconcilesWithPassStats hammers one Registry from
+// GOMAXPROCS goroutines running real allocations and asserts every
+// registry total reconciles exactly with the per-run PassStats —
+// the contract that makes /metrics trustworthy under load. Run with
+// -race in CI.
+func TestRegistryReconcilesWithPassStats(t *testing.T) {
+	prog, err := regalloc.Compile(pressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := regalloc.NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 25
+
+	// Each goroutine keeps its own results; the shared registry is
+	// only ever touched through Record.
+	perG := make([][]*regalloc.Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				opt := regalloc.DefaultOptions()
+				opt.KInt = 4 + (w+i)%4 // force spills on some runs
+				res, err := prog.Allocate("PRESS", opt)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				perG[w] = append(perG[w], res)
+				reg.Record(regalloc.Summarize("PRESS", res))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var wantRuns, wantPasses, wantSpills, wantCostMilli, wantMoves int64
+	var wantPhaseNS [4]int64
+	for _, results := range perG {
+		for _, res := range results {
+			wantRuns++
+			wantPasses += int64(len(res.Passes))
+			var cost float64
+			for _, p := range res.Passes {
+				wantSpills += int64(p.Spilled)
+				cost += p.SpillCost
+				wantMoves += int64(p.CoalescedMoves)
+			}
+			wantCostMilli += int64(math.Round(cost * 1000))
+			wantPhaseNS[0] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Build })
+			wantPhaseNS[1] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Simplify })
+			wantPhaseNS[2] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Color })
+			wantPhaseNS[3] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Spill })
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Runs != wantRuns || snap.Passes != wantPasses {
+		t.Fatalf("runs/passes = %d/%d, want %d/%d", snap.Runs, snap.Passes, wantRuns, wantPasses)
+	}
+	if snap.Spills != wantSpills {
+		t.Fatalf("spills = %d, want %d", snap.Spills, wantSpills)
+	}
+	if snap.SpillCostMilli != wantCostMilli {
+		t.Fatalf("spill cost milli = %d, want %d (must reconcile exactly)", snap.SpillCostMilli, wantCostMilli)
+	}
+	if snap.CoalescedMoves != wantMoves {
+		t.Fatalf("coalesced moves = %d, want %d", snap.CoalescedMoves, wantMoves)
+	}
+	if snap.UnitRuns["PRESS"] != wantRuns {
+		t.Fatalf("unit runs = %d, want %d", snap.UnitRuns["PRESS"], wantRuns)
+	}
+	// Histogram sums are the same integers the PassStats carry.
+	phaseIdx := map[string]int{"build": 0, "simplify": 1, "color": 2, "spill": 3}
+	for name, i := range phaseIdx {
+		h := snap.Phase[phaseForName(t, name)]
+		if h.SumNS != wantPhaseNS[i] {
+			t.Errorf("%s histogram sum = %dns, want %dns", name, h.SumNS, wantPhaseNS[i])
+		}
+	}
+	if snap.Spills == 0 {
+		t.Fatal("test never spilled; lower KInt so the reconciliation is exercised")
+	}
+}
+
+func sumDur(res *regalloc.Result, f func(regalloc.PassStats) time.Duration) int64 {
+	var n int64
+	for _, p := range res.Passes {
+		n += f(p).Nanoseconds()
+	}
+	return n
+}
+
+// phaseForName maps a phase name to its index in Snapshot.Phase
+// without importing internal/obs from an external test.
+func phaseForName(t *testing.T, name string) int {
+	t.Helper()
+	for _, p := range []struct {
+		name string
+		idx  int
+	}{{"build", 0}, {"coalesce", 1}, {"simplify", 2}, {"color", 3}, {"spill", 4}} {
+		if p.name == name {
+			return p.idx
+		}
+	}
+	t.Fatalf("unknown phase %q", name)
+	return -1
+}
+
+// TestAllocateAllContext exercises the shared worker pool without
+// lowering: every unit of a multi-routine program is allocated, the
+// results match per-unit Allocate, and cancellation is honored.
+func TestAllocateAllContext(t *testing.T) {
+	prog, err := regalloc.Compile(pressure + `
+      INTEGER FUNCTION TWICE(N)
+      INTEGER N
+      TWICE = N + N
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := regalloc.DefaultOptions()
+	opt.KInt = 4
+	results, err := prog.AllocateAllContext(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, name := range []string{"PRESS", "TWICE"} {
+		want, err := prog.Allocate(name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[name]
+		if got == nil {
+			t.Fatalf("no result for %s", name)
+		}
+		if got.TotalSpilled() != want.TotalSpilled() || len(got.Passes) != len(want.Passes) {
+			t.Errorf("%s: pooled run diverges from direct Allocate: spills %d/%d passes %d/%d",
+				name, got.TotalSpilled(), want.TotalSpilled(), len(got.Passes), len(want.Passes))
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prog.AllocateAllContext(cancelled, opt); err == nil {
+		t.Fatal("cancelled context did not fail")
+	}
+
+	opt.KInt = 0
+	if _, err := prog.AllocateAllContext(context.Background(), opt); err == nil {
+		t.Fatal("invalid options did not fail")
+	}
+}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -82,6 +84,10 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetrics renders both metric families. The two snapshots are
+// taken one after the other, not atomically, so a single scrape can
+// catch a run in one family but not yet the other; the skew is one
+// in-flight request and self-corrects by the next scrape.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := promtext.Write(w, s.reg.Snapshot()); err != nil {
@@ -122,7 +128,14 @@ func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		// Only an actual size overflow is 413; other read failures
+		// (disconnects, transport errors) are the client's 400.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
 		return
 	}
 	if len(strings.TrimSpace(string(body))) == 0 {
@@ -279,7 +292,13 @@ func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string)
 		results, err = prog.AllocateAllContext(r.Context(), opt)
 		if err != nil {
 			s.reg.Record(obs.RunSummary{Unit: "(program)", Error: true})
-			httpError(w, http.StatusBadRequest, "allocate: %v", err)
+			// A cancellation or deadline is not a client input error;
+			// answer 503 like the queued-cancellation path above.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				httpError(w, http.StatusServiceUnavailable, "allocate: %v", err)
+			} else {
+				httpError(w, http.StatusBadRequest, "allocate: %v", err)
+			}
 			return
 		}
 	}

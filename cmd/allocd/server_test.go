@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"testing/iotest"
 
 	"regalloc/internal/obs/promtext"
 )
@@ -265,5 +268,39 @@ func TestPprofMounted(t *testing.T) {
 	data, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
 		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+// TestAllocErrorStatuses locks the error classification the review
+// tightened: a cancelled request is 503 (not a client-input 400), an
+// oversized body is 413, and a short body read is 400.
+func TestAllocErrorStatuses(t *testing.T) {
+	s := newServer(4)
+
+	// Cancelled context: whether it dies queued or inside
+	// AllocateAllContext, the answer is 503.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/alloc", strings.NewReader(testSource)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleAlloc(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled request: status %d, want 503\n%s", rec.Code, rec.Body)
+	}
+
+	// Oversized body: 413.
+	req = httptest.NewRequest(http.MethodPost, "/alloc", strings.NewReader(strings.Repeat("x", maxBodyBytes+1)))
+	rec = httptest.NewRecorder()
+	s.handleAlloc(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413\n%s", rec.Code, rec.Body)
+	}
+
+	// Body read error that is not a size overflow: 400, not 413.
+	req = httptest.NewRequest(http.MethodPost, "/alloc", io.MultiReader(strings.NewReader("abc"), iotest.ErrReader(errors.New("peer reset"))))
+	rec = httptest.NewRecorder()
+	s.handleAlloc(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("broken body read: status %d, want 400\n%s", rec.Code, rec.Body)
 	}
 }

@@ -183,6 +183,18 @@ type Registry struct {
 	total LatencyHistogram
 }
 
+// MaxUnitKeys bounds the distinct per-unit keys a Registry tracks.
+// Unit names reach allocd from untrusted clients (?unit= and routine
+// names in POSTed sources); without a cap each new name would add a
+// map entry and a /metrics series for the life of the process. Runs
+// beyond the cap fold into OverflowUnit, so regalloc_runs_total still
+// reconciles with the sum over regalloc_unit_runs_total.
+const MaxUnitKeys = 1024
+
+// OverflowUnit is the bucket absorbing runs whose unit name arrives
+// after MaxUnitKeys distinct names are already tracked.
+const OverflowUnit = "(other)"
+
 // NewRegistry returns an empty Registry.
 func NewRegistry() *Registry {
 	return &Registry{unitRuns: make(map[string]int64)}
@@ -193,7 +205,11 @@ func (r *Registry) Record(s RunSummary) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.runs++
-	r.unitRuns[s.Unit]++
+	unit := s.Unit
+	if _, ok := r.unitRuns[unit]; !ok && len(r.unitRuns) >= MaxUnitKeys {
+		unit = OverflowUnit
+	}
+	r.unitRuns[unit]++
 	if s.Error {
 		r.errors++
 		return

@@ -204,3 +204,32 @@ func TestMetricsStringDeterministic(t *testing.T) {
 		t.Fatalf("dump depends on emission order:\n%s\nvs\n%s", got, want)
 	}
 }
+
+// TestRegistryUnitKeyCap locks the cardinality bound: once MaxUnitKeys
+// distinct unit names are tracked, further new names fold into
+// OverflowUnit, while runs_total still reconciles with the per-unit sum.
+func TestRegistryUnitKeyCap(t *testing.T) {
+	reg := NewRegistry()
+	total := MaxUnitKeys + 100
+	for i := 0; i < total; i++ {
+		reg.Record(RunSummary{Unit: fmt.Sprintf("u%04d", i)})
+	}
+	reg.Record(RunSummary{Unit: "u0000"}) // existing keys still count directly
+	snap := reg.Snapshot()
+	if len(snap.UnitRuns) != MaxUnitKeys+1 {
+		t.Fatalf("tracked %d unit keys, want cap %d + overflow", len(snap.UnitRuns), MaxUnitKeys)
+	}
+	if got := snap.UnitRuns[OverflowUnit]; got != 100 {
+		t.Fatalf("overflow bucket = %d, want 100", got)
+	}
+	if got := snap.UnitRuns["u0000"]; got != 2 {
+		t.Fatalf("existing key after cap = %d, want 2", got)
+	}
+	var sum int64
+	for _, n := range snap.UnitRuns {
+		sum += n
+	}
+	if sum != snap.Runs {
+		t.Fatalf("unit runs sum %d != runs_total %d", sum, snap.Runs)
+	}
+}

@@ -16,6 +16,13 @@
 //	                     one routine, colors=1 to include the
 //	                     assignment, and for ?heuristic=pcolor the
 //	                     seed and workers of the parallel engine.
+//	                     portfolio=1 (or a comma-separated candidate
+//	                     list, e.g. portfolio=briggs,chaitin) races
+//	                     the strategy portfolio per routine and keeps
+//	                     the cheapest verified result; pmode, pbudget,
+//	                     and pseeds tune the race. Each racing
+//	                     candidate is admitted against -max-inflight
+//	                     individually.
 //	GET  /metrics        Prometheus text exposition: the run
 //	                     registry (spills, palettes, per-phase
 //	                     latency histograms) plus live trace-counter
@@ -52,9 +59,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrently served /alloc requests (others queue)")
+	allocTimeout := flag.Duration("alloc-timeout", 0, "per-request /alloc deadline, queueing included (0 disables); expiry answers 503")
 	flag.Parse()
 
 	s := newServer(*maxInflight)
+	s.allocTimeout = *allocTimeout
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),

@@ -11,6 +11,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"regalloc/internal/obs"
 	"regalloc/internal/obs/promtext"
 	"regalloc/internal/pcolor"
+	"regalloc/internal/portfolio"
 )
 
 // server is the allocd state: the run registry and live-event
@@ -32,6 +34,11 @@ type server struct {
 	sem     chan struct{} // admission: one slot per in-flight /alloc
 	ready   atomic.Bool
 	started time.Time
+
+	// allocTimeout, when > 0, caps each /alloc request wall-clock
+	// (queueing for admission included). Expiry surfaces through the
+	// ordinary context-cancellation paths, so the client sees 503.
+	allocTimeout time.Duration
 }
 
 func newServer(maxInflight int) *server {
@@ -143,17 +150,32 @@ func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Per-request deadline (-alloc-timeout): layered under the
+	// client's own context so whichever expires first cancels the
+	// work, and both surface as the same 503.
+	if s.allocTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.allocTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
 	// Admission: one semaphore slot per in-flight allocation, so a
 	// burst queues instead of oversubscribing the host (each request
 	// may itself fan out opt.Workers goroutines). A client that gives
-	// up while queued is released by its request context.
+	// up while queued is released by its request context. The slot is
+	// released through a once-guarded closure because the portfolio
+	// path hands it back early: there each racing candidate is
+	// admitted against the same semaphore individually, and holding
+	// the request's own slot across the race would deadlock at
+	// -max-inflight=1.
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
 	case <-r.Context().Done():
 		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
 		return
 	}
+	release := sync.OnceFunc(func() { <-s.sem })
+	defer release()
 
 	input := r.URL.Query().Get("input")
 	if input == "" {
@@ -165,7 +187,7 @@ func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 	switch input {
 	case "src":
-		s.allocSource(w, r, string(body))
+		s.allocSource(w, r, string(body), release)
 	case "ig":
 		s.allocGraph(w, r, body)
 	default:
@@ -247,6 +269,28 @@ type unitResponse struct {
 	TotalNS      int64            `json:"total_ns"`
 	PhaseNS      map[string]int64 `json:"phase_ns"`
 	Colors       []int16          `json:"colors,omitempty"`
+
+	// Portfolio carries the race report when ?portfolio= raced this
+	// unit; the flat fields above then describe the winner.
+	Portfolio *portfolioResponse `json:"portfolio,omitempty"`
+}
+
+// portfolioResponse is one unit's race report in the /alloc reply.
+type portfolioResponse struct {
+	Mode       string                       `json:"mode"`
+	Winner     string                       `json:"winner"`
+	WinMargin  float64                      `json:"win_margin"`
+	Candidates []portfolioCandidateResponse `json:"candidates"`
+}
+
+// portfolioCandidateResponse is one strategy's outcome in a race.
+type portfolioCandidateResponse struct {
+	Name      string  `json:"name"`
+	Status    string  `json:"status"`
+	Spills    int     `json:"spills"`
+	SpillCost float64 `json:"spill_cost"`
+	NS        int64   `json:"ns"`
+	Error     string  `json:"error,omitempty"`
 }
 
 type allocResponse struct {
@@ -259,8 +303,11 @@ type allocResponse struct {
 
 // allocSource compiles a mini-FORTRAN body and allocates its
 // routines (all of them, or just ?unit=NAME) on the bounded worker
-// pool, recording one RunSummary per routine.
-func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string) {
+// pool, recording one RunSummary per routine. With ?portfolio= it
+// races the strategy portfolio per routine instead; release is the
+// once-guarded return of the request's own admission slot, which the
+// portfolio path hands back early (see handleAlloc).
+func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string, release func()) {
 	opt, err := optionsFromQuery(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad options: %v", err)
@@ -275,6 +322,19 @@ func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string)
 	if err != nil {
 		s.reg.Record(obs.RunSummary{Unit: "(compile)", Error: true})
 		httpError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+
+	spec := r.URL.Query().Get("portfolio")
+	if v, err := strconv.ParseBool(spec); err == nil {
+		if !v {
+			spec = "" // portfolio=0: the plain single-strategy path
+		} else {
+			spec = "all" // truthy flag: full default candidate set
+		}
+	}
+	if spec != "" {
+		s.allocPortfolio(w, r, prog, opt, spec, release)
 		return
 	}
 
@@ -326,6 +386,143 @@ func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string)
 		}
 		if includeColors {
 			u.Colors = res.Colors
+		}
+		resp.Units = append(resp.Units, u)
+		resp.SpilledTotal += sum.Spills
+		resp.SpillCost += float64(sum.SpillCostMilli) / 1000
+		resp.TotalNS += sum.TotalNS
+	}
+	writeJSON(w, resp)
+}
+
+// allocPortfolio races the strategy portfolio for each requested
+// routine and replies with the winner plus the full race report. spec
+// is "all" or a comma-separated candidate-name subset; ?pmode=,
+// ?pbudget=, and ?pseeds= tune the race. The request's own admission
+// slot is handed back up front and each racing candidate acquires its
+// own instead, so a race counts against -max-inflight exactly as many
+// slots as it has strategies in flight — and cannot deadlock at
+// -max-inflight=1.
+func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *regalloc.Program, opt regalloc.Options, spec string, release func()) {
+	q := r.URL.Query()
+	seeds := portfolio.DefaultSeeds
+	if v := q.Get("pseeds"); v != "" {
+		seeds = nil
+		for _, f := range strings.Split(v, ",") {
+			seed, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "pseeds: %v", err)
+				return
+			}
+			seeds = append(seeds, seed)
+		}
+	}
+	cands := regalloc.DefaultPortfolio(opt, seeds...)
+	if spec != "all" {
+		byName := make(map[string]regalloc.PortfolioCandidate, len(cands))
+		names := make([]string, 0, len(cands))
+		for _, c := range cands {
+			byName[c.Name] = c
+			names = append(names, c.Name)
+		}
+		var picked []regalloc.PortfolioCandidate
+		for _, f := range strings.Split(spec, ",") {
+			name := strings.TrimSpace(f)
+			c, ok := byName[name]
+			if !ok {
+				httpError(w, http.StatusBadRequest, "portfolio: unknown candidate %q (have %s)", name, strings.Join(names, ", "))
+				return
+			}
+			picked = append(picked, c)
+		}
+		cands = picked
+	}
+
+	cfg := regalloc.PortfolioConfig{Observer: s.metrics}
+	var err error
+	if v := q.Get("pmode"); v != "" {
+		if cfg.Mode, err = portfolio.ParseMode(v); err != nil {
+			httpError(w, http.StatusBadRequest, "pmode: %v", err)
+			return
+		}
+	}
+	if v := q.Get("pbudget"); v != "" {
+		if cfg.Budget, err = time.ParseDuration(v); err != nil {
+			httpError(w, http.StatusBadRequest, "pbudget: %v", err)
+			return
+		}
+	}
+	// Per-candidate admission against the service semaphore: a
+	// candidate queued for a slot gives up when the request context
+	// (or the race budget) is done, which cancels that candidate, not
+	// the race.
+	cfg.Acquire = func(ctx context.Context) error {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	cfg.Release = func() { <-s.sem }
+	release()
+
+	units := prog.Functions()
+	if wantUnit := q.Get("unit"); wantUnit != "" {
+		units = []string{wantUnit}
+	}
+	includeColors := boolParam(r, "colors")
+	resp := allocResponse{Input: "src"}
+	for _, name := range units {
+		pr, err := prog.AllocatePortfolio(r.Context(), name, cands, cfg)
+		if err != nil {
+			s.reg.Record(obs.RunSummary{Unit: name, Error: true})
+			// A race that died to the deadline or a client disconnect
+			// is the service's 503, like every other cancellation; a
+			// bad unit name or candidate set is the client's 400.
+			if r.Context().Err() != nil {
+				httpError(w, http.StatusServiceUnavailable, "portfolio %s: %v", name, err)
+			} else {
+				httpError(w, http.StatusBadRequest, "portfolio %s: %v", name, err)
+			}
+			return
+		}
+		sum := regalloc.SummarizePortfolio(name, pr)
+		s.reg.Record(sum)
+		u := unitResponse{
+			Unit:         name,
+			LiveRanges:   sum.LiveRanges,
+			Edges:        sum.Edges,
+			Passes:       sum.Passes,
+			Spilled:      sum.Spills,
+			SpillCost:    float64(sum.SpillCostMilli) / 1000,
+			PaletteInt:   sum.PaletteInt,
+			PaletteFloat: sum.PaletteFloat,
+			TotalNS:      sum.TotalNS,
+			PhaseNS:      phaseNSMap(sum),
+		}
+		win := pr.Outcomes[pr.Winner]
+		p := &portfolioResponse{
+			Mode:      pr.Mode.String(),
+			Winner:    win.Name,
+			WinMargin: float64(pr.WinMarginMilli) / 1000,
+		}
+		for _, o := range pr.Outcomes {
+			pc := portfolioCandidateResponse{
+				Name:      o.Name,
+				Status:    o.Status.String(),
+				Spills:    o.Spills,
+				SpillCost: float64(o.SpillCostMilli) / 1000,
+				NS:        o.Duration.Nanoseconds(),
+			}
+			if o.Err != nil {
+				pc.Error = o.Err.Error()
+			}
+			p.Candidates = append(p.Candidates, pc)
+		}
+		u.Portfolio = p
+		if includeColors {
+			u.Colors = pr.Res.Colors
 		}
 		resp.Units = append(resp.Units, u)
 		resp.SpilledTotal += sum.Spills

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 	"testing/iotest"
+	"time"
 
 	"regalloc/internal/obs/promtext"
 )
@@ -268,6 +269,154 @@ func TestPprofMounted(t *testing.T) {
 	data, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
 		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+// TestAllocTimeout locks the -alloc-timeout contract: an expired
+// per-request deadline answers 503 through the ordinary cancellation
+// paths, whether it dies queued for admission or inside the
+// allocation itself.
+func TestAllocTimeout(t *testing.T) {
+	s := newServer(4)
+	s.allocTimeout = time.Nanosecond
+	req := httptest.NewRequest(http.MethodPost, "/alloc", strings.NewReader(testSource))
+	rec := httptest.NewRecorder()
+	s.handleAlloc(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired -alloc-timeout: status %d, want 503\n%s", rec.Code, rec.Body)
+	}
+
+	// A generous deadline changes nothing.
+	s.allocTimeout = time.Minute
+	req = httptest.NewRequest(http.MethodPost, "/alloc", strings.NewReader(testSource))
+	rec = httptest.NewRecorder()
+	s.handleAlloc(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ample -alloc-timeout: status %d, want 200\n%s", rec.Code, rec.Body)
+	}
+}
+
+// TestAllocPortfolio drives the ?portfolio= path: full default race,
+// a named subset, and the race report in the reply.
+func TestAllocPortfolio(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, data := postAlloc(t, ts, "/alloc?portfolio=1&kint=8&kfloat=4&colors=1", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp allocResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(resp.Units) != 1 || resp.Units[0].Portfolio == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+	u := resp.Units[0]
+	p := u.Portfolio
+	// Default set: 5 heuristic variants + 3 pcolor seeds.
+	if len(p.Candidates) != 8 {
+		t.Fatalf("candidates = %d, want 8: %+v", len(p.Candidates), p)
+	}
+	if p.Winner == "" || p.Mode != "race-to-best" {
+		t.Fatalf("portfolio = %+v", p)
+	}
+	finished := 0
+	winnerCost := -1.0
+	for _, c := range p.Candidates {
+		if c.Status == "finished" {
+			finished++
+		}
+		if c.Name == p.Winner {
+			winnerCost = c.SpillCost
+		}
+	}
+	if finished == 0 || winnerCost < 0 {
+		t.Fatalf("no finisher or missing winner row: %+v", p)
+	}
+	for _, c := range p.Candidates {
+		if c.Status == "finished" && c.SpillCost < winnerCost {
+			t.Fatalf("candidate %s (cost %v) beat winner %s (cost %v)", c.Name, c.SpillCost, p.Winner, winnerCost)
+		}
+	}
+	if len(u.Colors) == 0 {
+		t.Fatal("?colors=1 returned no assignment")
+	}
+
+	// Named subset with a custom seed list and mode.
+	code, data = postAlloc(t, ts, "/alloc?portfolio=briggs,chaitin,pcolor/s9&pseeds=9&pmode=first-good", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("subset: status %d: %s", code, data)
+	}
+	resp = allocResponse{}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	p = resp.Units[0].Portfolio
+	if p == nil || len(p.Candidates) != 3 || p.Mode != "first-good" {
+		t.Fatalf("subset portfolio = %+v", p)
+	}
+
+	// The registry now carries portfolio families, Lint-clean.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mdata, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := promtext.Lint(mdata); err != nil {
+		t.Fatalf("/metrics fails Lint: %v\n%s", err, mdata)
+	}
+	for _, want := range []string{
+		"regalloc_portfolio_races_total 2",
+		"regalloc_portfolio_wins_total{strategy=",
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAllocPortfolioErrors locks the 400s for a malformed race spec.
+func TestAllocPortfolioErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{
+		"/alloc?portfolio=bogus-strategy",
+		"/alloc?portfolio=1&pmode=bogus",
+		"/alloc?portfolio=1&pbudget=bogus",
+		"/alloc?portfolio=1&pseeds=notanumber",
+		"/alloc?portfolio=1&unit=MISSING",
+	} {
+		code, data := postAlloc(t, ts, path, testSource)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", path, code, data)
+		}
+	}
+}
+
+// TestAllocPortfolioMaxInflightOne is the admission deadlock guard:
+// the request releases its own slot before racing, so candidates can
+// be admitted one at a time even when -max-inflight is 1.
+func TestAllocPortfolioMaxInflightOne(t *testing.T) {
+	s := newServer(1)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	code, data := postAlloc(t, ts, "/alloc?portfolio=1", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp allocResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	p := resp.Units[0].Portfolio
+	if p == nil || p.Winner == "" {
+		t.Fatalf("portfolio = %+v", p)
+	}
+	if len(s.sem) != 0 {
+		t.Fatalf("semaphore not drained after the race: %d slots held", len(s.sem))
 	}
 }
 

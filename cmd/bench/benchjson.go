@@ -13,9 +13,14 @@
 //	                  figure-7 allocation, computed from the obs
 //	                  registry's fixed-bucket histograms — the "runs"
 //	                  entries remain best-of-reps and are unchanged
+//	regalloc-bench/5  adds portfolio: one race per figure-7 routine
+//	                  over the default strategy set (winner, win
+//	                  margin, and the per-candidate outcome table);
+//	                  all /4 fields unchanged
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -81,6 +86,28 @@ type benchPColor struct {
 	ParColors int     `json:"par_colors"`
 }
 
+// benchPortfolioCandidate is one strategy's outcome in one routine's
+// portfolio race.
+type benchPortfolioCandidate struct {
+	Name      string `json:"name"`
+	Status    string `json:"status"`
+	Spills    int    `json:"spills"`
+	CostMilli int64  `json:"cost_milli"`
+	NS        int64  `json:"ns"`
+}
+
+// benchPortfolio is one routine's race over the default strategy
+// portfolio. New in regalloc-bench/5.
+type benchPortfolio struct {
+	Routine     string                    `json:"routine"`
+	Mode        string                    `json:"mode"`
+	Winner      string                    `json:"winner"`
+	Spills      int                       `json:"spills"`
+	CostMilli   int64                     `json:"cost_milli"`
+	MarginMilli int64                     `json:"win_margin_milli"`
+	Candidates  []benchPortfolioCandidate `json:"candidates"`
+}
+
 // benchQuantiles summarizes one obs.LatencyHistogram: percentile
 // estimates by linear interpolation within the 1-2-5 buckets, clamped
 // to the observed maximum.
@@ -120,7 +147,11 @@ type benchReport struct {
 	// regalloc-bench/4.
 	PhaseLatency map[string]benchQuantiles `json:"phase_latency"`
 	RunLatency   benchQuantiles            `json:"run_latency"`
-	Note         string                    `json:"note"`
+	// Portfolio races the default strategy set once per figure-7
+	// routine: deterministic winner by (milli spill cost, spills,
+	// index). New in regalloc-bench/5.
+	Portfolio []benchPortfolio `json:"portfolio"`
+	Note      string           `json:"note"`
 }
 
 // figure7Routines is the paper's four large routines, the workloads
@@ -157,10 +188,11 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/4",
+		Schema: "regalloc-bench/5",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
+			"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -331,6 +363,38 @@ func runBenchJSON(path string, reps int) error {
 				ParColors: st.ColorsInt,
 			})
 		}
+	}
+
+	// Portfolio races over the figure-7 routines (new in /5): the
+	// winner is deterministic — (milli spill cost, spill count,
+	// candidate index) — so the winner/cost columns diff cleanly
+	// across PRs; only the ns columns carry machine noise.
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions())
+	for _, s := range wanted {
+		pr, err := compiled[s.program].AllocatePortfolio(context.Background(), s.routine, cands, regalloc.PortfolioConfig{})
+		if err != nil {
+			return fmt.Errorf("portfolio %s: %w", s.routine, err)
+		}
+		reg.Record(regalloc.SummarizePortfolio(s.routine, pr))
+		win := pr.Outcomes[pr.Winner]
+		bp := benchPortfolio{
+			Routine:     s.routine,
+			Mode:        pr.Mode.String(),
+			Winner:      win.Name,
+			Spills:      win.Spills,
+			CostMilli:   win.SpillCostMilli,
+			MarginMilli: pr.WinMarginMilli,
+		}
+		for _, o := range pr.Outcomes {
+			bp.Candidates = append(bp.Candidates, benchPortfolioCandidate{
+				Name:      o.Name,
+				Status:    o.Status.String(),
+				Spills:    o.Spills,
+				CostMilli: o.SpillCostMilli,
+				NS:        o.Duration.Nanoseconds(),
+			})
+		}
+		report.Portfolio = append(report.Portfolio, bp)
 	}
 
 	snap := reg.Snapshot()

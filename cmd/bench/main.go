@@ -9,6 +9,7 @@
 //	bench -figure integer    # the §3.2 integer-kernel extension
 //	bench -figure passes     # §3.3 convergence of the Figure 4 cycle
 //	bench -figure pcolor     # speculative parallel coloring study
+//	bench -figure portfolio  # heuristic-portfolio racing study
 //	bench -figure all        # everything
 //	bench -figure 6 -n 200000
 //
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
 	perfettoPath := flag.String("trace-perfetto", "", "write a Chrome/Perfetto trace-event JSON file (\"-\" for stdout)")
@@ -113,8 +114,9 @@ func main() {
 	runInt := *figure == "integer" || *figure == "all"
 	runPass := *figure == "passes" || *figure == "all"
 	runPC := *figure == "pcolor" || *figure == "all"
-	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC {
-		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, or all)\n", *figure)
+	runPort := *figure == "portfolio" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, or all)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -157,6 +159,12 @@ func main() {
 	if runPC {
 		fmt.Println("=== Speculative parallel coloring (Rokos-style; beyond the paper) ===")
 		res, err := experiments.PColorStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runPort {
+		fmt.Println("=== Heuristic-portfolio racing (beyond the paper) ===")
+		res, err := experiments.PortfolioStudy()
 		fail(err)
 		fmt.Println(res)
 	}

@@ -42,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +59,7 @@ import (
 	"regalloc/internal/obs"
 	"regalloc/internal/obs/traceevent"
 	"regalloc/internal/pcolor"
+	"regalloc/internal/portfolio"
 )
 
 func main() {
@@ -66,6 +68,9 @@ func main() {
 	svdlike := flag.Bool("svdlike", false, "generate the paper's SVD pressure pattern")
 	src := flag.String("src", "", "run the full allocator over a mini-FORTRAN source file")
 	heuristic := flag.String("heuristic", "briggs", "-src mode: coloring heuristic (chaitin, briggs, mb)")
+	usePortfolio := flag.Bool("portfolio", false, "-src mode: race the strategy portfolio per routine and keep the cheapest verified result")
+	portfolioMode := flag.String("portfolio-mode", "race-to-best", "-portfolio: stopping rule (race-to-best, first-good)")
+	portfolioBudget := flag.Duration("portfolio-budget", 0, "-portfolio: wall-clock budget for starting candidates (0 = none)")
 	usePColor := flag.Bool("pcolor", false, "graph mode: also run the speculative parallel colorer")
 	workers := flag.Int("workers", 0, "-pcolor: worker goroutines (0 = GOMAXPROCS)")
 	pseed := flag.Uint64("pseed", 1, "-pcolor: permutation seed")
@@ -131,7 +136,11 @@ func main() {
 	sink := obs.Multi(traceSink, metricsSink, perfettoSink)
 
 	if *src != "" {
-		runSource(*src, *heuristic, *k, sink)
+		if *usePortfolio {
+			runPortfolio(*src, *k, *portfolioMode, *portfolioBudget, sink)
+		} else {
+			runSource(*src, *heuristic, *k, sink)
+		}
 	} else {
 		runGraph(*k, *random, *svdlike, *verbose, sink)
 		if *usePColor {
@@ -174,6 +183,48 @@ func runSource(path, heuristic string, k int, sink obs.Sink) {
 		for i, ps := range res.Passes {
 			fmt.Printf("  pass %d: build %s, simplify %s, color %s, spill %s (%d nodes, %d edges, %d spilled)\n",
 				i, ps.Build, ps.Simplify, ps.Color, ps.Spill, ps.LiveRanges, ps.Edges, ps.Spilled)
+		}
+	}
+}
+
+// runPortfolio compiles a mini-FORTRAN file and races the default
+// strategy portfolio for every routine, printing each race's table:
+// one line per candidate (status, spills, cost, time) with the
+// winner starred.
+func runPortfolio(path string, k int, mode string, budget time.Duration, sink obs.Sink) {
+	data, err := os.ReadFile(path)
+	fail(err)
+	m, err := portfolio.ParseMode(mode)
+	fail(err)
+	prog, err := regalloc.Compile(string(data))
+	fail(err)
+
+	base := regalloc.DefaultOptions()
+	base.KInt = k
+	cands := regalloc.DefaultPortfolio(base)
+	cfg := regalloc.PortfolioConfig{Mode: m, Budget: budget, Observer: sink}
+	for _, name := range prog.Functions() {
+		pr, err := prog.AllocatePortfolio(context.Background(), name, cands, cfg)
+		fail(err)
+		win := pr.Outcomes[pr.Winner]
+		fmt.Printf("%s: %d candidate(s), winner %s (%d spilled, cost %d.%03d, margin %d.%03d), mode %s\n",
+			name, len(pr.Outcomes), win.Name, win.Spills,
+			win.SpillCostMilli/1000, win.SpillCostMilli%1000,
+			pr.WinMarginMilli/1000, pr.WinMarginMilli%1000, pr.Mode)
+		for _, o := range pr.Outcomes {
+			star := " "
+			if o.Index == pr.Winner {
+				star = "*"
+			}
+			switch o.Status {
+			case portfolio.Finished:
+				fmt.Printf("  %s %-14s finished  %3d spilled, cost %8d.%03d, %s\n",
+					star, o.Name, o.Spills, o.SpillCostMilli/1000, o.SpillCostMilli%1000, o.Duration)
+			case portfolio.Cancelled:
+				fmt.Printf("  %s %-14s cancelled\n", star, o.Name)
+			case portfolio.Errored:
+				fmt.Printf("  %s %-14s errored   %v\n", star, o.Name, o.Err)
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"regalloc/internal/ir"
 	"regalloc/internal/liverange"
 	"regalloc/internal/obs"
+	"regalloc/internal/pcolor"
 	"regalloc/internal/spill"
 )
 
@@ -181,26 +182,136 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 			tr.Counter(obs.PhaseBuild, "coalesce.moves", int64(ps.CoalescedMoves))
 		}
 
-		// Simplify.
-		tr.BeginPhase(obs.PhaseSimplify)
-		t0 = time.Now()
-		sr := color.SimplifyTraced(g, costs, kf, opt.Heuristic, opt.Metric, tr)
-		ps.Simplify = time.Since(t0)
-		ps.ScanSteps = sr.ScanSteps
-		tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
-		tr.Counter(obs.PhaseSimplify, "simplify.scan_steps", int64(ps.ScanSteps))
-
 		var toSpill []int32
-		if opt.Heuristic == color.Chaitin && len(sr.SpillMarked) > 0 {
-			// Chaitin: spill immediately, skip coloring this pass.
-			toSpill = sr.SpillMarked
-		} else {
+		if opt.UsePColor {
+			// Speculative engine: color with an unbounded first-fit
+			// palette (seeded, deterministic per (seed, workers)), then
+			// spill every node whose color landed at or beyond its
+			// class budget. The survivors keep their colors — a subset
+			// of a proper coloring is proper — so a pass whose palette
+			// fits the budget is a finished allocation.
 			tr.BeginPhase(obs.PhaseColor)
 			t0 = time.Now()
-			colors, uncolored := color.SelectTraced(g, sr, kf, opt.Heuristic != color.Chaitin, tr)
+			workers := opt.PColorWorkers
+			if workers <= 0 {
+				workers = DefaultPColorWorkers
+			}
+			colors, _ := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: opt.PColorSeed, Tracer: tr})
+			var marked []int32
+			for v := int32(0); v < int32(len(colors)); v++ {
+				if int(colors[v]) >= kf(g.Class(v)) {
+					colors[v] = color.NoColor
+					marked = append(marked, v)
+				}
+			}
+			// Optimistic rescue, the same move Select makes for spill
+			// candidates: with every over-budget node cleared, first-fit
+			// each one again against the surviving assignment — spilling
+			// one over-budget node often frees a low color for another.
+			// Sequential, so the outcome is deterministic. Nodes that
+			// still don't fit are the pass's spill set. Spill
+			// temporaries go first: they cannot be spilled again, so
+			// they must claim a freed color before ordinary ranges
+			// (created late, their node numbers sort them last, which is
+			// exactly the wrong rescue order for them).
+			order := marked
+			for _, v := range marked {
+				if work.RegFlags(ir.Reg(v))&ir.FlagSpillTemp != 0 {
+					order = make([]int32, 0, len(marked))
+					for _, w := range marked {
+						if work.RegFlags(ir.Reg(w))&ir.FlagSpillTemp != 0 {
+							order = append(order, w)
+						}
+					}
+					for _, w := range marked {
+						if work.RegFlags(ir.Reg(w))&ir.FlagSpillTemp == 0 {
+							order = append(order, w)
+						}
+					}
+					break
+				}
+			}
+			var over []int32
+			var used []bool
+			for _, v := range order {
+				kn := kf(g.Class(v))
+				if cap(used) < kn {
+					used = make([]bool, kn)
+				}
+				used = used[:kn]
+				for j := range used {
+					used[j] = false
+				}
+				for _, nb := range g.Neighbors(v) {
+					if c := colors[nb]; c != color.NoColor && int(c) < kn {
+						used[c] = true
+					}
+				}
+				c := color.NoColor
+				inUse := 0
+				for j := 0; j < kn; j++ {
+					if used[j] {
+						inUse++
+					} else if c == color.NoColor {
+						c = int16(j)
+					}
+				}
+				if c == color.NoColor && work.RegFlags(ir.Reg(v))&ir.FlagSpillTemp != 0 {
+					// A spill temporary must not spill again. Apply
+					// Chaitin's rule in miniature: evict the cheapest
+					// ordinary neighbor (spilling it instead) until a
+					// color frees up. Evictions target real ranges, so
+					// this is also what makes the cost-blind engine
+					// reduce pressure and converge; a temporary with only
+					// temporary neighbors falls through to the same hard
+					// error the sequential path reports.
+					for c == color.NoColor {
+						w := int32(-1)
+						for _, nb := range g.Neighbors(v) {
+							cb := colors[nb]
+							if cb == color.NoColor || int(cb) >= kn {
+								continue
+							}
+							if work.RegFlags(ir.Reg(nb))&ir.FlagSpillTemp != 0 {
+								continue
+							}
+							if w < 0 || costs[nb] < costs[w] || (costs[nb] == costs[w] && nb < w) {
+								w = nb
+							}
+						}
+						if w < 0 {
+							break
+						}
+						tr.SpillDecision(w, int32(g.Degree(w)), costs[w], costs[w])
+						colors[w] = color.NoColor
+						over = append(over, w)
+						for j := range used {
+							used[j] = false
+						}
+						for _, nb := range g.Neighbors(v) {
+							if cb := colors[nb]; cb != color.NoColor && int(cb) < kn {
+								used[cb] = true
+							}
+						}
+						for j := 0; j < kn; j++ {
+							if !used[j] {
+								c = int16(j)
+								break
+							}
+						}
+					}
+				}
+				if c == color.NoColor {
+					tr.SpillDecision(v, int32(g.Degree(v)), costs[v], float64(g.Degree(v)))
+					over = append(over, v)
+					continue
+				}
+				colors[v] = c
+				tr.ColorReuse(v, int32(g.Degree(v)), inUse, c)
+			}
 			ps.Color = time.Since(t0)
 			tr.EndPhase(obs.PhaseColor, ps.Color)
-			if len(uncolored) == 0 {
+			if len(over) == 0 {
 				res.Passes = append(res.Passes, ps)
 				if err := color.Verify(g, colors, kf); err != nil {
 					return nil, fmt.Errorf("alloc: %s: %w", f.Name, err)
@@ -209,7 +320,37 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 				res.Colors = colors
 				return res, nil
 			}
-			toSpill = uncolored
+			toSpill = over
+		} else {
+			// Simplify.
+			tr.BeginPhase(obs.PhaseSimplify)
+			t0 = time.Now()
+			sr := color.SimplifyTraced(g, costs, kf, opt.Heuristic, opt.Metric, tr)
+			ps.Simplify = time.Since(t0)
+			ps.ScanSteps = sr.ScanSteps
+			tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
+			tr.Counter(obs.PhaseSimplify, "simplify.scan_steps", int64(ps.ScanSteps))
+
+			if opt.Heuristic == color.Chaitin && len(sr.SpillMarked) > 0 {
+				// Chaitin: spill immediately, skip coloring this pass.
+				toSpill = sr.SpillMarked
+			} else {
+				tr.BeginPhase(obs.PhaseColor)
+				t0 = time.Now()
+				colors, uncolored := color.SelectTraced(g, sr, kf, opt.Heuristic != color.Chaitin, tr)
+				ps.Color = time.Since(t0)
+				tr.EndPhase(obs.PhaseColor, ps.Color)
+				if len(uncolored) == 0 {
+					res.Passes = append(res.Passes, ps)
+					if err := color.Verify(g, colors, kf); err != nil {
+						return nil, fmt.Errorf("alloc: %s: %w", f.Name, err)
+					}
+					res.Func = work
+					res.Colors = colors
+					return res, nil
+				}
+				toSpill = uncolored
+			}
 		}
 
 		// Spill.

@@ -77,7 +77,36 @@ type Options struct {
 	// merges deterministically, so results are byte-identical to
 	// Workers <= 1 — only the build wall time changes.
 	Workers int
+	// UsePColor replaces the sequential simplify/select pair with the
+	// speculative parallel first-fit engine (internal/pcolor) inside
+	// the Figure 4 cycle: the pass's graph is colored with an
+	// unbounded palette, nodes whose first-fit color lands at or
+	// beyond the class budget become that pass's spill set (a subset
+	// of a proper coloring is proper, so the survivors are a valid
+	// partial k-coloring), and a pass whose palette fits the budget
+	// terminates the cycle. Heuristic and Metric are ignored in this
+	// mode: the engine is cost-blind, ordering by seeded
+	// degree-descending permutation. Off by default; the portfolio
+	// racer (internal/portfolio) uses it as one strategy family.
+	UsePColor bool
+	// PColorSeed drives the UsePColor permutation; different seeds
+	// explore different first-fit orders (and therefore different
+	// spill sets), which is what the portfolio races.
+	PColorSeed uint64
+	// PColorWorkers is the speculative engine's goroutine count under
+	// UsePColor. The (seed, workers) pair fully determines the
+	// coloring, so <= 0 means a fixed default of 4 — machine-
+	// independent, unlike GOMAXPROCS — keeping allocations
+	// reproducible across hosts.
+	PColorWorkers int
 }
+
+// DefaultPColorWorkers is the fixed worker count UsePColor resolves
+// PColorWorkers <= 0 to. It is deliberately not GOMAXPROCS: the pair
+// (PColorSeed, workers) determines the coloring, and a host-dependent
+// default would make the same Options spill differently on different
+// machines.
+const DefaultPColorWorkers = 4
 
 // DefaultOptions returns the paper's configuration: the optimistic
 // heuristic on a 16 GPR + 8 FPR machine.

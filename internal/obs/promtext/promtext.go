@@ -45,6 +45,12 @@ func Write(w io.Writer, s obs.RegistrySnapshot) error {
 	counter("regalloc_coalesced_moves_total", "Copies removed by coalescing, summed over runs.", s.CoalescedMoves)
 	counter("regalloc_pcolor_rounds_total", "Speculative parallel-coloring rounds, summed over runs.", s.PColorRounds)
 	counter("regalloc_pcolor_conflicts_total", "Boundary conflicts detected by parallel coloring, summed over runs.", s.PColorConflicts)
+	counter("regalloc_portfolio_races_total", "Portfolio races recorded in the registry.", s.PortfolioRaces)
+	counter("regalloc_portfolio_candidates_total", "Portfolio candidates entered across all races.", s.PortfolioCandidates)
+	counter("regalloc_portfolio_started_total", "Portfolio candidates that began running.", s.PortfolioStarted)
+	counter("regalloc_portfolio_finished_total", "Portfolio candidates that finished and verified.", s.PortfolioFinished)
+	counter("regalloc_portfolio_cancelled_total", "Portfolio candidates cut off before starting.", s.PortfolioCancelled)
+	counter("regalloc_portfolio_win_margin_milli_total", "Summed win margin (cheapest loser minus winner) in milli spill-cost units.", s.PortfolioMarginMilli)
 	gauge("regalloc_palette_int_max", "Largest integer-register palette any recorded run used.", int64(s.PaletteIntMax))
 	gauge("regalloc_palette_float_max", "Largest float-register palette any recorded run used.", int64(s.PaletteFloatMax))
 
@@ -57,6 +63,18 @@ func Write(w io.Writer, s obs.RegistrySnapshot) error {
 		sort.Strings(units)
 		for _, u := range units {
 			fmt.Fprintf(bw, "regalloc_unit_runs_total{unit=%s} %d\n", quoteLabel(u), s.UnitRuns[u])
+		}
+	}
+
+	if len(s.PortfolioWins) > 0 {
+		fmt.Fprintf(bw, "# HELP regalloc_portfolio_wins_total Portfolio races won per strategy.\n# TYPE regalloc_portfolio_wins_total counter\n")
+		wins := make([]string, 0, len(s.PortfolioWins))
+		for w := range s.PortfolioWins {
+			wins = append(wins, w)
+		}
+		sort.Strings(wins)
+		for _, w := range wins {
+			fmt.Fprintf(bw, "regalloc_portfolio_wins_total{strategy=%s} %d\n", quoteLabel(w), s.PortfolioWins[w])
 		}
 	}
 

@@ -150,6 +150,18 @@ type RunSummary struct {
 	PColorRounds    int // speculative rounds (pcolor runs)
 	PColorConflicts int // boundary conflicts detected (pcolor runs)
 
+	// Portfolio-race fields, filled only for runs that went through
+	// the racing engine (internal/portfolio); PortfolioWinner == ""
+	// marks a plain run. Candidate counts follow the engine's
+	// statuses: started = finished + errored, cancelled candidates
+	// never ran.
+	PortfolioCandidates  int    // candidates in the race
+	PortfolioStarted     int    // candidates that began running
+	PortfolioFinished    int    // candidates that finished and verified
+	PortfolioCancelled   int    // candidates cut off before starting
+	PortfolioWinner      string // winning strategy name
+	PortfolioMarginMilli int64  // cheapest loser minus winner, milli spill cost
+
 	PhaseNS [NumPhases]int64 // summed wall time per phase
 	TotalNS int64            // summed wall time, whole run
 }
@@ -174,10 +186,18 @@ type Registry struct {
 	pcRounds  int64
 	pcConfl   int64
 
+	pfRaces      int64
+	pfCandidates int64
+	pfStarted    int64
+	pfFinished   int64
+	pfCancelled  int64
+	pfMargin     int64
+
 	palIntMax   int
 	palFloatMax int
 
 	unitRuns map[string]int64
+	pfWins   map[string]int64
 
 	phase [NumPhases]LatencyHistogram
 	total LatencyHistogram
@@ -197,7 +217,7 @@ const OverflowUnit = "(other)"
 
 // NewRegistry returns an empty Registry.
 func NewRegistry() *Registry {
-	return &Registry{unitRuns: make(map[string]int64)}
+	return &Registry{unitRuns: make(map[string]int64), pfWins: make(map[string]int64)}
 }
 
 // Record folds one run into the aggregates. Safe for concurrent use.
@@ -220,6 +240,19 @@ func (r *Registry) Record(s RunSummary) {
 	r.moves += int64(s.CoalescedMoves)
 	r.pcRounds += int64(s.PColorRounds)
 	r.pcConfl += int64(s.PColorConflicts)
+	if s.PortfolioWinner != "" {
+		r.pfRaces++
+		r.pfCandidates += int64(s.PortfolioCandidates)
+		r.pfStarted += int64(s.PortfolioStarted)
+		r.pfFinished += int64(s.PortfolioFinished)
+		r.pfCancelled += int64(s.PortfolioCancelled)
+		r.pfMargin += s.PortfolioMarginMilli
+		win := s.PortfolioWinner
+		if _, ok := r.pfWins[win]; !ok && len(r.pfWins) >= MaxUnitKeys {
+			win = OverflowUnit
+		}
+		r.pfWins[win]++
+	}
 	if s.PaletteInt > r.palIntMax {
 		r.palIntMax = s.PaletteInt
 	}
@@ -249,10 +282,19 @@ type RegistrySnapshot struct {
 	PColorRounds    int64
 	PColorConflicts int64
 
+	PortfolioRaces       int64
+	PortfolioCandidates  int64
+	PortfolioStarted     int64
+	PortfolioFinished    int64
+	PortfolioCancelled   int64
+	PortfolioMarginMilli int64
+
 	PaletteIntMax   int
 	PaletteFloatMax int
 
 	UnitRuns map[string]int64
+	// PortfolioWins counts races won per strategy name.
+	PortfolioWins map[string]int64
 
 	Phase [NumPhases]LatencyHistogram // indexed by Phase; zero Count when unobserved
 	Total LatencyHistogram
@@ -271,14 +313,26 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		CoalescedMoves:  r.moves,
 		PColorRounds:    r.pcRounds,
 		PColorConflicts: r.pcConfl,
+
+		PortfolioRaces:       r.pfRaces,
+		PortfolioCandidates:  r.pfCandidates,
+		PortfolioStarted:     r.pfStarted,
+		PortfolioFinished:    r.pfFinished,
+		PortfolioCancelled:   r.pfCancelled,
+		PortfolioMarginMilli: r.pfMargin,
+
 		PaletteIntMax:   r.palIntMax,
 		PaletteFloatMax: r.palFloatMax,
 		UnitRuns:        make(map[string]int64, len(r.unitRuns)),
+		PortfolioWins:   make(map[string]int64, len(r.pfWins)),
 		Phase:           r.phase,
 		Total:           r.total,
 	}
 	for k, v := range r.unitRuns {
 		snap.UnitRuns[k] = v
+	}
+	for k, v := range r.pfWins {
+		snap.PortfolioWins[k] = v
 	}
 	return snap
 }
@@ -295,6 +349,19 @@ func (s RegistrySnapshot) String() string {
 	fmt.Fprintf(&b, "spills: %d (summed cost %.3f), coalesced moves: %d\n", s.Spills, s.SpillCost(), s.CoalescedMoves)
 	if s.PColorRounds > 0 || s.PColorConflicts > 0 {
 		fmt.Fprintf(&b, "pcolor: %d round(s), %d conflict(s)\n", s.PColorRounds, s.PColorConflicts)
+	}
+	if s.PortfolioRaces > 0 {
+		fmt.Fprintf(&b, "portfolio: %d race(s), %d candidate(s) (%d finished, %d cancelled), summed win margin %.3f\n",
+			s.PortfolioRaces, s.PortfolioCandidates, s.PortfolioFinished, s.PortfolioCancelled,
+			float64(s.PortfolioMarginMilli)/1000)
+		wins := make([]string, 0, len(s.PortfolioWins))
+		for w := range s.PortfolioWins {
+			wins = append(wins, w)
+		}
+		sort.Strings(wins)
+		for _, w := range wins {
+			fmt.Fprintf(&b, "  won by %-20s %6d race(s)\n", w, s.PortfolioWins[w])
+		}
 	}
 	fmt.Fprintf(&b, "palette max: %d int, %d float\n", s.PaletteIntMax, s.PaletteFloatMax)
 	for p := 0; p < NumPhases; p++ {

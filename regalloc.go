@@ -67,6 +67,7 @@ import (
 	"regalloc/internal/obs"
 	"regalloc/internal/opt"
 	"regalloc/internal/parser"
+	"regalloc/internal/portfolio"
 	"regalloc/internal/sem"
 	"regalloc/internal/target"
 	"regalloc/internal/vm"
@@ -205,6 +206,107 @@ func Summarize(unit string, res *Result) RunSummary {
 			}
 		}
 	}
+	return s
+}
+
+// PortfolioCandidate is one strategy in a portfolio race
+// (portfolio.Candidate re-exported): a label plus the full Options
+// variant it runs under.
+type PortfolioCandidate = portfolio.Candidate
+
+// PortfolioConfig tunes a race (portfolio.Config re-exported): mode,
+// concurrency bound, wall-clock budget, observer.
+type PortfolioConfig = portfolio.Config
+
+// PortfolioResult is a completed race (portfolio.Result re-exported):
+// the winning allocation plus every candidate's outcome.
+type PortfolioResult = portfolio.Result
+
+// PortfolioMode selects the race's stopping rule.
+type PortfolioMode = portfolio.Mode
+
+// The two racing modes: run every candidate the budget admits
+// (deterministic winner), or cancel stragglers once a verified
+// zero-spill result lands (lower latency).
+const (
+	RaceToBest = portfolio.RaceToBest
+	FirstGood  = portfolio.FirstGood
+)
+
+// DefaultPortfolio returns the standard candidate set derived from
+// base: Chaitin and Briggs under cost/degree, the cost-only and
+// degree-only spill metrics, smallest-last ordering, and the
+// speculative pcolor engine once per seed (portfolio.DefaultSeeds
+// when none are given).
+func DefaultPortfolio(base Options, pcolorSeeds ...uint64) []PortfolioCandidate {
+	if len(pcolorSeeds) == 0 {
+		pcolorSeeds = portfolio.DefaultSeeds
+	}
+	return portfolio.Default(base, pcolorSeeds...)
+}
+
+// AllocatePortfolio races the candidate strategies for one unit and
+// returns the cheapest verified allocation with the full race report:
+// per-candidate status, spill cost, and latency, the winner index,
+// and the win margin. The winner is selected by (milli spill cost,
+// spill count, candidate index), so it is reproducible regardless of
+// goroutine finish order; see internal/portfolio for the budget and
+// cancellation semantics.
+func (p *Program) AllocatePortfolio(ctx context.Context, name string, cands []PortfolioCandidate, cfg PortfolioConfig) (*PortfolioResult, error) {
+	f := p.IR.Func(name)
+	if f == nil {
+		return nil, fmt.Errorf("regalloc: no unit %s", name)
+	}
+	return portfolio.Race(ctx, f, cands, cfg)
+}
+
+// AssemblePortfolio races the candidates for every unit of the
+// program and lowers each winner to machine code for m. As with
+// AssembleContext, the machine is authoritative for register budgets:
+// every candidate's KInt and KFloat are overridden with m.NumGPR and
+// m.NumFPR. Units race sequentially (each race parallelizes
+// internally under cfg.Workers); cancelling ctx stops the sequence
+// with the context's error.
+func (p *Program) AssemblePortfolio(ctx context.Context, m Machine, cands []PortfolioCandidate, cfg PortfolioConfig) (*asm.Program, map[string]*PortfolioResult, error) {
+	fitted := make([]PortfolioCandidate, len(cands))
+	for i, c := range cands {
+		c.Opt.KInt = m.NumGPR
+		c.Opt.KFloat = m.NumFPR
+		fitted[i] = c
+	}
+	code := asm.NewProgram()
+	results := make(map[string]*PortfolioResult, len(p.IR.Funcs))
+	for _, f := range p.IR.Funcs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("regalloc: %s: %w", f.Name, err)
+		}
+		pr, err := portfolio.Race(ctx, f, fitted, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		af, err := asm.Lower(pr.Res.Func, pr.Res.Colors, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		code.Add(af)
+		results[f.Name] = pr
+	}
+	return code, results, nil
+}
+
+// SummarizePortfolio condenses a completed race into the record a
+// Registry accumulates: the winner's allocation summary (exactly what
+// Summarize builds) plus the race's candidate counts, winner
+// strategy, and win margin.
+func SummarizePortfolio(unit string, pr *PortfolioResult) RunSummary {
+	s := Summarize(unit, pr.Res)
+	started, finished, cancelled, _ := pr.Counts()
+	s.PortfolioCandidates = len(pr.Outcomes)
+	s.PortfolioStarted = started
+	s.PortfolioFinished = finished
+	s.PortfolioCancelled = cancelled
+	s.PortfolioWinner = pr.Outcomes[pr.Winner].Name
+	s.PortfolioMarginMilli = pr.WinMarginMilli
 	return s
 }
 

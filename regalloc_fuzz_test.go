@@ -1,12 +1,14 @@
 package regalloc_test
 
 import (
+	"context"
 	"testing"
 
 	"regalloc"
 	"regalloc/internal/alloc"
 	"regalloc/internal/fuzzgen"
 	"regalloc/internal/irinterp"
+	"regalloc/internal/portfolio"
 	"regalloc/internal/vm"
 )
 
@@ -95,6 +97,41 @@ func FuzzAllocateExecutes(f *testing.F) {
 			}
 			if got := fuzzDigest(machine.LoadInt, machine.LoadFloat); got != want {
 				t.Fatalf("seed %d %s k=%d: allocated code diverged from the input IR\n%s", seed, h, k, src)
+			}
+		}
+
+		// Portfolio leg (half the corpus, keyed off the fuzz input):
+		// race the full default candidate set per unit and demand the
+		// winning code pass the same execution-digest oracle — the
+		// cheapest verified result must still be a *correct* result.
+		if (seed^kraw)%2 == 0 {
+			opt := regalloc.DefaultOptions()
+			opt.KInt = k
+			m := regalloc.RTPC().WithGPR(k)
+			cands := regalloc.DefaultPortfolio(opt, 1)
+			code, results, err := prog.AssemblePortfolio(context.Background(), m, cands, regalloc.PortfolioConfig{})
+			if err != nil {
+				t.Fatalf("seed %d portfolio k=%d: assemble: %v\n%s", seed, k, err, src)
+			}
+			for name, pr := range results {
+				if err := alloc.VerifyAssignment(pr.Res.Func, pr.Res.Colors); err != nil {
+					t.Fatalf("seed %d portfolio k=%d %s: assignment oracle: %v\n%s", seed, k, name, err, src)
+				}
+				win := pr.Outcomes[pr.Winner]
+				for _, o := range pr.Outcomes {
+					if o.Status == portfolio.Finished && o.SpillCostMilli < win.SpillCostMilli {
+						t.Fatalf("seed %d portfolio k=%d %s: candidate %s (cost %d) beat the selected winner %s (cost %d)",
+							seed, k, name, o.Name, o.SpillCostMilli, win.Name, win.SpillCostMilli)
+					}
+				}
+			}
+			machine := regalloc.NewVM(code, prog.MemWords())
+			fuzzSeedArrays(machine.StoreInt, machine.StoreFloat)
+			if _, err := machine.Call("FZ", vm.Int(fuzzIABase), vm.Int(fuzzRABase), vm.Int(5)); err != nil {
+				t.Fatalf("seed %d portfolio k=%d: vm: %v\n%s", seed, k, err, src)
+			}
+			if got := fuzzDigest(machine.LoadInt, machine.LoadFloat); got != want {
+				t.Fatalf("seed %d portfolio k=%d: portfolio winner's code diverged from the input IR\n%s", seed, k, src)
 			}
 		}
 	})

@@ -1,0 +1,134 @@
+package regalloc_test
+
+import (
+	"context"
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/workloads"
+)
+
+// TestPortfolioNeverWorseThanStandalone is the differential oracle of
+// the racing engine: over the full Figure 5 corpus, the portfolio
+// winner's spill cost must be at most every candidate's cost when that
+// candidate is run standalone (candidates that error standalone are
+// expected to error identically inside the race and are excluded).
+func TestPortfolioNeverWorseThanStandalone(t *testing.T) {
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions())
+	for _, w := range workloads.All() {
+		prog, err := regalloc.Compile(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Program, err)
+		}
+		for _, unit := range w.Routines {
+			pr, err := prog.AllocatePortfolio(context.Background(), unit, cands, regalloc.PortfolioConfig{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Program, unit, err)
+			}
+			win := pr.Outcomes[pr.Winner]
+			for _, c := range cands {
+				res, err := prog.Allocate(unit, c.Opt)
+				if err != nil {
+					// The same strategy must have lost the race the
+					// same way, not silently produced a result.
+					for _, o := range pr.Outcomes {
+						if o.Name == c.Name && o.Err == nil {
+							t.Errorf("%s/%s: %s errors standalone (%v) but finished in the race", w.Program, unit, c.Name, err)
+						}
+					}
+					continue
+				}
+				cost := regalloc.Summarize(unit, res).SpillCostMilli
+				if cost < win.SpillCostMilli {
+					t.Errorf("%s/%s: standalone %s cost %d beats portfolio winner %s cost %d",
+						w.Program, unit, c.Name, cost, win.Name, win.SpillCostMilli)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministicWinner races the spilliest unit of the
+// corpus repeatedly under different concurrency and requires the same
+// winner, cost, and margin every time — the selection key is a pure
+// function of the outcomes, not of goroutine finish order.
+func TestPortfolioDeterministicWinner(t *testing.T) {
+	w := workloads.SVD()
+	prog, err := regalloc.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions())
+	type key struct {
+		winner string
+		cost   int64
+		margin int64
+	}
+	var first key
+	for trial := 0; trial < 4; trial++ {
+		pr, err := prog.AllocatePortfolio(context.Background(), "SVD", cands, regalloc.PortfolioConfig{Workers: 1 + trial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := key{pr.Outcomes[pr.Winner].Name, pr.Outcomes[pr.Winner].SpillCostMilli, pr.WinMarginMilli}
+		if trial == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("trial %d: %+v, want %+v", trial, got, first)
+		}
+	}
+}
+
+// TestSummarizePortfolio checks the registry record a race produces:
+// winner summary fields plus the portfolio counts.
+func TestSummarizePortfolio(t *testing.T) {
+	prog, err := regalloc.Compile(workloads.SVD().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions())
+	pr, err := prog.AllocatePortfolio(context.Background(), "SVD", cands, regalloc.PortfolioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := regalloc.SummarizePortfolio("SVD", pr)
+	if s.Unit != "SVD" || s.PortfolioCandidates != len(cands) {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.PortfolioWinner != pr.Outcomes[pr.Winner].Name {
+		t.Fatalf("winner %q, want %q", s.PortfolioWinner, pr.Outcomes[pr.Winner].Name)
+	}
+	if s.SpillCostMilli != pr.Outcomes[pr.Winner].SpillCostMilli {
+		t.Fatalf("cost %d, want %d", s.SpillCostMilli, pr.Outcomes[pr.Winner].SpillCostMilli)
+	}
+	reg := regalloc.NewRegistry()
+	reg.Record(s)
+	snap := reg.Snapshot()
+	if snap.PortfolioRaces != 1 || snap.PortfolioWins[s.PortfolioWinner] != 1 {
+		t.Fatalf("registry: %+v", snap)
+	}
+}
+
+// TestAssemblePortfolio races every unit of a program and checks the
+// winning code still executes correctly on the VM.
+func TestAssemblePortfolio(t *testing.T) {
+	prog, err := regalloc.Compile(workloads.Quicksort().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions())
+	code, results, err := prog.AssemblePortfolio(context.Background(), regalloc.RTPC(), cands, regalloc.PortfolioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, unit := range prog.Functions() {
+		if results[unit] == nil {
+			t.Fatalf("no race result for %s", unit)
+		}
+	}
+	if code == nil {
+		t.Fatal("no code")
+	}
+}

@@ -4,32 +4,55 @@
 //
 //	allocd -addr :8080
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the full contract):
 //
-//	POST /alloc          allocate a mini-FORTRAN source or color a
-//	                     .ig interference graph (the body; the kind
-//	                     is sniffed, or forced with ?input=src|ig).
-//	                     Query parameters mirror the library's
-//	                     Options: heuristic, kint, kfloat, metric,
-//	                     coalesce, conservative, remat, split,
-//	                     workers, maxpasses; plus unit=NAME to pick
-//	                     one routine, colors=1 to include the
-//	                     assignment, and for ?heuristic=pcolor the
-//	                     seed and workers of the parallel engine.
-//	                     portfolio=1 (or a comma-separated candidate
-//	                     list, e.g. portfolio=briggs,chaitin) races
-//	                     the strategy portfolio per routine and keeps
-//	                     the cheapest verified result; pmode, pbudget,
-//	                     and pseeds tune the race. Each racing
-//	                     candidate is admitted against -max-inflight
-//	                     individually.
+//	POST /v1/alloc       allocate a mini-FORTRAN source or color a
+//	                     .ig interference graph. Two request forms,
+//	                     one parser: a JSON object ({"source": ...,
+//	                     "heuristic": ..., "kint": ...}) or the legacy
+//	                     form — the raw payload as the body with
+//	                     same-named query parameters. The payload kind
+//	                     is sniffed, or forced with input=src|ig.
+//	                     Knobs mirror the library's Options:
+//	                     heuristic, kint, kfloat, metric, coalesce,
+//	                     conservative, remat, split, workers,
+//	                     maxpasses; plus unit=NAME to pick one
+//	                     routine, colors to include the assignment,
+//	                     and for heuristic=pcolor the seed and workers
+//	                     of the parallel engine. portfolio (a flag or
+//	                     a comma-separated candidate list) races the
+//	                     strategy portfolio per routine; pmode,
+//	                     pbudget, and pseeds tune the race.
+//	                     Identical requests are served from a
+//	                     content-addressed result cache (singleflight:
+//	                     concurrent identical requests run one
+//	                     allocation); the X-Cache reply header says
+//	                     miss, hit, or shared, and nocache opts a
+//	                     request out. Non-2xx replies carry
+//	                     {"error": {"code", "message", "detail"}}.
+//	POST /v1/alloc/batch many allocation requests in one call,
+//	                     admitted against -max-inflight once: a JSON
+//	                     array of request objects, or an NDJSON
+//	                     stream (replied to in kind, streaming). Each
+//	                     item succeeds or fails independently.
+//	POST /alloc          deprecated alias for /v1/alloc (same
+//	                     handler; answers with a Deprecation header).
 //	GET  /metrics        Prometheus text exposition: the run
 //	                     registry (spills, palettes, per-phase
-//	                     latency histograms) plus live trace-counter
-//	                     totals and service gauges.
+//	                     latency histograms), live trace-counter
+//	                     totals, result-cache counters
+//	                     (regalloc_cache_{hits,misses,evictions}_total
+//	                     and hit/fill latency histograms), and
+//	                     service gauges.
 //	GET  /healthz        liveness (always ok while the process runs).
 //	GET  /readyz         readiness (503 once draining begins).
 //	GET  /debug/pprof/   the standard Go profiler endpoints.
+//
+// Admission: -max-inflight bounds concurrently served allocations;
+// excess requests queue. A queued request that hits -alloc-timeout
+// while the service is healthy is answered 429 with Retry-After —
+// the same request succeeds on a quieter instant — while drain and
+// client cancellation answer 503.
 //
 // On SIGTERM or SIGINT the service stops advertising readiness,
 // drains in-flight requests for -drain at most, then exits 0; a
@@ -38,8 +61,8 @@
 // Example:
 //
 //	curl -sS -X POST --data-binary @examples/saxpyish.f \
-//	  'localhost:8080/alloc?heuristic=briggs&kint=8'
-//	curl -sS localhost:8080/metrics | grep regalloc_runs_total
+//	  'localhost:8080/v1/alloc?heuristic=briggs&kint=8'
+//	curl -sS localhost:8080/metrics | grep regalloc_cache_hits_total
 package main
 
 import (
@@ -53,17 +76,26 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"regalloc/internal/rescache"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
-	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrently served /alloc requests (others queue)")
-	allocTimeout := flag.Duration("alloc-timeout", 0, "per-request /alloc deadline, queueing included (0 disables); expiry answers 503")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrently served allocation requests (others queue)")
+	allocTimeout := flag.Duration("alloc-timeout", 0, "per-request allocation deadline, queueing included (0 disables); expiry answers 429 while healthy, 503 draining")
+	cacheEntries := flag.Int("cache-entries", defaultCacheEntries, "result-cache entry bound (0 unbounded, negative disables the cache)")
+	cacheBytes := flag.Int64("cache-bytes", defaultCacheBytes, "result-cache byte bound (0 unbounded, negative disables the cache)")
 	flag.Parse()
 
 	s := newServer(*maxInflight)
 	s.allocTimeout = *allocTimeout
+	if *cacheEntries < 0 || *cacheBytes < 0 {
+		s.cache = nil
+	} else {
+		s.cache = rescache.New(*cacheEntries, *cacheBytes)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,29 +19,46 @@ import (
 	"time"
 
 	"regalloc"
+	"regalloc/internal/cachekey"
 	"regalloc/internal/color"
 	"regalloc/internal/graphgen"
+	"regalloc/internal/ig"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
 	"regalloc/internal/obs/promtext"
 	"regalloc/internal/pcolor"
 	"regalloc/internal/portfolio"
+	"regalloc/internal/rescache"
+)
+
+// Default result-cache bounds: generous for the service's small JSON
+// bodies, tight enough that a runaway corpus cannot eat the host.
+const (
+	defaultCacheEntries = 1024
+	defaultCacheBytes   = 64 << 20
 )
 
 // server is the allocd state: the run registry and live-event
-// aggregate behind /metrics, plus the admission semaphore bounding
-// concurrent /alloc work. Handlers are safe for concurrent use.
+// aggregate behind /metrics, the content-addressed result cache, and
+// the admission semaphore bounding concurrent allocation work.
+// Handlers are safe for concurrent use.
 type server struct {
 	reg     *obs.Registry
 	metrics *obs.MetricsSink
-	sem     chan struct{} // admission: one slot per in-flight /alloc
+	cache   *rescache.Cache // nil: result caching disabled
+	sem     chan struct{}   // admission: one slot per in-flight request
 	ready   atomic.Bool
 	started time.Time
 
-	// allocTimeout, when > 0, caps each /alloc request wall-clock
-	// (queueing for admission included). Expiry surfaces through the
-	// ordinary context-cancellation paths, so the client sees 503.
+	// allocTimeout, when > 0, caps each allocation request's
+	// wall-clock (queueing for admission included). Expiry while the
+	// service is healthy answers 429 Retry-After — the work would
+	// succeed on a quieter instant — while drain and client
+	// cancellation stay 503.
 	allocTimeout time.Duration
+
+	// legacyOnce guards the one-time deprecation log for /alloc.
+	legacyOnce sync.Once
 }
 
 func newServer(maxInflight int) *server {
@@ -48,6 +68,7 @@ func newServer(maxInflight int) *server {
 	s := &server{
 		reg:     obs.NewRegistry(),
 		metrics: obs.NewMetricsSink(),
+		cache:   rescache.New(defaultCacheEntries, defaultCacheBytes),
 		sem:     make(chan struct{}, maxInflight),
 		started: time.Now(),
 	}
@@ -60,7 +81,9 @@ func newServer(maxInflight int) *server {
 // side effect) so the service owns every route it serves.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/alloc", s.handleAlloc)
+	mux.HandleFunc("/v1/alloc", s.handleAlloc)
+	mux.HandleFunc("/v1/alloc/batch", s.handleBatch)
+	mux.HandleFunc("/alloc", s.handleAllocLegacy)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -91,10 +114,10 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleMetrics renders both metric families. The two snapshots are
-// taken one after the other, not atomically, so a single scrape can
-// catch a run in one family but not yet the other; the skew is one
-// in-flight request and self-corrects by the next scrape.
+// handleMetrics renders every metric family. The snapshots are taken
+// one after the other, not atomically, so a single scrape can catch a
+// run in one family but not yet another; the skew is one in-flight
+// request and self-corrects by the next scrape.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := promtext.Write(w, s.reg.Snapshot()); err != nil {
@@ -102,6 +125,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := promtext.WriteMetrics(w, s.metrics.Snapshot()); err != nil {
 		return
+	}
+	if s.cache != nil {
+		if err := promtext.WriteCache(w, s.cache.Stats()); err != nil {
+			return
+		}
 	}
 	ready := 0
 	if s.ready.Load() {
@@ -112,13 +140,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP allocd_uptime_seconds Seconds since the service started.\n# TYPE allocd_uptime_seconds gauge\nallocd_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
 }
 
-// httpError is the JSON error envelope every failure returns.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // maxBodyBytes bounds the request body: mini-FORTRAN sources and .ig
 // graphs are small; anything larger is a mistake or abuse.
 const maxBodyBytes = 8 << 20
@@ -127,136 +148,274 @@ const maxBodyBytes = 8 << 20
 // node-count directive.
 var igFirstLine = regexp.MustCompile(`^n\s+\d+`)
 
+// handleAllocLegacy is the deprecated /alloc route: the same handler
+// as /v1/alloc (the shared parser accepts both request forms), plus
+// the successor-version headers and a one-time log nudging callers
+// over.
+func (s *server) handleAllocLegacy(w http.ResponseWriter, r *http.Request) {
+	s.legacyOnce.Do(func() {
+		log.Printf("allocd: /alloc is deprecated; use /v1/alloc (same request forms, structured errors)")
+	})
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/alloc>; rel="successor-version"`)
+	s.handleAlloc(w, r)
+}
+
+// readBody drains the request body under the size cap, classifying
+// failures: only an actual overflow is 413; other read errors
+// (disconnects, transport faults) are the client's 400.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, failErr(http.StatusRequestEntityTooLarge, codeBodyTooLarge, "reading body", err)
+		}
+		return nil, failErr(http.StatusBadRequest, codeBadBody, "reading body", err)
+	}
+	return body, nil
+}
+
+// requestContext layers the per-request -alloc-timeout deadline under
+// the client's own context, so whichever expires first cancels the
+// work.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.allocTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.allocTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// admit takes one admission slot, or classifies the failure: a
+// deadline that fires while the service is healthy is backpressure
+// (429 Retry-After — the same request succeeds on a quieter
+// instant), drain and client cancellation are 503.
+func (s *server) admit(ctx context.Context) (func(), *apiError) {
+	// Check the deadline before the select: with an already-expired
+	// context both select arms are ready and the choice would be
+	// random, turning the -alloc-timeout answer into a coin flip.
+	if err := ctx.Err(); err != nil {
+		return nil, s.ctxFailure(ctx, "queued for admission", codeAdmissionTimeout)
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return sync.OnceFunc(func() { <-s.sem }), nil
+	case <-ctx.Done():
+		return nil, s.ctxFailure(ctx, "queued for admission", codeAdmissionTimeout)
+	}
+}
+
+// ctxFailure maps a context failure to its status: 503 while
+// draining or for a client cancellation, 429 for a deadline on a
+// healthy instance. timeoutCode distinguishes where the deadline hit
+// (admission queue vs. the allocation itself).
+func (s *server) ctxFailure(ctx context.Context, what, timeoutCode string) *apiError {
+	err := ctx.Err()
+	if s.ready.Load() && errors.Is(err, context.DeadlineExceeded) {
+		return failErr(http.StatusTooManyRequests, timeoutCode, what, err)
+	}
+	return failErr(http.StatusServiceUnavailable, codeUnavailable, what, err)
+}
+
+// handleAlloc is POST /v1/alloc: decode (JSON body or legacy query
+// form), admit, then serve from the result cache or run the
+// allocation. Portfolio races bypass the cache — they are
+// wall-clock-dependent by design.
 func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		httpError(w, http.StatusMethodNotAllowed, "POST a mini-FORTRAN source or .ig graph body")
+		writeError(w, failf(http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST a mini-FORTRAN source, .ig graph, or JSON request"))
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		// Only an actual size overflow is 413; other read failures
-		// (disconnects, transport errors) are the client's 400.
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
-		} else {
-			httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		}
+	body, fail := readBody(w, r)
+	if fail != nil {
+		writeError(w, fail)
 		return
 	}
-	if len(strings.TrimSpace(string(body))) == 0 {
-		httpError(w, http.StatusBadRequest, "empty body: POST a mini-FORTRAN source or .ig graph")
+	req, fail := decodeAllocRequest(r, body)
+	if fail != nil {
+		writeError(w, fail)
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, failf(http.StatusBadRequest, codeEmptyBody, "empty source: POST a mini-FORTRAN source or .ig graph"))
 		return
 	}
 
-	// Per-request deadline (-alloc-timeout): layered under the
-	// client's own context so whichever expires first cancels the
-	// work, and both surface as the same 503.
-	if s.allocTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.allocTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
-	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 
 	// Admission: one semaphore slot per in-flight allocation, so a
 	// burst queues instead of oversubscribing the host (each request
-	// may itself fan out opt.Workers goroutines). A client that gives
-	// up while queued is released by its request context. The slot is
-	// released through a once-guarded closure because the portfolio
-	// path hands it back early: there each racing candidate is
-	// admitted against the same semaphore individually, and holding
-	// the request's own slot across the race would deadlock at
-	// -max-inflight=1.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
+	// may itself fan out opt.Workers goroutines). The slot is released
+	// through a once-guarded closure because the portfolio path hands
+	// it back early: there each racing candidate is admitted against
+	// the same semaphore individually, and holding the request's own
+	// slot across the race would deadlock at -max-inflight=1.
+	release, fail := s.admit(ctx)
+	if fail != nil {
+		writeError(w, fail)
 		return
 	}
-	release := sync.OnceFunc(func() { <-s.sem })
 	defer release()
 
-	input := r.URL.Query().Get("input")
-	if input == "" {
-		if igFirstLine.MatchString(strings.TrimSpace(string(body))) {
-			input = "ig"
-		} else {
-			input = "src"
-		}
+	kind, fail := req.inputKind()
+	if fail != nil {
+		writeError(w, fail)
+		return
 	}
-	switch input {
+	if spec := req.portfolioSpec(); spec != "" {
+		if kind != "src" {
+			writeError(w, failf(http.StatusBadRequest, codeBadRequest, "portfolio races apply to source programs, not .ig graphs"))
+			return
+		}
+		s.allocPortfolio(w, ctx, req, spec, release)
+		return
+	}
+
+	resp, out, fail := s.allocCached(ctx, req, kind)
+	if fail != nil {
+		writeError(w, fail)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", out.String())
+	w.Write(resp)
+}
+
+// allocCached parses the payload, derives the content-addressed key,
+// and serves the rendered response through the result cache (the
+// singleflight layer collapses concurrent identical requests onto one
+// allocation). Parsing happens before the lookup because the key is a
+// digest of the canonical form — the parsed IR or graph — not of the
+// request text, so formatting-only variants of the same input collide
+// on purpose.
+func (s *server) allocCached(ctx context.Context, req *AllocRequest, kind string) ([]byte, rescache.Outcome, *apiError) {
+	opt, fail := req.options()
+	if fail != nil {
+		return nil, rescache.Miss, fail
+	}
+
+	var key cachekey.Key
+	var fill func() ([]byte, error)
+	switch kind {
 	case "src":
-		s.allocSource(w, r, string(body), release)
+		prog, err := regalloc.Compile(req.Source)
+		if err != nil {
+			s.reg.Record(obs.RunSummary{Unit: "(compile)", Error: true})
+			return nil, rescache.Miss, failErr(http.StatusBadRequest, codeCompileFailed, "compile", err)
+		}
+		if req.Unit != "" && prog.Func(req.Unit) == nil {
+			s.reg.Record(obs.RunSummary{Unit: req.Unit, Error: true})
+			return nil, rescache.Miss, failf(http.StatusBadRequest, codeUnknownUnit, "no unit %s (have %s)", req.Unit, strings.Join(prog.Functions(), ", "))
+		}
+		key = srcKey(prog, opt, req)
+		fill = func() ([]byte, error) { return s.sourceBody(ctx, prog, opt, req) }
 	case "ig":
-		s.allocGraph(w, r, body)
+		g, costs, err := graphgen.ReadGraph(strings.NewReader(req.Source))
+		if err != nil {
+			s.reg.Record(obs.RunSummary{Unit: "(graph)", Error: true})
+			return nil, rescache.Miss, failErr(http.StatusBadRequest, codeBadGraph, "parse graph", err)
+		}
+		key = graphKey(g, costs, opt, req)
+		fill = func() ([]byte, error) { return s.graphBody(g, costs, opt, req) }
 	default:
-		httpError(w, http.StatusBadRequest, "unknown input kind %q (want src or ig)", input)
+		return nil, rescache.Miss, failf(http.StatusBadRequest, codeBadRequest, "unknown input kind %q", kind)
 	}
-}
 
-// optionsFromQuery builds an alloc Options from query parameters,
-// mirroring the library's Options field by field. Unset parameters
-// keep the paper's defaults.
-func optionsFromQuery(q map[string][]string) (regalloc.Options, error) {
-	opt := regalloc.DefaultOptions()
-	get := func(k string) string {
-		if v, ok := q[k]; ok && len(v) > 0 {
-			return v[0]
-		}
-		return ""
-	}
-	var err error
-	if v := get("heuristic"); v != "" {
-		opt.Heuristic, err = color.ParseHeuristic(v)
+	if s.cache == nil || req.NoCache {
+		b, err := fill()
 		if err != nil {
-			return opt, err
+			return nil, rescache.Miss, s.asAPIError(ctx, err)
 		}
+		return b, rescache.Miss, nil
 	}
-	for _, p := range []struct {
-		name string
-		dst  *int
-	}{{"kint", &opt.KInt}, {"kfloat", &opt.KFloat}, {"workers", &opt.Workers}, {"maxpasses", &opt.MaxPasses}} {
-		if v := get(p.name); v != "" {
-			*p.dst, err = strconv.Atoi(v)
-			if err != nil {
-				return opt, fmt.Errorf("%s: %v", p.name, err)
-			}
-		}
+	b, out, err := s.cache.Do(ctx, key, fill)
+	if err != nil {
+		return nil, out, s.asAPIError(ctx, err)
 	}
-	for _, p := range []struct {
-		name string
-		dst  *bool
-	}{{"coalesce", &opt.Coalesce}, {"conservative", &opt.ConservativeCoalesce}, {"remat", &opt.Rematerialize}, {"split", &opt.Split}} {
-		if v := get(p.name); v != "" {
-			*p.dst, err = strconv.ParseBool(v)
-			if err != nil {
-				return opt, fmt.Errorf("%s: %v", p.name, err)
-			}
-		}
-	}
-	if v := get("metric"); v != "" {
-		opt.Metric, err = parseMetric(v)
-		if err != nil {
-			return opt, err
-		}
-	}
-	return opt, nil
+	return b, out, nil
 }
 
-func parseMetric(s string) (color.Metric, error) {
-	switch s {
-	case "costdegree", "cost/degree", "cost-over-degree":
-		return color.CostOverDegree, nil
-	case "cost":
-		return color.CostOnly, nil
-	case "degree":
-		return color.DegreeOnly, nil
+// asAPIError normalizes a fill error: typed failures pass through,
+// context failures (a waiter abandoned by its deadline, a cancelled
+// run) get the drain/backpressure classification, anything else is
+// the service's 500.
+func (s *server) asAPIError(ctx context.Context, err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
 	}
-	return 0, fmt.Errorf("unknown metric %q (want costdegree, cost, or degree)", s)
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return s.ctxFailure(ctx, "allocation cancelled", codeDeadlineExceeded)
+	}
+	return failErr(http.StatusInternalServerError, codeInternal, "allocation", err)
 }
 
-// unitResponse is one routine's allocation in the /alloc reply.
+// srcKey is the cache identity of one source-program request: the
+// digest of the unit set actually allocated (the whole program, or
+// the one selected routine), the full options fingerprint, and the
+// response-shaping fields. Equivalent sources — same IR after the
+// front end normalizes comments, spacing, and names — collide;
+// different configurations never do.
+func srcKey(prog *regalloc.Program, opt regalloc.Options, req *AllocRequest) cachekey.Key {
+	var pk cachekey.Key
+	if req.Unit != "" {
+		pk = cachekey.Func(prog.Func(req.Unit))
+	} else {
+		pk = cachekey.Program(prog.IR.Funcs)
+	}
+	ok := cachekey.Options(opt)
+	h := cachekey.New("allocd/v1/src")
+	h.Bytes(pk[:])
+	h.Bytes(ok[:])
+	h.Str(req.Unit)
+	h.Bool(req.Colors)
+	return h.Key()
+}
+
+// graphKey is the cache identity of one .ig request: the canonical
+// graph digest (edge order and formatting do not matter), the options
+// fingerprint — with the pcolor engine's (seed, workers) folded in
+// when that is the requested heuristic — and the response-shaping
+// colors flag. The metrics unit label is deliberately excluded: it
+// names the run for observability and does not change a byte of the
+// response.
+func graphKey(g *ig.Graph, costs []float64, opt regalloc.Options, req *AllocRequest) cachekey.Key {
+	keyOpt := opt
+	if req.Heuristic == "pcolor" {
+		keyOpt.UsePColor = true
+		keyOpt.PColorSeed = pcolorSeed(req)
+		keyOpt.PColorWorkers = pcolorWorkers(req)
+	}
+	gk := cachekey.Graph(g, costs)
+	ok := cachekey.Options(keyOpt)
+	h := cachekey.New("allocd/v1/ig")
+	h.Bytes(gk[:])
+	h.Bytes(ok[:])
+	h.Bool(req.Colors)
+	return h.Key()
+}
+
+// pcolorSeed and pcolorWorkers resolve the speculative engine's
+// parameters. Workers is resolved to its effective count up front so
+// the cache key and the run agree (pcolor itself maps <= 0 to
+// GOMAXPROCS).
+func pcolorSeed(req *AllocRequest) uint64 {
+	if req.Seed != nil {
+		return *req.Seed
+	}
+	return 1
+}
+
+func pcolorWorkers(req *AllocRequest) int {
+	if req.Workers != nil && *req.Workers > 0 {
+		return *req.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// unitResponse is one routine's allocation in the reply.
 type unitResponse struct {
 	Unit         string           `json:"unit"`
 	LiveRanges   int              `json:"live_ranges"`
@@ -270,12 +429,12 @@ type unitResponse struct {
 	PhaseNS      map[string]int64 `json:"phase_ns"`
 	Colors       []int16          `json:"colors,omitempty"`
 
-	// Portfolio carries the race report when ?portfolio= raced this
+	// Portfolio carries the race report when the portfolio raced this
 	// unit; the flat fields above then describe the winner.
 	Portfolio *portfolioResponse `json:"portfolio,omitempty"`
 }
 
-// portfolioResponse is one unit's race report in the /alloc reply.
+// portfolioResponse is one unit's race report in the reply.
 type portfolioResponse struct {
 	Mode       string                       `json:"mode"`
 	Winner     string                       `json:"winner"`
@@ -301,69 +460,32 @@ type allocResponse struct {
 	TotalNS      int64          `json:"total_ns"`
 }
 
-// allocSource compiles a mini-FORTRAN body and allocates its
-// routines (all of them, or just ?unit=NAME) on the bounded worker
-// pool, recording one RunSummary per routine. With ?portfolio= it
-// races the strategy portfolio per routine instead; release is the
-// once-guarded return of the request's own admission slot, which the
-// portfolio path hands back early (see handleAlloc).
-func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string, release func()) {
-	opt, err := optionsFromQuery(r.URL.Query())
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad options: %v", err)
-		return
-	}
+// sourceBody allocates a compiled program's routines (all, or the
+// one the request selects) on the bounded worker pool and renders
+// the response. It runs as a cache fill: on a hit none of this — the
+// allocation, the registry recording — happens again, by design.
+func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt regalloc.Options, req *AllocRequest) ([]byte, error) {
 	opt.Observer = s.metrics
-	if err := opt.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "bad options: %v", err)
-		return
-	}
-	prog, err := regalloc.Compile(src)
-	if err != nil {
-		s.reg.Record(obs.RunSummary{Unit: "(compile)", Error: true})
-		httpError(w, http.StatusBadRequest, "compile: %v", err)
-		return
-	}
-
-	spec := r.URL.Query().Get("portfolio")
-	if v, err := strconv.ParseBool(spec); err == nil {
-		if !v {
-			spec = "" // portfolio=0: the plain single-strategy path
-		} else {
-			spec = "all" // truthy flag: full default candidate set
-		}
-	}
-	if spec != "" {
-		s.allocPortfolio(w, r, prog, opt, spec, release)
-		return
-	}
-
-	wantUnit := r.URL.Query().Get("unit")
 	var results map[string]*regalloc.Result
-	if wantUnit != "" {
-		res, err := prog.Allocate(wantUnit, opt)
+	if req.Unit != "" {
+		res, err := prog.Allocate(req.Unit, opt)
 		if err != nil {
-			s.reg.Record(obs.RunSummary{Unit: wantUnit, Error: true})
-			httpError(w, http.StatusBadRequest, "allocate %s: %v", wantUnit, err)
-			return
+			s.reg.Record(obs.RunSummary{Unit: req.Unit, Error: true})
+			return nil, failErr(http.StatusBadRequest, codeBadRequest, "allocate "+req.Unit, err)
 		}
-		results = map[string]*regalloc.Result{wantUnit: res}
+		results = map[string]*regalloc.Result{req.Unit: res}
 	} else {
-		results, err = prog.AllocateAllContext(r.Context(), opt)
+		var err error
+		results, err = prog.AllocateAllContext(ctx, opt)
 		if err != nil {
 			s.reg.Record(obs.RunSummary{Unit: "(program)", Error: true})
-			// A cancellation or deadline is not a client input error;
-			// answer 503 like the queued-cancellation path above.
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				httpError(w, http.StatusServiceUnavailable, "allocate: %v", err)
-			} else {
-				httpError(w, http.StatusBadRequest, "allocate: %v", err)
+				return nil, s.ctxFailure(ctx, "allocate", codeDeadlineExceeded)
 			}
-			return
+			return nil, failErr(http.StatusBadRequest, codeBadRequest, "allocate", err)
 		}
 	}
 
-	includeColors := boolParam(r, "colors")
 	resp := allocResponse{Input: "src"}
 	for _, name := range prog.Functions() {
 		res, ok := results[name]
@@ -384,7 +506,7 @@ func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string,
 			TotalNS:      sum.TotalNS,
 			PhaseNS:      phaseNSMap(sum),
 		}
-		if includeColors {
+		if req.Colors {
 			u.Colors = res.Colors
 		}
 		resp.Units = append(resp.Units, u)
@@ -392,26 +514,39 @@ func (s *server) allocSource(w http.ResponseWriter, r *http.Request, src string,
 		resp.SpillCost += float64(sum.SpillCostMilli) / 1000
 		resp.TotalNS += sum.TotalNS
 	}
-	writeJSON(w, resp)
+	return renderJSON(resp)
 }
 
 // allocPortfolio races the strategy portfolio for each requested
 // routine and replies with the winner plus the full race report. spec
-// is "all" or a comma-separated candidate-name subset; ?pmode=,
-// ?pbudget=, and ?pseeds= tune the race. The request's own admission
-// slot is handed back up front and each racing candidate acquires its
-// own instead, so a race counts against -max-inflight exactly as many
+// is "all" or a comma-separated candidate-name subset; pmode,
+// pbudget, and pseeds tune the race. The request's own admission slot
+// is handed back up front and each racing candidate acquires its own
+// instead, so a race counts against -max-inflight exactly as many
 // slots as it has strategies in flight — and cannot deadlock at
-// -max-inflight=1.
-func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *regalloc.Program, opt regalloc.Options, spec string, release func()) {
-	q := r.URL.Query()
+// -max-inflight=1. Races never touch the result cache: their outcome
+// depends on wall-clock, which a digest cannot capture.
+func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req *AllocRequest, spec string, release func()) {
+	opt, fail := req.options()
+	if fail != nil {
+		writeError(w, fail)
+		return
+	}
+	opt.Observer = s.metrics
+	prog, err := regalloc.Compile(req.Source)
+	if err != nil {
+		s.reg.Record(obs.RunSummary{Unit: "(compile)", Error: true})
+		writeError(w, failErr(http.StatusBadRequest, codeCompileFailed, "compile", err))
+		return
+	}
+
 	seeds := portfolio.DefaultSeeds
-	if v := q.Get("pseeds"); v != "" {
+	if req.PSeeds != "" {
 		seeds = nil
-		for _, f := range strings.Split(v, ",") {
+		for _, f := range strings.Split(req.PSeeds, ",") {
 			seed, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "pseeds: %v", err)
+				writeError(w, failErr(http.StatusBadRequest, codeBadRequest, "pseeds", err))
 				return
 			}
 			seeds = append(seeds, seed)
@@ -430,7 +565,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *re
 			name := strings.TrimSpace(f)
 			c, ok := byName[name]
 			if !ok {
-				httpError(w, http.StatusBadRequest, "portfolio: unknown candidate %q (have %s)", name, strings.Join(names, ", "))
+				writeError(w, failf(http.StatusBadRequest, codeBadRequest, "portfolio: unknown candidate %q (have %s)", name, strings.Join(names, ", ")))
 				return
 			}
 			picked = append(picked, c)
@@ -439,16 +574,15 @@ func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *re
 	}
 
 	cfg := regalloc.PortfolioConfig{Observer: s.metrics}
-	var err error
-	if v := q.Get("pmode"); v != "" {
-		if cfg.Mode, err = portfolio.ParseMode(v); err != nil {
-			httpError(w, http.StatusBadRequest, "pmode: %v", err)
+	if req.PMode != "" {
+		if cfg.Mode, err = portfolio.ParseMode(req.PMode); err != nil {
+			writeError(w, failErr(http.StatusBadRequest, codeBadRequest, "pmode", err))
 			return
 		}
 	}
-	if v := q.Get("pbudget"); v != "" {
-		if cfg.Budget, err = time.ParseDuration(v); err != nil {
-			httpError(w, http.StatusBadRequest, "pbudget: %v", err)
+	if req.PBudget != "" {
+		if cfg.Budget, err = time.ParseDuration(req.PBudget); err != nil {
+			writeError(w, failErr(http.StatusBadRequest, codeBadRequest, "pbudget", err))
 			return
 		}
 	}
@@ -468,22 +602,22 @@ func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *re
 	release()
 
 	units := prog.Functions()
-	if wantUnit := q.Get("unit"); wantUnit != "" {
-		units = []string{wantUnit}
+	if req.Unit != "" {
+		units = []string{req.Unit}
 	}
-	includeColors := boolParam(r, "colors")
 	resp := allocResponse{Input: "src"}
 	for _, name := range units {
-		pr, err := prog.AllocatePortfolio(r.Context(), name, cands, cfg)
+		pr, err := prog.AllocatePortfolio(ctx, name, cands, cfg)
 		if err != nil {
 			s.reg.Record(obs.RunSummary{Unit: name, Error: true})
 			// A race that died to the deadline or a client disconnect
-			// is the service's 503, like every other cancellation; a
-			// bad unit name or candidate set is the client's 400.
-			if r.Context().Err() != nil {
-				httpError(w, http.StatusServiceUnavailable, "portfolio %s: %v", name, err)
+			// is the service's drain/backpressure answer, like every
+			// other cancellation; a bad unit name or candidate set is
+			// the client's 400.
+			if ctx.Err() != nil {
+				writeError(w, s.ctxFailure(ctx, "portfolio "+name, codeDeadlineExceeded))
 			} else {
-				httpError(w, http.StatusBadRequest, "portfolio %s: %v", name, err)
+				writeError(w, failErr(http.StatusBadRequest, codeBadRequest, "portfolio "+name, err))
 			}
 			return
 		}
@@ -521,7 +655,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *re
 			p.Candidates = append(p.Candidates, pc)
 		}
 		u.Portfolio = p
-		if includeColors {
+		if req.Colors {
 			u.Colors = pr.Res.Colors
 		}
 		resp.Units = append(resp.Units, u)
@@ -532,7 +666,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, r *http.Request, prog *re
 	writeJSON(w, resp)
 }
 
-// graphResponse is the /alloc reply for an interference-graph body.
+// graphResponse is the reply for an interference-graph payload.
 type graphResponse struct {
 	Input     string  `json:"input"`
 	Heuristic string  `json:"heuristic"`
@@ -551,47 +685,23 @@ type graphResponse struct {
 	ColorsFloat int `json:"colors_float,omitempty"`
 }
 
-// allocGraph colors a standalone .ig graph body under one heuristic
-// (chaitin, briggs, mb, or the speculative parallel engine with
-// ?heuristic=pcolor).
-func (s *server) allocGraph(w http.ResponseWriter, r *http.Request, body []byte) {
-	g, costs, err := graphgen.ReadGraph(strings.NewReader(string(body)))
-	if err != nil {
-		s.reg.Record(obs.RunSummary{Unit: "(graph)", Error: true})
-		httpError(w, http.StatusBadRequest, "parse graph: %v", err)
-		return
-	}
-	name := r.URL.Query().Get("unit")
+// graphBody colors a parsed .ig graph under one heuristic (chaitin,
+// briggs, mb, or the speculative parallel engine with
+// heuristic=pcolor) and renders the response. Like sourceBody it
+// runs as a cache fill.
+func (s *server) graphBody(g *ig.Graph, costs []float64, opt regalloc.Options, req *AllocRequest) ([]byte, error) {
+	name := req.Unit
 	if name == "" {
 		name = "graph"
 	}
-	hname := r.URL.Query().Get("heuristic")
-	if hname == "" {
-		hname = "briggs"
-	}
-	includeColors := boolParam(r, "colors")
 
-	if hname == "pcolor" {
-		workers, seed := 0, uint64(1)
-		if v := r.URL.Query().Get("workers"); v != "" {
-			if workers, err = strconv.Atoi(v); err != nil {
-				httpError(w, http.StatusBadRequest, "workers: %v", err)
-				return
-			}
-		}
-		if v := r.URL.Query().Get("seed"); v != "" {
-			if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
-				httpError(w, http.StatusBadRequest, "seed: %v", err)
-				return
-			}
-		}
+	if req.Heuristic == "pcolor" {
 		t0 := time.Now()
-		colors, st := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: seed})
+		colors, st := pcolor.Color(g, pcolor.Options{Workers: pcolorWorkers(req), Seed: pcolorSeed(req)})
 		dur := time.Since(t0)
 		if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
 			s.reg.Record(obs.RunSummary{Unit: name, Error: true})
-			httpError(w, http.StatusInternalServerError, "pcolor verify: %v", err)
-			return
+			return nil, failErr(http.StatusInternalServerError, codeInternal, "pcolor verify", err)
 		}
 		sum := obs.RunSummary{
 			Unit:            name,
@@ -611,23 +721,13 @@ func (s *server) allocGraph(w http.ResponseWriter, r *http.Request, body []byte)
 			Conflicts: st.Conflicts, Recolored: st.Recolored,
 			ColorsInt: st.ColorsInt, ColorsFloat: st.ColorsFloat,
 		}
-		if includeColors {
+		if req.Colors {
 			resp.Colors = colors
 		}
-		writeJSON(w, resp)
-		return
+		return renderJSON(resp)
 	}
 
-	h, err := color.ParseHeuristic(hname)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	opt, err := optionsFromQuery(r.URL.Query())
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad options: %v", err)
-		return
-	}
+	h := opt.Heuristic
 	kf := func(c ir.Class) int {
 		if c == ir.ClassInt {
 			return opt.KInt
@@ -693,15 +793,22 @@ func (s *server) allocGraph(w http.ResponseWriter, r *http.Request, body []byte)
 		Input: "ig", Heuristic: h.String(), Nodes: g.NumNodes(), Edges: g.NumEdges(),
 		Spilled: spilled, SpillCost: cost,
 	}
-	if includeColors {
+	if req.Colors {
 		resp.Colors = colors
 	}
-	writeJSON(w, resp)
+	return renderJSON(resp)
 }
 
-func boolParam(r *http.Request, name string) bool {
-	v, err := strconv.ParseBool(r.URL.Query().Get(name))
-	return err == nil && v
+// renderJSON encodes a response body exactly as writeJSON sends it,
+// so cached bytes are byte-identical to a directly-written reply.
+func renderJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

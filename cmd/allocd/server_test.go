@@ -146,38 +146,55 @@ func TestAllocGraphPColor(t *testing.T) {
 	}
 }
 
+// errorEnvelope decodes the structured error reply every non-2xx
+// carries.
+func errorEnvelope(t *testing.T, data []byte) *apiError {
+	t.Helper()
+	var e struct {
+		Error *apiError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == nil || e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("error reply not a structured envelope: %s", data)
+	}
+	return e.Error
+}
+
 func TestAllocErrors(t *testing.T) {
 	_, ts := newTestServer(t)
 	cases := []struct {
 		path, body string
 		want       int
+		wantCode   string
 	}{
-		{"/alloc", "", http.StatusBadRequest},
-		{"/alloc", "NOT FORTRAN AT ALL ((", http.StatusBadRequest},
-		{"/alloc?kint=0", testSource, http.StatusBadRequest},
-		{"/alloc?heuristic=bogus", testSource, http.StatusBadRequest},
-		{"/alloc?metric=bogus", testSource, http.StatusBadRequest},
-		{"/alloc?input=bogus", testSource, http.StatusBadRequest},
-		{"/alloc?unit=MISSING", testSource, http.StatusBadRequest},
-		{"/alloc?input=ig", "n x\n", http.StatusBadRequest},
+		{"/alloc", "", http.StatusBadRequest, "empty_body"},
+		{"/alloc", "NOT FORTRAN AT ALL ((", http.StatusBadRequest, "compile_failed"},
+		{"/alloc?kint=0", testSource, http.StatusBadRequest, "bad_k"},
+		{"/alloc?heuristic=bogus", testSource, http.StatusBadRequest, "bad_heuristic"},
+		{"/alloc?metric=bogus", testSource, http.StatusBadRequest, "bad_metric"},
+		{"/alloc?input=bogus", testSource, http.StatusBadRequest, "bad_request"},
+		{"/alloc?unit=MISSING", testSource, http.StatusBadRequest, "unknown_unit"},
+		{"/alloc?input=ig", "n x\n", http.StatusBadRequest, "bad_graph"},
 	}
 	for _, tc := range cases {
 		code, data := postAlloc(t, ts, tc.path, tc.body)
 		if code != tc.want {
 			t.Errorf("%s: status %d, want %d (%s)", tc.path, code, tc.want, data)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
-			t.Errorf("%s: error reply not a JSON envelope: %s", tc.path, data)
+		if e := errorEnvelope(t, data); e.Code != tc.wantCode {
+			t.Errorf("%s: error code %q, want %q (%s)", tc.path, e.Code, tc.wantCode, data)
 		}
 	}
 	resp, err := http.Get(ts.URL + "/alloc")
 	if err != nil {
 		t.Fatal(err)
 	}
+	data, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /alloc: status %d, want 405", resp.StatusCode)
+	}
+	if e := errorEnvelope(t, data); e.Code != "method_not_allowed" {
+		t.Errorf("GET /alloc: error code %q", e.Code)
 	}
 }
 
@@ -185,13 +202,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	// Drive some work through both input kinds, concurrently, then
 	// scrape.
+	// nocache=1 keeps the counting semantics under test: with the
+	// result cache on, repeats would be hits and record nothing.
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			postAlloc(t, ts, "/alloc?kint=8", testSource)
-			postAlloc(t, ts, "/alloc?input=ig&kint=2", testGraph)
+			postAlloc(t, ts, "/alloc?kint=8&nocache=1", testSource)
+			postAlloc(t, ts, "/alloc?input=ig&kint=2&nocache=1", testGraph)
 		}()
 	}
 	wg.Wait()
@@ -272,18 +291,24 @@ func TestPprofMounted(t *testing.T) {
 	}
 }
 
-// TestAllocTimeout locks the -alloc-timeout contract: an expired
-// per-request deadline answers 503 through the ordinary cancellation
-// paths, whether it dies queued for admission or inside the
-// allocation itself.
+// TestAllocTimeout locks the -alloc-timeout contract: a deadline
+// that expires while the service is healthy is backpressure, 429
+// with Retry-After — the same request succeeds on a quieter instant —
+// not the drain path's 503.
 func TestAllocTimeout(t *testing.T) {
 	s := newServer(4)
 	s.allocTimeout = time.Nanosecond
 	req := httptest.NewRequest(http.MethodPost, "/alloc", strings.NewReader(testSource))
 	rec := httptest.NewRecorder()
 	s.handleAlloc(rec, req)
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("expired -alloc-timeout: status %d, want 503\n%s", rec.Code, rec.Body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("expired -alloc-timeout: status %d, want 429\n%s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if e := errorEnvelope(t, rec.Body.Bytes()); e.Code != "admission_timeout" && e.Code != "deadline_exceeded" {
+		t.Fatalf("timeout error code %q", e.Code)
 	}
 
 	// A generous deadline changes nothing.

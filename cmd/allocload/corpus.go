@@ -1,0 +1,150 @@
+// corpus.go assembles the mixed request corpus: the paper's workload
+// programs, generated interference graphs, and fuzzed mini-FORTRAN
+// subroutines, each under a couple of allocator configurations. The
+// corpus is finite and deterministic for a seed, so a long run
+// revisits every item many times — which is exactly what exercises
+// the service's result cache, and what makes the reported hit rate a
+// meaningful number rather than an artifact of request ordering.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"regalloc/internal/fuzzgen"
+	"regalloc/internal/graphgen"
+	"regalloc/internal/ig"
+	"regalloc/internal/workloads"
+)
+
+// corpusItem is one request body, pre-rendered.
+type corpusItem struct {
+	Name string
+	Kind string // "src", "ig", or "fuzz"
+	Body []byte // the JSON /v1/alloc request
+}
+
+type corpus struct {
+	Items   []corpusItem
+	Sources int
+	Graphs  int
+	Fuzzed  int
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func srcBody(source, heuristic string) []byte {
+	if heuristic == "" {
+		return []byte(fmt.Sprintf(`{"source": %s}`, jsonString(source)))
+	}
+	return []byte(fmt.Sprintf(`{"source": %s, "heuristic": %q}`, jsonString(source), heuristic))
+}
+
+func igBody(g *ig.Graph, costs []float64, heuristic string, kint int) ([]byte, error) {
+	var sb strings.Builder
+	if err := graphgen.WriteGraph(&sb, g, costs); err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"source": %s, "input": "ig", "heuristic": %q, "kint": %d, "kfloat": %d}`,
+		jsonString(sb.String()), heuristic, kint, kint)), nil
+}
+
+// buildCorpus assembles the full mix. seed varies only the fuzzed
+// subroutines; the workload and graph halves are fixed, so two runs
+// with the same seed load byte-identical corpora.
+func buildCorpus(seed uint64) (*corpus, error) {
+	c := &corpus{}
+
+	// The paper's workload programs, each under the default and the
+	// pessimistic configuration (distinct cache keys, same source).
+	for _, w := range workloads.All() {
+		for _, h := range []string{"", "chaitin"} {
+			c.Items = append(c.Items, corpusItem{
+				Name: w.Program + heuristicSuffix(h),
+				Kind: "src",
+				Body: srcBody(w.Source, h),
+			})
+			c.Sources++
+		}
+	}
+
+	// Generated stress graphs: a sparse random graph, the paper's
+	// Figure 3 cycle shape scaled up, and the SVD-like structured
+	// generator.
+	type gspec struct {
+		name  string
+		g     *ig.Graph
+		costs []float64
+	}
+	var gens []gspec
+	{
+		g, costs := graphgen.Random(300, 0.05, 11)
+		gens = append(gens, gspec{"random-300", g, costs})
+	}
+	{
+		g, costs := graphgen.Cycle(64)
+		gens = append(gens, gspec{"cycle-64", g, costs})
+	}
+	{
+		g, costs := graphgen.SVDLike(40, 30, 6, 10, 3, 7)
+		gens = append(gens, gspec{"svdlike-40x30", g, costs})
+	}
+	for _, ge := range gens {
+		for _, h := range []string{"briggs", "chaitin"} {
+			body, err := igBody(ge.g, ge.costs, h, 8)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", ge.name, err)
+			}
+			c.Items = append(c.Items, corpusItem{Name: ge.name + "/" + h, Kind: "ig", Body: body})
+			c.Graphs++
+		}
+	}
+
+	// Fuzzed subroutines: structurally valid programs the hand-written
+	// corpus would never contain. The generator is deterministic per
+	// seed, so these are stable request bodies too.
+	for i := uint64(0); i < 4; i++ {
+		src := fuzzgen.Generate(seed+i, fuzzgen.Config{})
+		c.Items = append(c.Items, corpusItem{
+			Name: fmt.Sprintf("fuzz-%d", seed+i),
+			Kind: "fuzz",
+			Body: srcBody(src, ""),
+		})
+		c.Fuzzed++
+	}
+
+	return c, nil
+}
+
+func heuristicSuffix(h string) string {
+	if h == "" {
+		return ""
+	}
+	return "/" + h
+}

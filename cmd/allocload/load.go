@@ -1,0 +1,213 @@
+// load.go is the driver: closed- or open-loop request generation
+// against /v1/alloc, latency observation on the repo's fixed-bucket
+// histogram, and client-side cache accounting from the X-Cache reply
+// header.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"regalloc/internal/graphgen"
+	"regalloc/internal/obs"
+)
+
+type loadConfig struct {
+	Addr     string
+	Duration time.Duration
+	Conc     int
+	Rate     float64 // requests/sec; 0 means closed loop
+	Corpus   *corpus
+	Seed     uint64
+}
+
+// collector aggregates results from all in-flight workers.
+type collector struct {
+	mu       sync.Mutex
+	lat      obs.LatencyHistogram
+	requests int64
+	errors   int64
+	statuses map[int]int64
+	cache    map[string]int64 // X-Cache value -> count
+}
+
+func newCollector() *collector {
+	return &collector{statuses: map[int]int64{}, cache: map[string]int64{}}
+}
+
+func (c *collector) observe(status int, xcache string, d time.Duration, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	c.lat.Observe(d)
+	c.statuses[status]++
+	if failed {
+		c.errors++
+	}
+	if xcache != "" {
+		c.cache[xcache]++
+	}
+}
+
+// runLoad drives the configured load shape until the duration
+// elapses and aggregates the results into the loadtest section.
+func runLoad(cfg loadConfig) (*loadtestSection, error) {
+	if len(cfg.Corpus.Items) == 0 {
+		return nil, fmt.Errorf("empty corpus")
+	}
+	if cfg.Conc < 1 {
+		cfg.Conc = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Fail fast if the target isn't there: a typo'd -addr should be
+	// one clear error, not -duration seconds of connection refusals
+	// counted as 100%% error rate.
+	resp, err := client.Get(cfg.Addr + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("target %s not reachable: %w", cfg.Addr, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	col := newCollector()
+	deadline := time.Now().Add(cfg.Duration)
+	mode := "closed"
+
+	// Each worker walks the corpus from a different seeded offset so
+	// concurrent workers do not march through it in lockstep (which
+	// would turn every round into a singleflight pileup on one key and
+	// starve the rest of the cache).
+	rng := graphgen.NewRNG(cfg.Seed)
+	offsets := make([]int, cfg.Conc)
+	for i := range offsets {
+		offsets[i] = rng.Intn(len(cfg.Corpus.Items))
+	}
+
+	if cfg.Rate > 0 {
+		mode = "open"
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		var wg sync.WaitGroup
+		// The worker pool bounds outstanding requests: a true open
+		// loop with an unbounded queue would let a stalled server
+		// accumulate goroutines without limit. Ticks that find no free
+		// worker are counted as dropped (the queueing-delay signal an
+		// open loop exists to expose).
+		slots := make(chan struct{}, cfg.Conc*4)
+		var dropped int64
+		var droppedMu sync.Mutex
+		i := 0
+		for t := time.Now(); t.Before(deadline); t = time.Now() {
+			item := cfg.Corpus.Items[i%len(cfg.Corpus.Items)]
+			i++
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func(it corpusItem) {
+					defer wg.Done()
+					defer func() { <-slots }()
+					fire(client, cfg.Addr, it, col)
+				}(item)
+			default:
+				droppedMu.Lock()
+				dropped++
+				droppedMu.Unlock()
+			}
+			time.Sleep(interval)
+		}
+		wg.Wait()
+		return summarize(cfg, mode, col, dropped), nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := offsets[w]
+			for time.Now().Before(deadline) {
+				fire(client, cfg.Addr, cfg.Corpus.Items[i%len(cfg.Corpus.Items)], col)
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+	return summarize(cfg, mode, col, 0), nil
+}
+
+// fire sends one request and records its outcome. Any non-2xx or
+// transport failure counts as an error: the corpus is all valid
+// requests, so the service owns every failure.
+func fire(client *http.Client, addr string, item corpusItem, col *collector) {
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/alloc", "application/json", bytes.NewReader(item.Body))
+	if err != nil {
+		col.observe(0, "", time.Since(t0), true)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.observe(resp.StatusCode, resp.Header.Get("X-Cache"), time.Since(t0),
+		resp.StatusCode < 200 || resp.StatusCode > 299)
+}
+
+func summarize(cfg loadConfig, mode string, col *collector, dropped int64) *loadtestSection {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	lt := &loadtestSection{
+		Target:      cfg.Addr,
+		Mode:        mode,
+		DurationNS:  cfg.Duration.Nanoseconds(),
+		Concurrency: cfg.Conc,
+		RateRPS:     cfg.Rate,
+		Corpus: corpusSummary{
+			Items:   len(cfg.Corpus.Items),
+			Sources: cfg.Corpus.Sources,
+			Graphs:  cfg.Corpus.Graphs,
+			Fuzzed:  cfg.Corpus.Fuzzed,
+		},
+		Requests: col.requests,
+		Errors:   col.errors,
+		Dropped:  dropped,
+		Latency:  quantilesOf(col.lat),
+		Statuses: map[string]int64{},
+		Cache:    cacheSummary{},
+		Throughput: func() float64 {
+			if cfg.Duration <= 0 {
+				return 0
+			}
+			return float64(col.requests) / cfg.Duration.Seconds()
+		}(),
+	}
+	if col.requests > 0 {
+		lt.ErrorRate = float64(col.errors) / float64(col.requests)
+	}
+	for code, n := range col.statuses {
+		lt.Statuses[fmt.Sprintf("%d", code)] = n
+	}
+	lt.Cache.Hits = col.cache["hit"]
+	lt.Cache.Misses = col.cache["miss"]
+	lt.Cache.Shared = col.cache["shared"]
+	if served := lt.Cache.Hits + lt.Cache.Misses + lt.Cache.Shared; served > 0 {
+		lt.Cache.HitRate = float64(lt.Cache.Hits+lt.Cache.Shared) / float64(served)
+	}
+	return lt
+}
+
+// sortedStatusCodes is used by tests to render deterministic output.
+func sortedStatusCodes(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

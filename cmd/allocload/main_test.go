@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeAllocd mimics the service surface the driver touches: /healthz
+// and /v1/alloc with an X-Cache header (miss on a body's first
+// sighting, hit after — the real cache's observable behaviour).
+func fakeAllocd(t *testing.T) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/v1/alloc", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Source == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":{"code":"bad_body","message":"bad"}}`))
+			return
+		}
+		mu.Lock()
+		hit := seen[req.Source]
+		seen[req.Source] = true
+		mu.Unlock()
+		if hit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"input":"src","units":[]}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCorpusDeterministicAndMixed(t *testing.T) {
+	a, err := buildCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("corpus size changed between builds: %d vs %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if string(a.Items[i].Body) != string(b.Items[i].Body) {
+			t.Fatalf("item %d (%s) not deterministic", i, a.Items[i].Name)
+		}
+	}
+	if a.Sources == 0 || a.Graphs == 0 || a.Fuzzed == 0 {
+		t.Fatalf("corpus not mixed: %d sources, %d graphs, %d fuzzed", a.Sources, a.Graphs, a.Fuzzed)
+	}
+	// Every body must be a decodable JSON request with a source.
+	for _, it := range a.Items {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if err := json.Unmarshal(it.Body, &req); err != nil || req.Source == "" {
+			t.Fatalf("item %s: body not a valid request: %v\n%s", it.Name, err, it.Body)
+		}
+	}
+}
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	ts := fakeAllocd(t)
+	corpus, err := buildCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := runLoad(loadConfig{
+		Addr: ts.URL, Duration: 300 * time.Millisecond, Conc: 4, Corpus: corpus, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Mode != "closed" || lt.Requests == 0 {
+		t.Fatalf("loadtest = %+v", lt)
+	}
+	if lt.Errors != 0 || lt.ErrorRate != 0 {
+		t.Fatalf("errors against the fake: %d (%s)", lt.Errors, sortedStatusCodes(lt.Statuses))
+	}
+	if lt.Latency.Count != lt.Requests || lt.Latency.P99NS < lt.Latency.P50NS {
+		t.Fatalf("latency = %+v for %d requests", lt.Latency, lt.Requests)
+	}
+	// The corpus is finite, so a multi-hundred-request run must see
+	// repeats — i.e. a nonzero hit rate.
+	if lt.Requests > int64(2*len(corpus.Items)) && lt.Cache.HitRate == 0 {
+		t.Fatalf("no cache hits over %d requests on a %d-item corpus", lt.Requests, len(corpus.Items))
+	}
+	if lt.Cache.Misses == 0 {
+		t.Fatal("no misses recorded: X-Cache accounting broken")
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	ts := fakeAllocd(t)
+	corpus, err := buildCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := runLoad(loadConfig{
+		Addr: ts.URL, Duration: 300 * time.Millisecond, Conc: 4, Rate: 200, Corpus: corpus, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Mode != "open" || lt.RateRPS != 200 {
+		t.Fatalf("loadtest = %+v", lt)
+	}
+	if lt.Requests == 0 || lt.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", lt.Requests, lt.Errors)
+	}
+}
+
+func TestRunLoadUnreachableTarget(t *testing.T) {
+	corpus, err := buildCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runLoad(loadConfig{
+		Addr: "http://127.0.0.1:1", Duration: time.Second, Conc: 1, Corpus: corpus,
+	}); err == nil || !strings.Contains(err.Error(), "not reachable") {
+		t.Fatalf("err = %v, want target-unreachable", err)
+	}
+}
+
+func TestReportShapeAndGate(t *testing.T) {
+	lt := &loadtestSection{
+		Requests:  100,
+		Errors:    0,
+		ErrorRate: 0,
+		Latency:   quantiles{Count: 100, P50NS: 1e6, P95NS: 5e6, P99NS: 9e6, MaxNS: 2e7},
+		Cache:     cacheSummary{Hits: 80, Misses: 20, HitRate: 0.8},
+	}
+	r := newReport(lt)
+	if r.Schema != "regalloc-bench/6" {
+		t.Fatalf("schema %q", r.Schema)
+	}
+	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "loadtest") {
+		t.Fatalf("schema history %v", r.SchemaHistory)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same numbers: passes.
+	if err := gate(lt, base, 5, 0); err != nil {
+		t.Fatalf("gate on identical run: %v", err)
+	}
+	// Tail blown past the factor: fails.
+	worse := *lt
+	worse.Latency.P99NS = lt.Latency.P99NS * 50
+	if err := gate(&worse, base, 5, 0); err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Fatalf("gate on 50x p99: %v", err)
+	}
+	// Errors: fails even with a generous p99.
+	failed := *lt
+	failed.Errors, failed.ErrorRate = 3, 0.03
+	if err := gate(&failed, base, 100, 0); err == nil || !strings.Contains(err.Error(), "error rate") {
+		t.Fatalf("gate on errors: %v", err)
+	}
+	// Missing or sectionless baseline: loud failure, not a silent pass.
+	if err := gate(lt, filepath.Join(t.TempDir(), "nope.json"), 5, 0); err == nil {
+		t.Fatal("gate passed with a missing baseline")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"schema":"regalloc-bench/6"}`), 0o644)
+	if err := gate(lt, empty, 5, 0); err == nil || !strings.Contains(err.Error(), "loadtest") {
+		t.Fatalf("gate on sectionless baseline: %v", err)
+	}
+}

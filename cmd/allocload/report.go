@@ -1,0 +1,98 @@
+// report.go is the bench-json document allocload emits: schema
+// regalloc-bench/6, whose addition over /5 is the loadtest section.
+// The section's shape mirrors cmd/bench's latency quantiles so the
+// two reports diff with the same tooling.
+package main
+
+import (
+	"regalloc/internal/obs"
+)
+
+// quantiles summarizes one obs.LatencyHistogram the same way
+// cmd/bench does: percentile estimates by linear interpolation
+// within the fixed 1-2-5 buckets, clamped to the observed maximum.
+type quantiles struct {
+	Count  int64 `json:"count"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+func quantilesOf(h obs.LatencyHistogram) quantiles {
+	return quantiles{
+		Count:  h.Count,
+		P50NS:  h.Quantile(0.50).Nanoseconds(),
+		P95NS:  h.Quantile(0.95).Nanoseconds(),
+		P99NS:  h.Quantile(0.99).Nanoseconds(),
+		MeanNS: h.Mean().Nanoseconds(),
+		MaxNS:  h.MaxNS,
+	}
+}
+
+type corpusSummary struct {
+	Items   int `json:"items"`
+	Sources int `json:"sources"`
+	Graphs  int `json:"graphs"`
+	Fuzzed  int `json:"fuzzed"`
+}
+
+type cacheSummary struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Shared  int64   `json:"shared"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// loadtestSection is the regalloc-bench/6 addition: one load run's
+// aggregate view of the service.
+type loadtestSection struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"` // closed or open
+	DurationNS  int64   `json:"duration_ns"`
+	Concurrency int     `json:"concurrency"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+
+	Corpus corpusSummary `json:"corpus"`
+
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	ErrorRate  float64 `json:"error_rate"`
+	Dropped    int64   `json:"dropped,omitempty"` // open loop: ticks shed at the outstanding-request bound
+	Throughput float64 `json:"throughput_rps"`
+
+	Latency  quantiles        `json:"latency"`
+	Statuses map[string]int64 `json:"statuses"`
+	Cache    cacheSummary     `json:"cache"`
+}
+
+// report is the bench-json envelope. allocload emits only the
+// loadtest section; the shared schema string and history keep it
+// diffable and archivable alongside cmd/bench's reports.
+type report struct {
+	Schema        string           `json:"schema"`
+	SchemaHistory []string         `json:"schema_history"`
+	Loadtest      *loadtestSection `json:"loadtest"`
+}
+
+// benchSchema and benchSchemaHistory are the shared bench-json
+// lineage; cmd/bench carries the same strings.
+const benchSchema = "regalloc-bench/6"
+
+func benchSchemaHistory() []string {
+	return []string{
+		"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
+		"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
+		"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
+		"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
+	}
+}
+
+func newReport(lt *loadtestSection) *report {
+	return &report{
+		Schema:        benchSchema,
+		SchemaHistory: benchSchemaHistory(),
+		Loadtest:      lt,
+	}
+}

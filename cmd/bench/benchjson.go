@@ -17,6 +17,12 @@
 //	                  over the default strategy set (winner, win
 //	                  margin, and the per-candidate outcome table);
 //	                  all /4 fields unchanged
+//	regalloc-bench/6  adds loadtest: service-level latency
+//	                  percentiles, error rate, and cache hit rate,
+//	                  emitted by cmd/allocload against a running
+//	                  allocd (cmd/bench's own reports carry every /5
+//	                  field and omit the section); all /5 fields
+//	                  unchanged
 package main
 
 import (
@@ -188,11 +194,12 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/5",
+		Schema: "regalloc-bench/6",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
 			"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
+			"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),

@@ -6,6 +6,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -115,6 +116,16 @@ func (r *Result) TotalTime() time.Duration {
 // set, every phase additionally emits structured events (package
 // obs) as it runs.
 func Run(f *ir.Func, opt Options) (*Result, error) {
+	return RunContext(context.Background(), f, opt)
+}
+
+// RunContext is Run with cancellation: the context is checked at
+// every pass boundary (the natural preemption point of the Figure 4
+// cycle — phases within a pass run to completion), so a cancelled
+// service request or an expired portfolio budget stops a multi-pass
+// allocation between passes instead of running it to the end. The
+// error wraps ctx.Err(), matchable with errors.Is.
+func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,6 +138,9 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 	tr := obs.New(opt.Observer, f.Name)
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("alloc: %s: cancelled before pass %d: %w", f.Name, pass, err)
+		}
 		var ps PassStats
 		tr.SetPass(pass)
 

@@ -114,6 +114,32 @@ func WriteMetrics(w io.Writer, m obs.Metrics) error {
 	return bw.Flush()
 }
 
+// WriteCache renders a result-cache snapshot (obs.CacheStats): the
+// hit/miss/shared/eviction counters the allocd smoke test and the
+// allocload hit-rate computation scrape, occupancy gauges, and the
+// hit-lookup and miss-fill latency histograms on the shared bucket
+// ladder.
+func WriteCache(w io.Writer, s obs.CacheStats) error {
+	bw := bufio.NewWriter(w)
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("regalloc_cache_hits_total", "Result-cache lookups served from a stored entry.", s.Hits)
+	counter("regalloc_cache_misses_total", "Result-cache lookups that ran the allocation (flight leaders).", s.Misses)
+	counter("regalloc_cache_singleflight_shared_total", "Result-cache lookups collapsed onto an in-flight identical request.", s.Shared)
+	counter("regalloc_cache_evictions_total", "Result-cache entries dropped to respect the capacity bounds.", s.Evictions)
+	gauge("regalloc_cache_entries", "Result-cache entries currently stored.", int64(s.Entries))
+	gauge("regalloc_cache_bytes", "Result-cache value bytes currently stored.", s.Bytes)
+	fmt.Fprintf(bw, "# HELP regalloc_cache_hit_duration_seconds Lookup-to-return time of result-cache hits.\n# TYPE regalloc_cache_hit_duration_seconds histogram\n")
+	writeHistogram(bw, "regalloc_cache_hit_duration_seconds", "", s.HitLatency)
+	fmt.Fprintf(bw, "# HELP regalloc_cache_fill_duration_seconds Fill time of result-cache misses (the allocation itself).\n# TYPE regalloc_cache_fill_duration_seconds histogram\n")
+	writeHistogram(bw, "regalloc_cache_fill_duration_seconds", "", s.FillLatency)
+	return bw.Flush()
+}
+
 // writeHistogram emits the _bucket/_sum/_count triple for one series.
 // labels is a pre-rendered `k="v"` list without braces ("" for none).
 func writeHistogram(w io.Writer, family, labels string, h obs.LatencyHistogram) {

@@ -116,3 +116,51 @@ func TestLintRejectsMalformed(t *testing.T) {
 		t.Errorf("Lint rejected valid input: %v", err)
 	}
 }
+
+func TestWriteCacheLints(t *testing.T) {
+	s := obs.CacheStats{
+		Hits:       17,
+		Misses:     5,
+		Shared:     3,
+		Evictions:  2,
+		Entries:    3,
+		Bytes:      4096,
+		MaxEntries: 1024,
+		MaxBytes:   1 << 20,
+	}
+	s.HitLatency.Observe(3 * time.Microsecond)
+	s.HitLatency.Observe(40 * time.Microsecond)
+	s.FillLatency.Observe(12 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteCache(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Fatalf("WriteCache output fails Lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"regalloc_cache_hits_total 17",
+		"regalloc_cache_misses_total 5",
+		"regalloc_cache_singleflight_shared_total 3",
+		"regalloc_cache_evictions_total 2",
+		"regalloc_cache_entries 3",
+		"regalloc_cache_bytes 4096",
+		"regalloc_cache_hit_duration_seconds_count 2",
+		"regalloc_cache_fill_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// Deterministic byte-for-byte across repeated renders.
+	var again bytes.Buffer
+	if err := WriteCache(&again, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteCache output not deterministic")
+	}
+}

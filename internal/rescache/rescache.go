@@ -1,0 +1,216 @@
+// Package rescache is the content-addressed result cache behind
+// allocd's service path: an LRU over immutable byte values keyed by
+// cachekey digests, with singleflight collapse so N concurrent
+// identical requests cost one allocation.
+//
+// The cache stores rendered response bodies rather than live result
+// structures: bytes are immutable (a hit is returned by reference,
+// never copied or mutated), byte-identical across hits by
+// construction, and their size is the natural currency for the
+// capacity bound. Errors are never cached — a failed fill leaves no
+// entry, so the next request retries.
+//
+// Singleflight semantics: the first requester of a missing key (the
+// leader) runs the fill; requesters arriving while the fill is in
+// flight wait for it and share the value (Outcome Shared). A waiter
+// whose context expires stops waiting and returns the context error;
+// the leader keeps going — its result still lands in the cache for
+// the next request. If the leader's fill fails, every waiter of that
+// flight receives the leader's error, typed as the fill returned it.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"regalloc/internal/cachekey"
+	"regalloc/internal/obs"
+)
+
+// Outcome classifies how a Do call was served.
+type Outcome int
+
+const (
+	// Miss: this call ran the fill (it was the flight leader).
+	Miss Outcome = iota
+	// Hit: served from a stored entry.
+	Hit
+	// Shared: collapsed onto another call's in-flight fill.
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+type entry struct {
+	key cachekey.Key
+	val []byte
+}
+
+type flight struct {
+	done chan struct{} // closed when the fill completes
+	val  []byte
+	err  error
+}
+
+// Cache is a bounded LRU of immutable byte values with singleflight
+// fills. Safe for concurrent use. The zero value is not ready; use
+// New.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front: most recently used; values: *entry
+	items      map[cachekey.Key]*list.Element
+	flights    map[cachekey.Key]*flight
+
+	hits, misses, shared, evictions int64
+	hitLat, fillLat                 obs.LatencyHistogram
+}
+
+// New returns a cache bounded by maxEntries stored values and
+// maxBytes stored value bytes (either 0: that bound is off; a value
+// larger than maxBytes on its own is simply not stored).
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[cachekey.Key]*list.Element),
+		flights:    make(map[cachekey.Key]*flight),
+	}
+}
+
+// Do returns the value for key, filling it at most once across
+// concurrent callers. The returned bytes are shared and must not be
+// mutated. ctx bounds only this caller's wait: the leader's fill is
+// never abandoned mid-run (its result is cached for whoever asks
+// next), but a waiter whose ctx expires returns early with ctx's
+// error.
+func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, error)) ([]byte, Outcome, error) {
+	t0 := time.Now()
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.hits++
+		c.hitLat.Observe(time.Since(t0))
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.val, Shared, fl.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	// Leader: publish the flight, fill outside the lock.
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	tf := time.Now()
+	val, err := fill()
+	dur := time.Since(tf)
+
+	c.mu.Lock()
+	c.fillLat.Observe(dur)
+	delete(c.flights, key)
+	if err == nil {
+		c.store(key, val)
+	}
+	c.mu.Unlock()
+
+	fl.val, fl.err = val, err
+	close(fl.done)
+	return val, Miss, err
+}
+
+// Get returns a stored value without filling (for tests and
+// introspection).
+func (c *Cache) Get(key cachekey.Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// store inserts under c.mu. A key raced to storage by two leaders
+// (possible when a waiter-turned-retrier refills) keeps the newer
+// value.
+func (c *Cache) store(key cachekey.Key, val []byte) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		c.evictOldest()
+	}
+	// A single value over the byte bound cannot be kept.
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.val))
+	c.evictions++
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters and capacity state.
+func (c *Cache) Stats() obs.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Shared:      c.shared,
+		Evictions:   c.evictions,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		MaxEntries:  c.maxEntries,
+		MaxBytes:    c.maxBytes,
+		HitLatency:  c.hitLat,
+		FillLatency: c.fillLat,
+	}
+}

@@ -1,0 +1,209 @@
+package rescache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"regalloc/internal/cachekey"
+)
+
+func key(s string) cachekey.Key {
+	h := cachekey.New("test")
+	h.Str(s)
+	return h.Key()
+}
+
+func fillWith(b []byte) func() ([]byte, error) {
+	return func() ([]byte, error) { return b, nil }
+}
+
+func TestHitMissAndByteIdentity(t *testing.T) {
+	c := New(8, 0)
+	ctx := context.Background()
+
+	v1, out, err := c.Do(ctx, key("a"), fillWith([]byte("alpha")))
+	if err != nil || out != Miss || string(v1) != "alpha" {
+		t.Fatalf("first Do: %q %v %v", v1, out, err)
+	}
+	v2, out, err := c.Do(ctx, key("a"), func() ([]byte, error) {
+		t.Fatal("fill ran on a hit")
+		return nil, nil
+	})
+	if err != nil || out != Hit {
+		t.Fatalf("second Do: %v %v", out, err)
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("hit not byte-identical: %q vs %q", v1, v2)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Shared != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitLatency.Count != 1 || st.FillLatency.Count != 1 {
+		t.Fatalf("latency counts = %d hit, %d fill", st.HitLatency.Count, st.FillLatency.Count)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(8, 0)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, key("a"), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed fill left an entry")
+	}
+	v, out, err := c.Do(ctx, key("a"), fillWith([]byte("ok")))
+	if err != nil || out != Miss || string(v) != "ok" {
+		t.Fatalf("retry after error: %q %v %v", v, out, err)
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(2, 0)
+	ctx := context.Background()
+	c.Do(ctx, key("a"), fillWith([]byte("a")))
+	c.Do(ctx, key("b"), fillWith([]byte("b")))
+	c.Do(ctx, key("a"), fillWith(nil)) // touch a: b becomes oldest
+	c.Do(ctx, key("c"), fillWith([]byte("c")))
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("LRU kept the least-recently-used entry")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("LRU evicted the recently-touched entry")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(0, 10)
+	ctx := context.Background()
+	c.Do(ctx, key("a"), fillWith(make([]byte, 6)))
+	c.Do(ctx, key("b"), fillWith(make([]byte, 6)))
+	st := c.Stats()
+	if st.Bytes > 10 {
+		t.Fatalf("byte bound exceeded: %d", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no eviction under byte pressure")
+	}
+	// A single oversized value is not retained.
+	c2 := New(0, 4)
+	c2.Do(ctx, key("big"), fillWith(make([]byte, 100)))
+	if c2.Stats().Bytes > 4 {
+		t.Fatalf("oversized value retained: %+v", c2.Stats())
+	}
+}
+
+// TestSingleflightCollapse is the core service guarantee: N
+// concurrent identical requests run the fill exactly once, and
+// every non-leader is accounted as shared or hit.
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(8, 0)
+	ctx := context.Background()
+	const n = 16
+	var fills int64
+	var mu sync.Mutex
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(ctx, key("hot"), func() ([]byte, error) {
+				mu.Lock()
+				fills++
+				mu.Unlock()
+				<-gate // hold every waiter in the same flight
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the goroutines queue up on the flight, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	for i, v := range vals {
+		if string(v) != "value" {
+			t.Fatalf("caller %d got %q", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Shared != n-1 {
+		t.Fatalf("stats = %+v: want 1 miss and %d hit+shared", st, n-1)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(8, 0)
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), key("slow"), func() ([]byte, error) {
+			<-gate
+			return []byte("late"), nil
+		})
+	}()
+	// Wait until the flight is published.
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, key("slow"), fillWith(nil))
+	if !errors.Is(err, context.Canceled) || out != Shared {
+		t.Fatalf("cancelled waiter: out=%v err=%v", out, err)
+	}
+	// The leader is unaffected and its value lands for the next call.
+	close(gate)
+	<-leaderDone
+	v, out, err := c.Do(context.Background(), key("slow"), fillWith(nil))
+	if err != nil || out != Hit || string(v) != "late" {
+		t.Fatalf("after leader completes: %q %v %v", v, out, err)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(64, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := key(fmt.Sprintf("k%d", i%8))
+			for j := 0; j < 50; j++ {
+				v, _, err := c.Do(context.Background(), k, fillWith([]byte{byte(i % 8)}))
+				if err != nil || v[0] != byte(i%8) {
+					t.Errorf("k%d: %v %v", i%8, v, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Requests() != 32*50 {
+		t.Fatalf("requests = %d", st.Requests())
+	}
+}

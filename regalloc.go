@@ -404,10 +404,10 @@ func (p *Program) Allocate(name string, opt Options) (*Result, error) {
 // machine, use Allocate. The remaining options are validated before
 // any work starts; misuse returns a typed error.
 //
-// Cancelling ctx stops the run: units not yet started are skipped
-// and the context's error is returned. Units already in flight run
-// to completion (a single-unit allocation is fast; there is no
-// preemption point inside a pass).
+// Cancelling ctx stops the run: units not yet started are skipped,
+// units in flight stop at their next pass boundary (alloc.RunContext
+// checks the context between Figure 4 passes; there is no preemption
+// point inside a pass), and the context's error is returned.
 func (p *Program) AssembleContext(ctx context.Context, m Machine, opt Options) (*asm.Program, map[string]*Result, error) {
 	opt.KInt = m.NumGPR
 	opt.KFloat = m.NumFPR
@@ -488,7 +488,7 @@ func (p *Program) allocUnits(ctx context.Context, opt Options, lower func(*Resul
 		go func(i int, f *ir.Func) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := alloc.Run(f, opt)
+			res, err := alloc.RunContext(ctx, f, opt)
 			if err != nil {
 				slots[i].err = fmt.Errorf("regalloc: %s: %w", f.Name, err)
 				return

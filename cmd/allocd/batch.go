@@ -79,7 +79,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
 		for i, raw := range items {
-			enc.Encode(s.batchOne(ctx, i, raw))
+			// A client that hangs up mid-stream turns every further
+			// Encode into a wasted allocation: the write fails, but the
+			// loop would still run the remaining rows through the
+			// allocator at full cost. Stop on the first write error or
+			// on request-context cancellation instead of burning the
+			// admission slot on results nobody will read.
+			if ctx.Err() != nil {
+				return
+			}
+			if err := enc.Encode(s.batchOne(ctx, i, raw)); err != nil {
+				return
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}

@@ -7,7 +7,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -340,6 +342,75 @@ func TestBatchNDJSON(t *testing.T) {
 		if items[i].Index != i || items[i].Status != wantStatus {
 			t.Errorf("item %d: index=%d status=%d, want status %d", i, items[i].Index, items[i].Status, wantStatus)
 		}
+	}
+}
+
+// batchRecorder is a ResponseWriter for driving handleBatch directly:
+// it counts body writes, can fail them (a client that hung up), and
+// can run a hook after each write (to cancel the request mid-stream).
+type batchRecorder struct {
+	header  http.Header
+	writes  int
+	err     error
+	onWrite func()
+}
+
+func (w *batchRecorder) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *batchRecorder) WriteHeader(int) {}
+
+func (w *batchRecorder) Write(p []byte) (int, error) {
+	w.writes++
+	if w.onWrite != nil {
+		w.onWrite()
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+func ndjsonBatchBody(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(&AllocRequest{Source: testGraph, Input: "ig"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+// TestBatchNDJSONStopsOnWriteError: once a reply line fails to write,
+// the stream loop must stop instead of running every remaining item
+// through the allocator for a client that already hung up.
+func TestBatchNDJSONStopsOnWriteError(t *testing.T) {
+	s := newServer(4)
+	w := &batchRecorder{err: errors.New("broken pipe")}
+	r := httptest.NewRequest(http.MethodPost, "/v1/alloc/batch", ndjsonBatchBody(t, 8))
+	s.handleBatch(w, r)
+	if w.writes != 1 {
+		t.Fatalf("handler attempted %d writes after the first failed, want 1", w.writes)
+	}
+}
+
+// TestBatchNDJSONStopsOnCancel: request-context cancellation between
+// reply lines ends the stream.
+func TestBatchNDJSONStopsOnCancel(t *testing.T) {
+	s := newServer(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &batchRecorder{onWrite: cancel}
+	r := httptest.NewRequest(http.MethodPost, "/v1/alloc/batch", ndjsonBatchBody(t, 8)).WithContext(ctx)
+	s.handleBatch(w, r)
+	if w.writes != 1 {
+		t.Fatalf("handler wrote %d lines after cancellation on the first, want 1", w.writes)
 	}
 }
 

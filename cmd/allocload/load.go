@@ -29,7 +29,8 @@ type loadConfig struct {
 // collector aggregates results from all in-flight workers.
 type collector struct {
 	mu       sync.Mutex
-	lat      obs.LatencyHistogram
+	lat      obs.LatencyHistogram // service replies only (any HTTP status)
+	errLat   obs.LatencyHistogram // transport failures (status 0)
 	requests int64
 	errors   int64
 	statuses map[int]int64
@@ -44,7 +45,17 @@ func (c *collector) observe(status int, xcache string, d time.Duration, failed b
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
-	c.lat.Observe(d)
+	if status == 0 {
+		// Transport failure: the duration is the client's timeout or
+		// connect path, not service latency. Folding a batch of
+		// 30-second client timeouts into the same histogram the SLO
+		// gate reads would let a brief outage masquerade as a tail
+		// regression (or, worse, mask one); they are tracked apart
+		// and reported as error_latency.
+		c.errLat.Observe(d)
+	} else {
+		c.lat.Observe(d)
+	}
 	c.statuses[status]++
 	if failed {
 		c.errors++
@@ -104,10 +115,27 @@ func runLoad(cfg loadConfig) (*loadtestSection, error) {
 		slots := make(chan struct{}, cfg.Conc*4)
 		var dropped int64
 		var droppedMu sync.Mutex
-		i := 0
-		for t := time.Now(); t.Before(deadline); t = time.Now() {
-			item := cfg.Corpus.Items[i%len(cfg.Corpus.Items)]
-			i++
+		// Pace off absolute fire times (start + tick*interval), not
+		// sleep-after-work: sleeping the full interval after each
+		// tick's bookkeeping adds that bookkeeping — plus the OS sleep
+		// overshoot — to every gap, so the achieved rate drifts below
+		// the requested one and the drift compounds over the run. An
+		// absolute schedule self-corrects: a late tick fires at once
+		// and the next target time is unchanged.
+		start := time.Now()
+		for tick := 0; ; tick++ {
+			next := start.Add(time.Duration(tick) * interval)
+			if next.After(deadline) {
+				break
+			}
+			time.Sleep(time.Until(next))
+			// Tick t belongs to virtual worker t%Conc, which walks the
+			// corpus from its own seeded offset just like the closed
+			// loop's workers. A single cursor from item 0 would replay
+			// the corpus prefix in request order every run and turn the
+			// cache study into a pileup on the first few keys.
+			v := tick % cfg.Conc
+			item := cfg.Corpus.Items[(offsets[v]+tick/cfg.Conc)%len(cfg.Corpus.Items)]
 			select {
 			case slots <- struct{}{}:
 				wg.Add(1)
@@ -121,7 +149,6 @@ func runLoad(cfg loadConfig) (*loadtestSection, error) {
 				dropped++
 				droppedMu.Unlock()
 			}
-			time.Sleep(interval)
 		}
 		wg.Wait()
 		return summarize(cfg, mode, col, dropped), nil
@@ -189,6 +216,10 @@ func summarize(cfg loadConfig, mode string, col *collector, dropped int64) *load
 	}
 	if col.requests > 0 {
 		lt.ErrorRate = float64(col.errors) / float64(col.requests)
+	}
+	if col.errLat.Count > 0 {
+		q := quantilesOf(col.errLat)
+		lt.ErrorLatency = &q
 	}
 	for code, n := range col.statuses {
 		lt.Statuses[fmt.Sprintf("%d", code)] = n

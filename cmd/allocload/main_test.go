@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"regalloc/internal/graphgen"
 )
 
 // fakeAllocd mimics the service surface the driver touches: /healthz
@@ -131,6 +134,145 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 }
 
+// TestOpenLoopPacing pins the absolute-schedule pacing: the attempt
+// count (requests + dropped ticks) must match duration/interval
+// almost exactly. The old loop slept the full interval after each
+// tick's work, so OS sleep overshoot and bookkeeping compounded into
+// a rate deficit that grew with the run.
+func TestOpenLoopPacing(t *testing.T) {
+	ts := fakeAllocd(t)
+	corpus, err := buildCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate, dur = 1000.0, 400 * time.Millisecond
+	lt, err := runLoad(loadConfig{
+		Addr: ts.URL, Duration: dur, Conc: 8, Rate: rate, Corpus: corpus, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := lt.Requests + lt.Dropped
+	want := int64(rate * dur.Seconds())
+	// The absolute schedule self-corrects late ticks, so the count is
+	// exact up to the sliver of duration spent before the loop starts.
+	if attempts < want-want/50 || attempts > want+2 {
+		t.Fatalf("open loop made %d attempts over %v at %v rps, want ~%d", attempts, dur, rate, want)
+	}
+}
+
+// TestOpenLoopUsesSeededOffsets pins that the open loop walks the
+// corpus from the same per-worker seeded offsets as the closed loop.
+// The old loop ignored them and replayed the corpus prefix from item
+// 0 in request order every run.
+func TestOpenLoopUsesSeededOffsets(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok\n")) })
+	mux.HandleFunc("/v1/alloc", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		got[string(body)]++
+		mu.Unlock()
+		w.Write([]byte(`{"input":"src","units":[]}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	corpus, err := buildCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conc*4 slots must exceed the ~60 total ticks so no tick can be
+	// shed — a dropped tick never reaches the server and would make
+	// the multiset below unreconstructable.
+	const conc, seed = 16, 9
+	lt, err := runLoad(loadConfig{
+		Addr: ts.URL, Duration: 300 * time.Millisecond, Conc: conc, Rate: 200, Corpus: corpus, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Dropped != 0 {
+		t.Fatalf("%d dropped ticks with slots > total ticks", lt.Dropped)
+	}
+	// Rebuild the expected multiset from the documented schedule: tick
+	// t is virtual worker t%conc at position offsets[t%conc] + t/conc.
+	rng := graphgen.NewRNG(seed)
+	offsets := make([]int, conc)
+	for i := range offsets {
+		offsets[i] = rng.Intn(len(corpus.Items))
+	}
+	want := map[string]int{}
+	for tick := 0; tick < int(lt.Requests); tick++ {
+		it := corpus.Items[(offsets[tick%conc]+tick/conc)%len(corpus.Items)]
+		want[string(it.Body)]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("served %d distinct bodies, schedule predicts %d", len(got), len(want))
+	}
+	for body, n := range want {
+		if got[body] != n {
+			t.Fatalf("body %.40q served %d times, schedule predicts %d", body, got[body], n)
+		}
+	}
+}
+
+// TestTransportErrorLatencySeparate pins the /7 histogram split: a
+// connection the server kills mid-request must land in error_latency,
+// not in the SLO-facing latency quantiles. The old collector folded
+// transport-failure durations (up to the full 30s client timeout)
+// into the same histogram the p99 gate reads.
+func TestTransportErrorLatencySeparate(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok\n")) })
+	mux.HandleFunc("/v1/alloc", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Source string `json:"source"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Source == "boom" {
+			// Kill the connection without a response: the client sees
+			// a transport error, exactly like a crashed backend.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write([]byte(`{"input":"src","units":[]}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	good := corpusItem{Name: "good", Kind: "src", Body: []byte(`{"source":"a <- 1"}`)}
+	boom := corpusItem{Name: "boom", Kind: "src", Body: []byte(`{"source":"boom"}`)}
+	lt, err := runLoad(loadConfig{
+		Addr:     ts.URL,
+		Duration: 200 * time.Millisecond,
+		Conc:     2,
+		Corpus:   &corpus{Items: []corpusItem{good, boom}, Sources: 2},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Errors == 0 {
+		t.Fatal("no transport errors provoked")
+	}
+	if lt.ErrorLatency == nil || lt.ErrorLatency.Count != lt.Errors {
+		t.Fatalf("error_latency = %+v, want count %d", lt.ErrorLatency, lt.Errors)
+	}
+	if lt.Latency.Count != lt.Requests-lt.Errors {
+		t.Fatalf("latency count %d includes failures (%d requests, %d errors)",
+			lt.Latency.Count, lt.Requests, lt.Errors)
+	}
+	if lt.Statuses["0"] != lt.Errors {
+		t.Fatalf("statuses = %v, want %d at status 0", lt.Statuses, lt.Errors)
+	}
+}
+
 func TestRunLoadUnreachableTarget(t *testing.T) {
 	corpus, err := buildCorpus(1)
 	if err != nil {
@@ -152,10 +294,10 @@ func TestReportShapeAndGate(t *testing.T) {
 		Cache:     cacheSummary{Hits: 80, Misses: 20, HitRate: 0.8},
 	}
 	r := newReport(lt)
-	if r.Schema != "regalloc-bench/6" {
+	if r.Schema != "regalloc-bench/7" {
 		t.Fatalf("schema %q", r.Schema)
 	}
-	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "loadtest") {
+	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "error_latency") {
 		t.Fatalf("schema history %v", r.SchemaHistory)
 	}
 	data, err := json.Marshal(r)
@@ -188,7 +330,7 @@ func TestReportShapeAndGate(t *testing.T) {
 		t.Fatal("gate passed with a missing baseline")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
-	os.WriteFile(empty, []byte(`{"schema":"regalloc-bench/6"}`), 0o644)
+	os.WriteFile(empty, []byte(`{"schema":"regalloc-bench/7"}`), 0o644)
 	if err := gate(lt, empty, 5, 0); err == nil || !strings.Contains(err.Error(), "loadtest") {
 		t.Fatalf("gate on sectionless baseline: %v", err)
 	}

@@ -1,7 +1,9 @@
 // report.go is the bench-json document allocload emits: schema
-// regalloc-bench/6, whose addition over /5 is the loadtest section.
-// The section's shape mirrors cmd/bench's latency quantiles so the
-// two reports diff with the same tooling.
+// regalloc-bench/7, which carries the loadtest section added in /6
+// plus the /7 error_latency split (transport failures quantified
+// apart from service latency). The section's shape mirrors
+// cmd/bench's latency quantiles so the two reports diff with the
+// same tooling.
 package main
 
 import (
@@ -62,9 +64,14 @@ type loadtestSection struct {
 	Dropped    int64   `json:"dropped,omitempty"` // open loop: ticks shed at the outstanding-request bound
 	Throughput float64 `json:"throughput_rps"`
 
-	Latency  quantiles        `json:"latency"`
-	Statuses map[string]int64 `json:"statuses"`
-	Cache    cacheSummary     `json:"cache"`
+	// Latency covers only requests the service answered; transport
+	// failures (connect errors, client timeouts) land in ErrorLatency
+	// instead, so an outage cannot skew — or hide behind — the
+	// SLO-facing p99.
+	Latency      quantiles        `json:"latency"`
+	ErrorLatency *quantiles       `json:"error_latency,omitempty"`
+	Statuses     map[string]int64 `json:"statuses"`
+	Cache        cacheSummary     `json:"cache"`
 }
 
 // report is the bench-json envelope. allocload emits only the
@@ -78,7 +85,7 @@ type report struct {
 
 // benchSchema and benchSchemaHistory are the shared bench-json
 // lineage; cmd/bench carries the same strings.
-const benchSchema = "regalloc-bench/6"
+const benchSchema = "regalloc-bench/7"
 
 func benchSchemaHistory() []string {
 	return []string{
@@ -86,6 +93,7 @@ func benchSchemaHistory() []string {
 		"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
 		"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
 		"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
+		"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
 	}
 }
 

@@ -23,6 +23,13 @@
 //	                  allocd (cmd/bench's own reports carry every /5
 //	                  field and omit the section); all /5 fields
 //	                  unchanged
+//	regalloc-bench/7  adds scale (the 10^5+-node tier: power-law and
+//	                  mesh topologies under the speculative and
+//	                  Jones–Plassmann engines, per worker count) and,
+//	                  in allocload reports, loadtest.error_latency
+//	                  (transport-failure latency, tracked apart from
+//	                  the SLO-facing success histogram); all /6 fields
+//	                  unchanged
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 
 	"regalloc"
 	"regalloc/internal/color"
+	"regalloc/internal/experiments"
 	"regalloc/internal/fsutil"
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
@@ -90,6 +98,22 @@ type benchPColor struct {
 	Conflicts int     `json:"conflicts"`
 	SeqColors int     `json:"seq_colors"`
 	ParColors int     `json:"par_colors"`
+}
+
+// benchScale is one cell of the scale tier (new in regalloc-bench/7):
+// parallel coloring wall time on a 10^5-node graph, per topology,
+// engine, and worker count.
+type benchScale struct {
+	Topology  string `json:"topology"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Algo      string `json:"algo"`
+	Workers   int    `json:"workers"`
+	GenNS     int64  `json:"gen_ns"`
+	ColorNS   int64  `json:"color_ns"`
+	Rounds    int    `json:"rounds"`
+	Conflicts int    `json:"conflicts"`
+	Colors    int    `json:"colors"`
 }
 
 // benchPortfolioCandidate is one strategy's outcome in one routine's
@@ -157,7 +181,11 @@ type benchReport struct {
 	// routine: deterministic winner by (milli spill cost, spills,
 	// index). New in regalloc-bench/5.
 	Portfolio []benchPortfolio `json:"portfolio"`
-	Note      string           `json:"note"`
+	// Scale is the 10^5-node tier: CSR-backed graphs at the size
+	// where per-node adjacency vectors used to dominate build time.
+	// New in regalloc-bench/7.
+	Scale []benchScale `json:"scale"`
+	Note  string       `json:"note"`
 }
 
 // figure7Routines is the paper's four large routines, the workloads
@@ -194,12 +222,13 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/6",
+		Schema: "regalloc-bench/7",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
 			"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
 			"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
+			"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -402,6 +431,29 @@ func runBenchJSON(path string, reps int) error {
 			})
 		}
 		report.Portfolio = append(report.Portfolio, bp)
+	}
+
+	// Scale tier (new in /7): 10^5-node power-law and mesh graphs
+	// under both parallel engines. The study sizes itself; CI's
+	// scale-smoke job runs the same code standalone with a wall-clock
+	// budget.
+	scale, err := experiments.ScaleStudy(100_000)
+	if err != nil {
+		return err
+	}
+	for _, row := range scale.Rows {
+		report.Scale = append(report.Scale, benchScale{
+			Topology:  row.Topology,
+			Nodes:     row.Nodes,
+			Edges:     row.Edges,
+			Algo:      row.Algo,
+			Workers:   row.Workers,
+			GenNS:     row.GenNS,
+			ColorNS:   row.ColorNS,
+			Rounds:    row.Rounds,
+			Conflicts: row.Conflicts,
+			Colors:    row.Colors,
+		})
 	}
 
 	snap := reg.Snapshot()

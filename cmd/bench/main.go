@@ -10,7 +10,9 @@
 //	bench -figure passes     # §3.3 convergence of the Figure 4 cycle
 //	bench -figure pcolor     # speculative parallel coloring study
 //	bench -figure portfolio  # heuristic-portfolio racing study
+//	bench -figure scale      # 10^5+-node CSR + parallel coloring tier
 //	bench -figure all        # everything
+//	bench -figure scale -scale-nodes 1000000
 //	bench -figure 6 -n 200000
 //
 // Observability:
@@ -39,8 +41,9 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
+	scaleNodes := flag.Int("scale-nodes", 100000, "node count per topology for -figure scale")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
 	perfettoPath := flag.String("trace-perfetto", "", "write a Chrome/Perfetto trace-event JSON file (\"-\" for stdout)")
 	metrics := flag.Bool("metrics", false, "print aggregated allocator metrics after the figures")
@@ -115,8 +118,9 @@ func main() {
 	runPass := *figure == "passes" || *figure == "all"
 	runPC := *figure == "pcolor" || *figure == "all"
 	runPort := *figure == "portfolio" || *figure == "all"
-	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort {
-		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, or all)\n", *figure)
+	runScale := *figure == "scale" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort && !runScale {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, or all)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -165,6 +169,12 @@ func main() {
 	if runPort {
 		fmt.Println("=== Heuristic-portfolio racing (beyond the paper) ===")
 		res, err := experiments.PortfolioStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runScale {
+		fmt.Println("=== Scale tier: CSR adjacency + parallel coloring at 10^5+ nodes ===")
+		res, err := experiments.ScaleStudy(*scaleNodes)
 		fail(err)
 		fmt.Println(res)
 	}

@@ -74,6 +74,7 @@ func main() {
 	usePColor := flag.Bool("pcolor", false, "graph mode: also run the speculative parallel colorer")
 	workers := flag.Int("workers", 0, "-pcolor: worker goroutines (0 = GOMAXPROCS)")
 	pseed := flag.Uint64("pseed", 1, "-pcolor: permutation seed")
+	palgo := flag.String("pcolor-algo", "speculative", "-pcolor: round structure (speculative | jp)")
 	verbose := flag.Bool("v", false, "print the full color assignment")
 	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file (\"-\" for stdout)")
 	perfettoPath := flag.String("trace-perfetto", "", "write a Chrome/Perfetto trace-event JSON file (\"-\" for stdout)")
@@ -144,7 +145,7 @@ func main() {
 	} else {
 		runGraph(*k, *random, *svdlike, *verbose, sink)
 		if *usePColor {
-			runPColor(*workers, *pseed, *random, *svdlike, *verbose, sink)
+			runPColor(*workers, *pseed, parseAlgo(*palgo), *random, *svdlike, *verbose, sink)
 		}
 	}
 	if metricsSink != nil {
@@ -269,23 +270,35 @@ func runGraph(k int, random string, svdlike, verbose bool, sink obs.Sink) {
 	}
 }
 
-// runPColor runs the speculative parallel colorer on the same graph
-// as runGraph (the generators are deterministic, so re-generating
-// yields the identical graph), tracing under "graph:pcolor".
-func runPColor(workers int, seed uint64, random string, svdlike, verbose bool, sink obs.Sink) {
+// parseAlgo maps the -pcolor-algo spelling to a pcolor.Algo.
+func parseAlgo(s string) pcolor.Algo {
+	switch s {
+	case "speculative", "":
+		return pcolor.Speculative
+	case "jp", "jones-plassmann":
+		return pcolor.JonesPlassmann
+	}
+	fail(fmt.Errorf("bad -pcolor-algo %q (want speculative or jp)", s))
+	return pcolor.Speculative
+}
+
+// runPColor runs the parallel colorer on the same graph as runGraph
+// (the generators are deterministic, so re-generating yields the
+// identical graph), tracing under "graph:pcolor".
+func runPColor(workers int, seed uint64, algo pcolor.Algo, random string, svdlike, verbose bool, sink obs.Sink) {
 	g, _, err := loadGraph(random, svdlike)
 	fail(err)
 	tr := obs.New(sink, "graph:pcolor")
 	tr.BeginPhase(obs.PhaseColor)
 	t0 := time.Now()
-	colors, st := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: seed, Tracer: tr})
+	colors, st := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: seed, Algo: algo, Tracer: tr})
 	dur := time.Since(t0)
 	tr.EndPhase(obs.PhaseColor, dur)
 	if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
 		fail(fmt.Errorf("pcolor produced an improper coloring: %w", err))
 	}
-	fmt.Printf("pcolor:      %d worker(s), seed %d: %d int + %d float color(s) in %d round(s), %d conflict(s), %d recolored, %s (verified)\n",
-		st.Workers, seed, st.ColorsInt, st.ColorsFloat, st.Rounds, st.Conflicts, st.Recolored, dur)
+	fmt.Printf("pcolor[%s]: %d worker(s), seed %d: %d int + %d float color(s) in %d round(s), %d conflict(s), %d recolored, %s (verified)\n",
+		algo, st.Workers, seed, st.ColorsInt, st.ColorsFloat, st.Rounds, st.Conflicts, st.Recolored, dur)
 	if verbose {
 		fmt.Printf("  colors: %v\n", colors)
 	}

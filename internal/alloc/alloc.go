@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"regalloc/internal/coalesce"
@@ -119,6 +120,12 @@ func Run(f *ir.Func, opt Options) (*Result, error) {
 	return RunContext(context.Background(), f, opt)
 }
 
+// colorScratchPool recycles the per-Run coloring scratch (worklists,
+// simplify stacks, color/used buffers) across allocations, so a warm
+// service process doing allocation after allocation stops paying the
+// scratch allocations entirely.
+var colorScratchPool = sync.Pool{New: func() any { return new(color.Scratch) }}
+
 // RunContext is Run with cancellation: the context is checked at
 // every pass boundary (the natural preemption point of the Figure 4
 // cycle — phases within a pass run to completion), so a cancelled
@@ -136,6 +143,15 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 	res := &Result{Options: opt}
 	kf := opt.K()
 	tr := obs.New(opt.Observer, f.Name)
+
+	// One coloring scratch serves every pass of the cycle (and, via
+	// the pool, every later Run on this goroutine's path): worklists,
+	// stacks, and color buffers are reused, so a steady-state coloring
+	// pass allocates nothing. Slices returned by the Into entry points
+	// alias the scratch and are only held within the pass that
+	// produced them; the final coloring is copied out before release.
+	sc := colorScratchPool.Get().(*color.Scratch)
+	defer colorScratchPool.Put(sc)
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		if err := ctx.Err(); err != nil {
@@ -210,7 +226,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 			if workers <= 0 {
 				workers = DefaultPColorWorkers
 			}
-			colors, _ := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: opt.PColorSeed, Tracer: tr})
+			colors, _ := pcolor.Color(g, pcolor.Options{Workers: workers, Seed: opt.PColorSeed, Algo: opt.PColorAlgo, Tracer: tr})
 			var marked []int32
 			for v := int32(0); v < int32(len(colors)); v++ {
 				if int(colors[v]) >= kf(g.Class(v)) {
@@ -339,7 +355,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 			// Simplify.
 			tr.BeginPhase(obs.PhaseSimplify)
 			t0 = time.Now()
-			sr := color.SimplifyTraced(g, costs, kf, opt.Heuristic, opt.Metric, tr)
+			sr := color.SimplifyInto(sc, g, costs, kf, opt.Heuristic, opt.Metric, tr)
 			ps.Simplify = time.Since(t0)
 			ps.ScanSteps = sr.ScanSteps
 			tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
@@ -351,7 +367,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 			} else {
 				tr.BeginPhase(obs.PhaseColor)
 				t0 = time.Now()
-				colors, uncolored := color.SelectTraced(g, sr, kf, opt.Heuristic != color.Chaitin, tr)
+				colors, uncolored := color.SelectInto(sc, g, sr, kf, opt.Heuristic != color.Chaitin, tr)
 				ps.Color = time.Since(t0)
 				tr.EndPhase(obs.PhaseColor, ps.Color)
 				if len(uncolored) == 0 {
@@ -360,7 +376,9 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 						return nil, fmt.Errorf("alloc: %s: %w", f.Name, err)
 					}
 					res.Func = work
-					res.Colors = colors
+					// colors aliases the pooled scratch; the result
+					// outlives the pass, so copy it out.
+					res.Colors = append([]int16(nil), colors...)
 					return res, nil
 				}
 				toSpill = uncolored

@@ -6,6 +6,7 @@ import (
 
 	"regalloc/internal/color"
 	"regalloc/internal/obs"
+	"regalloc/internal/pcolor"
 	"regalloc/internal/spill"
 )
 
@@ -23,6 +24,8 @@ var (
 	ErrConflictingSpillModes = errors.New("Split and Rematerialize are mutually exclusive")
 	// ErrBadWorkers reports a negative Workers bound.
 	ErrBadWorkers = errors.New("Workers must be >= 0")
+	// ErrBadPColorAlgo reports an out-of-range PColorAlgo value.
+	ErrBadPColorAlgo = errors.New("unknown pcolor algorithm")
 )
 
 // Options configures a run of the allocator.
@@ -99,6 +102,11 @@ type Options struct {
 	// independent, unlike GOMAXPROCS — keeping allocations
 	// reproducible across hosts.
 	PColorWorkers int
+	// PColorAlgo picks the engine's round structure under UsePColor:
+	// pcolor.Speculative (the zero value) or pcolor.JonesPlassmann,
+	// whose coloring depends on PColorSeed alone — worker count
+	// changes only the wall time, never the spill set.
+	PColorAlgo pcolor.Algo
 }
 
 // DefaultPColorWorkers is the fixed worker count UsePColor resolves
@@ -127,7 +135,8 @@ func (o Options) K() color.K { return color.NumColors(o.KInt, o.KFloat) }
 
 // Validate checks the options for misuse and returns a typed error
 // (ErrBadK, ErrBadHeuristic, ErrBadMetric, ErrConflictingSpillModes,
-// or ErrBadWorkers, all matchable with errors.Is) describing the
+// ErrBadWorkers, or ErrBadPColorAlgo, all matchable with errors.Is)
+// describing the
 // first problem found. Run, and the root package's Allocate and
 // AssembleContext, call it before doing any work, so misconfiguration
 // fails loudly instead of being silently patched up.
@@ -146,6 +155,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("alloc: workers=%d: %w", o.Workers, ErrBadWorkers)
+	}
+	if o.PColorAlgo < 0 || o.PColorAlgo >= pcolor.NumAlgos {
+		return fmt.Errorf("alloc: pcolor algo %d: %w", int(o.PColorAlgo), ErrBadPColorAlgo)
 	}
 	return nil
 }

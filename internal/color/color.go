@@ -24,6 +24,7 @@ package color
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
@@ -105,6 +106,28 @@ type SimplifyResult struct {
 	ScanSteps int
 }
 
+// Scratch holds the reusable working state of one simplify+select
+// round: the degree-bucket worklists, the removal stack, and the
+// select-phase color buffers. Reusing one Scratch across the passes
+// of the Figure 4 cycle (or across coloring runs on a fixed graph)
+// makes the steady-state coloring pass allocation-free — the
+// property TestColoringPassAllocs pins with testing.AllocsPerRun.
+// A Scratch is not safe for concurrent use; the zero value is ready.
+type Scratch struct {
+	wl  ig.Worklist
+	res SimplifyResult
+
+	colors   []int16
+	inserted []bool
+	used     []bool
+	uncol    []int32
+}
+
+// scratchPool feeds the non-Into entry points, so even callers that
+// never thread a Scratch stop paying per-call worklist allocations
+// once the pool is warm.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
 // Simplify runs the simplification phase of heuristic h over g.
 // cost[n] is the estimated spill cost of node n (ignored by
 // MatulaBeck).
@@ -118,16 +141,40 @@ func Simplify(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric) *Sim
 // that won are emitted as a spill-decision event. A nil tracer makes
 // it identical to Simplify.
 func SimplifyTraced(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric, tr *obs.Tracer) *SimplifyResult {
-	res := &SimplifyResult{}
+	sc := scratchPool.Get().(*Scratch)
+	res := SimplifyInto(sc, g, cost, k, h, metric, tr)
+	// The result escapes the pool round-trip: copy the slices out so
+	// the scratch can be reused immediately.
+	out := &SimplifyResult{
+		Stack:       append([]int32(nil), res.Stack...),
+		SpillMarked: append([]int32(nil), res.SpillMarked...),
+		Candidates:  append([]int32(nil), res.Candidates...),
+		ScanSteps:   res.ScanSteps,
+	}
+	scratchPool.Put(sc)
+	return out
+}
+
+// SimplifyInto is SimplifyTraced into caller-owned scratch: the
+// returned result's slices alias sc and stay valid until the next
+// SimplifyInto on the same scratch. This is the allocation-free
+// entry point the per-pass cycle uses.
+func SimplifyInto(sc *Scratch, g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric, tr *obs.Tracer) *SimplifyResult {
+	res := &sc.res
+	res.Stack = res.Stack[:0]
+	res.SpillMarked = res.SpillMarked[:0]
+	res.Candidates = res.Candidates[:0]
+	res.ScanSteps = 0
 	// The integer and float subgraphs are disjoint; simplify each.
 	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
-		simplifyClass(g, cost, k(cls), cls, h, metric, res, tr)
+		simplifyClass(sc, g, cost, k(cls), cls, h, metric, res, tr)
 	}
 	return res
 }
 
-func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult, tr *obs.Tracer) {
-	w := ig.NewWorklist(g, cls)
+func simplifyClass(sc *Scratch, g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult, tr *obs.Tracer) {
+	w := &sc.wl
+	w.Init(g, cls)
 	for w.Remaining() > 0 {
 		n := w.MinDegreeNode()
 		if h == MatulaBeck || int(w.Degree(n)) < k {
@@ -153,11 +200,18 @@ func simplifyClass(g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic
 
 // chooseSpill picks the node to remove while stuck and returns it
 // with its metric value. Ties are broken toward the lowest node
-// number.
+// number. The scan is a plain loop rather than ForEachRemaining: the
+// closure that callback needs heap-escapes its captures on every
+// stuck step, and this is the one piece of simplify that runs per
+// spill decision on the zero-allocation pass path.
 func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) (int32, float64) {
 	best := int32(-1)
 	bestVal := math.Inf(1)
-	w.ForEachRemaining(func(a int32) {
+	for i, n := 0, w.NumNodes(); i < n; i++ {
+		a := int32(i)
+		if !w.InClass(a) || w.Removed(a) {
+			continue
+		}
 		var v float64
 		switch metric {
 		case CostOnly:
@@ -171,7 +225,7 @@ func chooseSpill(w *ig.Worklist, cost []float64, metric Metric) (int32, float64)
 			best = a
 			bestVal = v
 		}
-	})
+	}
 	return best, bestVal
 }
 
@@ -201,6 +255,21 @@ func Select(g *ig.Graph, stack []int32, k K, optimistic bool) (colors []int16, u
 // high-degree nodes have neighbors that reuse few colors). A nil
 // tracer makes it identical to Select.
 func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs.Tracer) (colors []int16, uncolored []int32) {
+	sc := scratchPool.Get().(*Scratch)
+	cbuf, ubuf := SelectInto(sc, g, sr, k, optimistic, tr)
+	colors = append([]int16(nil), cbuf...)
+	if len(ubuf) > 0 {
+		uncolored = append([]int32(nil), ubuf...)
+	}
+	scratchPool.Put(sc)
+	return colors, uncolored
+}
+
+// SelectInto is SelectTraced into caller-owned scratch: the returned
+// slices alias sc and stay valid until the next SelectInto on the
+// same scratch. Callers that keep a finished coloring (the final
+// pass) must copy it out before reusing the scratch.
+func SelectInto(sc *Scratch, g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs.Tracer) (colors []int16, uncolored []int32) {
 	stack := sr.Stack
 	var candidate []bool
 	if tr.Enabled() && len(sr.Candidates) > 0 {
@@ -209,12 +278,18 @@ func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs
 			candidate[n] = true
 		}
 	}
-	colors = make([]int16, g.NumNodes())
+	colors = growInt16(sc.colors, g.NumNodes())
+	sc.colors = colors
 	for i := range colors {
 		colors[i] = NoColor
 	}
-	inserted := make([]bool, g.NumNodes())
-	var used []bool
+	inserted := growBool(sc.inserted, g.NumNodes())
+	sc.inserted = inserted
+	for i := range inserted {
+		inserted[i] = false
+	}
+	used := sc.used
+	sc.uncol = sc.uncol[:0]
 	for i := len(stack) - 1; i >= 0; i-- {
 		n := stack[i]
 		kn := k(g.Class(n))
@@ -255,7 +330,7 @@ func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs
 			if !optimistic {
 				panic("color: pessimistic Select ran out of colors; simplify guaranteed this cannot happen")
 			}
-			uncolored = append(uncolored, n)
+			sc.uncol = append(sc.uncol, n)
 			continue
 		}
 		colors[n] = c
@@ -263,7 +338,25 @@ func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs
 			tr.ColorReuse(n, int32(g.Degree(n)), inUse, c)
 		}
 	}
+	sc.used = used
+	if len(sc.uncol) > 0 {
+		uncolored = sc.uncol
+	}
 	return colors, uncolored
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt16(s []int16, n int) []int16 {
+	if cap(s) < n {
+		return make([]int16, n)
+	}
+	return s[:n]
 }
 
 // Verify checks that an assignment is a proper coloring: no two

@@ -1,0 +1,128 @@
+package graphgen
+
+import (
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// The scale tier: generators sized for 10^5–10^7 node graphs, the
+// regime where the CSR adjacency backbone and the parallel coloring
+// engines earn their keep. Both feed ig.NewSized an exact or
+// near-exact edge count so the flat edge set and the edge log are
+// allocated once, and both are fully deterministic — PowerLaw from
+// its seed, Mesh from its dimensions alone.
+
+// PowerLaw returns a Barabási–Albert preferential-attachment graph:
+// an (m+1)-clique nucleus, then each new node attaches to m distinct
+// existing nodes chosen with probability proportional to current
+// degree (the repeated-endpoints trick: sampling a uniform slot of
+// the edge-endpoint log IS degree-proportional sampling). The degree
+// distribution follows a power law, giving the hub-and-spoke shape
+// of call-graph-sized interference problems: a few very hot ranges
+// touching everything, a long tail of locals. Costs are
+// pseudo-random in [1, 1000).
+//
+// All nodes are ClassInt. The result has exactly
+// m(m+1)/2 + (n-m-1)*m edges.
+func PowerLaw(n, m int, seed uint64) (*ig.Graph, []float64) {
+	if n < 1 {
+		n = 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m >= n && n > 1 {
+		m = n - 1
+	}
+	rng := NewRNG(seed)
+	classes := make([]ir.Class, n)
+	g := ig.NewSized(classes, m*n)
+
+	nuc := m + 1
+	if nuc > n {
+		nuc = n
+	}
+	// Endpoint log: every edge contributes both ends, so a uniform
+	// draw from ends lands on node v with probability deg(v)/2E.
+	ends := make([]int32, 0, 2*m*n)
+	for a := 0; a < nuc; a++ {
+		for b := a + 1; b < nuc; b++ {
+			g.AddEdge(int32(a), int32(b))
+			ends = append(ends, int32(a), int32(b))
+		}
+	}
+	for v := nuc; v < n; v++ {
+		for added := 0; added < m; added++ {
+			t := ends[rng.Intn(len(ends))]
+			// Distinct-target retry: a draw that hits v itself (its
+			// earlier edges this round are already in ends) or an
+			// existing neighbor re-samples a few times, then walks
+			// forward deterministically — at least m distinct targets
+			// always exist, so the walk terminates.
+			for tries := 0; t == int32(v) || g.Interfere(int32(v), t); tries++ {
+				if tries < 8 {
+					t = ends[rng.Intn(len(ends))]
+				} else {
+					t = (t + 1) % int32(v)
+				}
+			}
+			g.AddEdge(int32(v), t)
+			ends = append(ends, int32(v), t)
+		}
+	}
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + float64(rng.Intn(999))
+	}
+	return g, costs
+}
+
+// Mesh returns the w×h 4-neighbor grid graph — the interference
+// shape of stencil loops and blocked numeric kernels: uniformly low
+// degree, huge diameter, trivially 4-colorable. It is the
+// antagonist of PowerLaw in the scale bench: same node count,
+// opposite degree profile. Costs rise toward the grid center
+// (deterministically, no RNG), mimicking loop-depth weighting.
+//
+// All nodes are ClassInt. The result has exactly 2wh - w - h edges.
+func Mesh(w, h int) (*ig.Graph, []float64) {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	n := w * h
+	classes := make([]ir.Class, n)
+	g := ig.NewSized(classes, 2*n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int32(y*w + x)
+			if x+1 < w {
+				g.AddEdge(v, v+1)
+			}
+			if y+1 < h {
+				g.AddEdge(v, v+int32(w))
+			}
+		}
+	}
+	costs := make([]float64, n)
+	for y := 0; y < h; y++ {
+		dy := y
+		if h-1-y < dy {
+			dy = h - 1 - y
+		}
+		for x := 0; x < w; x++ {
+			dx := x
+			if w-1-x < dx {
+				dx = w - 1 - x
+			}
+			d := dx
+			if dy < d {
+				d = dy
+			}
+			costs[y*w+x] = float64(1 + 10*d)
+		}
+	}
+	return g, costs
+}

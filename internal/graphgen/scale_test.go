@@ -1,0 +1,113 @@
+package graphgen_test
+
+import (
+	"testing"
+
+	"regalloc/internal/color"
+	"regalloc/internal/graphgen"
+	"regalloc/internal/pcolor"
+)
+
+// TestMeshShape pins the grid generator's exact structure: edge
+// count 2wh - w - h, degree <= 4, and a proper 4-coloring exists
+// (first-fit over the natural order 4-colors any grid).
+func TestMeshShape(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{1, 1}, {1, 7}, {5, 1}, {4, 4}, {31, 17}} {
+		g, costs := graphgen.Mesh(tc.w, tc.h)
+		n := tc.w * tc.h
+		if g.NumNodes() != n || len(costs) != n {
+			t.Fatalf("%dx%d: %d nodes, %d costs", tc.w, tc.h, g.NumNodes(), len(costs))
+		}
+		want := 2*tc.w*tc.h - tc.w - tc.h
+		if g.NumEdges() != want {
+			t.Fatalf("%dx%d: %d edges, want %d", tc.w, tc.h, g.NumEdges(), want)
+		}
+		if g.MaxDegree() > 4 {
+			t.Fatalf("%dx%d: max degree %d > 4", tc.w, tc.h, g.MaxDegree())
+		}
+		colors, st := pcolor.Color(g, pcolor.Options{Workers: 2, Seed: 1, Algo: pcolor.JonesPlassmann})
+		if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
+			t.Fatalf("%dx%d: %v", tc.w, tc.h, err)
+		}
+		if n > 1 && st.ColorsInt > 5 {
+			// First-fit in degree order may use 5 on grids; never more
+			// (grids are 4-degenerate... in fact 2-degenerate, but the
+			// Welsh–Powell order only guarantees maxdeg+1).
+			t.Fatalf("%dx%d: %d colors on a grid", tc.w, tc.h, st.ColorsInt)
+		}
+	}
+}
+
+// TestPowerLawShape pins the preferential-attachment generator: the
+// exact edge count m(m+1)/2 + (n-m-1)m, a heavy-tailed degree
+// profile (the hubs' degree far exceeds the 2m average), and
+// determinism in the seed.
+func TestPowerLawShape(t *testing.T) {
+	const n, m = 20000, 3
+	g, costs := graphgen.PowerLaw(n, m, 11)
+	if g.NumNodes() != n || len(costs) != n {
+		t.Fatalf("%d nodes, %d costs", g.NumNodes(), len(costs))
+	}
+	want := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != want {
+		t.Fatalf("%d edges, want exactly %d", g.NumEdges(), want)
+	}
+	// Every non-nucleus node attaches to m distinct targets, so the
+	// minimum degree is m; the hubs must dwarf the 2m average.
+	if g.MaxDegree() < 10*m {
+		t.Fatalf("max degree %d: no heavy tail (average is %d)", g.MaxDegree(), 2*m)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if g.Degree(v) < m {
+			t.Fatalf("node %d has degree %d < m=%d", v, g.Degree(v), m)
+		}
+	}
+	for i, c := range costs {
+		if c < 1 || c >= 1000 {
+			t.Fatalf("cost[%d] = %v out of [1, 1000)", i, c)
+		}
+	}
+}
+
+// TestPowerLawDeterminism: same seed, same graph; different seed,
+// different graph.
+func TestPowerLawDeterminism(t *testing.T) {
+	a, _ := graphgen.PowerLaw(3000, 4, 7)
+	b, _ := graphgen.PowerLaw(3000, 4, 7)
+	c, _ := graphgen.PowerLaw(3000, 4, 8)
+	sameAsA := func(o interface {
+		NumEdges() int
+		Degree(int32) int
+	}) bool {
+		if o.NumEdges() != a.NumEdges() {
+			return false
+		}
+		for v := int32(0); v < int32(a.NumNodes()); v++ {
+			if a.Degree(v) != o.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameAsA(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	if sameAsA(c) {
+		t.Fatal("different seeds produced identical degree sequences")
+	}
+}
+
+// TestPowerLawColorable is the scale smoke at test size: a 10^5-node
+// power-law graph colors properly under both engines.
+func TestPowerLawColorable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke")
+	}
+	g, _ := graphgen.PowerLaw(100_000, 4, 1)
+	for _, algo := range []pcolor.Algo{pcolor.Speculative, pcolor.JonesPlassmann} {
+		colors, st := pcolor.Color(g, pcolor.Options{Workers: 4, Seed: 1, Algo: algo})
+		if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}

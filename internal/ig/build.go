@@ -62,6 +62,10 @@ func BuildWithLiveness(f *ir.Func, lv *dataflow.Liveness, workers int, tr *obs.T
 	} else {
 		buildSequential(g, f, lv, tr)
 	}
+	// Compile the CSR now, while the build phase owns the graph: the
+	// first consumer query may come from inside a timed phase or a
+	// concurrent pcolor worker.
+	g.Finalize()
 	return g
 }
 
@@ -192,11 +196,11 @@ type edgePair struct{ a, b int32 }
 
 // edgeSeen is the per-shard local dedup structure, mirroring the
 // graph's own dual representation: a triangular bit matrix up to
-// bitMatrixLimit nodes, a hash set beyond it.
+// bitMatrixLimit nodes, a flat open-addressing edge set beyond it.
 type edgeSeen struct {
 	n    int
 	bits []uint64
-	set  map[uint64]struct{}
+	set  edgeSet
 }
 
 func newEdgeSeen(n int) *edgeSeen {
@@ -204,7 +208,7 @@ func newEdgeSeen(n int) *edgeSeen {
 	if n <= bitMatrixLimit {
 		s.bits = make([]uint64, (n*(n-1)/2+63)/64)
 	} else {
-		s.set = make(map[uint64]struct{})
+		s.set.init(0)
 	}
 	return s
 }
@@ -223,12 +227,7 @@ func (s *edgeSeen) insert(a, b int32) bool {
 		s.bits[i/64] |= 1 << uint(i%64)
 		return true
 	}
-	k := edgeKey(a, b)
-	if _, dup := s.set[k]; dup {
-		return false
-	}
-	s.set[k] = struct{}{}
-	return true
+	return s.set.insert(edgeKey(a, b))
 }
 
 // buildSharded enumerates the pieces concurrently into per-piece
@@ -295,32 +294,21 @@ func buildSharded(g *Graph, f *ir.Func, lv *dataflow.Liveness, shards, total int
 		}
 		return all[i].p.lo > all[j].p.lo
 	})
-	// Pre-size the adjacency vectors from the buffers' endpoint
-	// counts (an upper bound on final degree — cross-shard duplicates
-	// inflate it slightly) and carve them all from one backing array.
-	// The merge's appends then never reallocate; growing the vectors
-	// one append at a time was the single largest cost in the profile.
+	// Pre-size the edge log from the buffers' counts (an upper bound
+	// on final edges — cross-shard duplicates inflate it slightly) so
+	// the merge's appends never reallocate, then replay the buffers in
+	// stream order through AddEdge; the CSR compile in Finalize reads
+	// the log back out in exactly that order.
 	attempts, buffered := 0, 0
 	for s := range attemptsBy {
 		attempts += attemptsBy[s]
 	}
-	deg := make([]int32, g.n)
 	for _, pb := range all {
 		buffered += len(pb.edges)
-		for _, e := range pb.edges {
-			deg[e.a]++
-			deg[e.b]++
-		}
 	}
-	totalDeg := 0
-	for _, d := range deg {
-		totalDeg += int(d)
-	}
-	backing := make([]int32, totalDeg)
-	off := 0
-	for i, d := range deg {
-		g.adj[i] = backing[off : off : off+int(d)]
-		off += int(d)
+	if cap(g.ea) < buffered {
+		g.ea = make([]int32, 0, buffered)
+		g.eb = make([]int32, 0, buffered)
 	}
 	for _, pb := range all {
 		for _, e := range pb.edges {

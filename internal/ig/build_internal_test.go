@@ -91,13 +91,14 @@ func requireGraphsIdentical(t *testing.T, want, got *Graph, label string) {
 		t.Fatalf("%s: edges %d != %d", label, got.NumEdges(), want.NumEdges())
 	}
 	for a := 0; a < want.NumNodes(); a++ {
-		if !reflect.DeepEqual(want.adj[a], got.adj[a]) {
+		wn, gn := want.Neighbors(int32(a)), got.Neighbors(int32(a))
+		if !reflect.DeepEqual(wn, gn) {
 			// Empty vs nil both mean "no neighbors".
-			if len(want.adj[a]) == 0 && len(got.adj[a]) == 0 {
+			if len(wn) == 0 && len(gn) == 0 {
 				continue
 			}
 			t.Fatalf("%s: adjacency of node %d differs:\n seq %v\n par %v",
-				label, a, want.adj[a], got.adj[a])
+				label, a, wn, gn)
 		}
 	}
 }

@@ -33,23 +33,37 @@ type Worklist struct {
 // NewWorklist builds the bucket structure for the nodes of class cls
 // in g.
 func NewWorklist(g *Graph, cls ir.Class) *Worklist {
+	w := &Worklist{}
+	w.Init(g, cls)
+	return w
+}
+
+// Init (re)builds the bucket structure for the nodes of class cls in
+// g, reusing the worklist's backing slices when they are big enough.
+// A Worklist held in per-pass scratch (color.Scratch) is re-Inited
+// every pass, so the steady-state simplification phase allocates
+// nothing.
+func (w *Worklist) Init(g *Graph, cls ir.Class) {
 	n := g.NumNodes()
-	w := &Worklist{
-		g:       g,
-		cls:     cls,
-		in:      make([]bool, n),
-		removed: make([]bool, n),
-		degree:  make([]int32, n),
-		head:    make([]int32, n+1),
-		next:    make([]int32, n),
-		prev:    make([]int32, n),
-	}
+	w.g = g
+	w.cls = cls
+	w.remaining = 0
+	w.scanFrom = 0
+	w.ScanSteps = 0
+	w.in = growBool(w.in, n)
+	w.removed = growBool(w.removed, n)
+	w.degree = growInt32(w.degree, n)
+	w.head = growInt32(w.head, n+1)
+	w.next = growInt32(w.next, n)
+	w.prev = growInt32(w.prev, n)
 	for i := range w.head {
 		w.head[i] = -1
 	}
 	for i := 0; i < n; i++ {
 		w.next[i] = -1
 		w.prev[i] = -1
+		w.in[i] = false
+		w.removed[i] = false
 		if g.Class(int32(i)) != cls {
 			continue
 		}
@@ -58,7 +72,22 @@ func NewWorklist(g *Graph, cls ir.Class) *Worklist {
 		w.pushBucket(int32(i))
 		w.remaining++
 	}
-	return w
+}
+
+// growBool returns a length-n slice reusing s's backing array when it
+// is big enough (contents are unspecified; callers reset them).
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // Remaining returns the number of nodes not yet removed.
@@ -69,6 +98,14 @@ func (w *Worklist) Degree(a int32) int32 { return w.degree[a] }
 
 // Removed reports whether a has been removed.
 func (w *Worklist) Removed(a int32) bool { return w.removed[a] }
+
+// InClass reports whether a belongs to this worklist's class. With
+// Removed it lets hot loops enumerate remaining nodes directly,
+// without the closure ForEachRemaining costs per call.
+func (w *Worklist) InClass(a int32) bool { return w.in[a] }
+
+// NumNodes returns the node count of the underlying graph.
+func (w *Worklist) NumNodes() int { return len(w.in) }
 
 func (w *Worklist) pushBucket(a int32) {
 	d := w.degree[a]

@@ -15,6 +15,7 @@ type CacheStats struct {
 	Hits      int64 // served from a stored entry
 	Misses    int64 // filled by running the allocation
 	Shared    int64 // collapsed onto another request's in-flight fill
+	Abandoned int64 // waiters whose context expired before the fill finished
 	Evictions int64 // entries dropped to respect the capacity bounds
 
 	Entries int   // stored entries right now
@@ -31,7 +32,9 @@ type CacheStats struct {
 	FillLatency LatencyHistogram
 }
 
-// Requests returns the total lookups the stats cover.
+// Requests returns the total served lookups the stats cover.
+// Abandoned waits are excluded: they left before an answer existed,
+// so counting them as served would distort the hit rate both ways.
 func (s CacheStats) Requests() int64 { return s.Hits + s.Misses + s.Shared }
 
 // HitRate returns the fraction of lookups that avoided an
@@ -49,8 +52,8 @@ func (s CacheStats) HitRate() float64 {
 // RegistrySnapshot.String keeps).
 func (s CacheStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cache: %d hit(s), %d miss(es), %d shared, %d eviction(s) (hit rate %.3f)\n",
-		s.Hits, s.Misses, s.Shared, s.Evictions, s.HitRate())
+	fmt.Fprintf(&b, "cache: %d hit(s), %d miss(es), %d shared, %d abandoned, %d eviction(s) (hit rate %.3f)\n",
+		s.Hits, s.Misses, s.Shared, s.Abandoned, s.Evictions, s.HitRate())
 	fmt.Fprintf(&b, "  stored: %d entr(ies), %d byte(s)\n", s.Entries, s.Bytes)
 	if s.HitLatency.Count > 0 {
 		fmt.Fprintf(&b, "  hit  p50 %10s  p99 %10s  max %10s\n",

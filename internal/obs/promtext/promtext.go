@@ -130,6 +130,7 @@ func WriteCache(w io.Writer, s obs.CacheStats) error {
 	counter("regalloc_cache_hits_total", "Result-cache lookups served from a stored entry.", s.Hits)
 	counter("regalloc_cache_misses_total", "Result-cache lookups that ran the allocation (flight leaders).", s.Misses)
 	counter("regalloc_cache_singleflight_shared_total", "Result-cache lookups collapsed onto an in-flight identical request.", s.Shared)
+	counter("regalloc_cache_abandoned_waits_total", "Result-cache waiters whose context expired before the shared fill finished.", s.Abandoned)
 	counter("regalloc_cache_evictions_total", "Result-cache entries dropped to respect the capacity bounds.", s.Evictions)
 	gauge("regalloc_cache_entries", "Result-cache entries currently stored.", int64(s.Entries))
 	gauge("regalloc_cache_bytes", "Result-cache value bytes currently stored.", s.Bytes)

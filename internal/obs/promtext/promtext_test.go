@@ -122,6 +122,7 @@ func TestWriteCacheLints(t *testing.T) {
 		Hits:       17,
 		Misses:     5,
 		Shared:     3,
+		Abandoned:  4,
 		Evictions:  2,
 		Entries:    3,
 		Bytes:      4096,
@@ -144,6 +145,7 @@ func TestWriteCacheLints(t *testing.T) {
 		"regalloc_cache_hits_total 17",
 		"regalloc_cache_misses_total 5",
 		"regalloc_cache_singleflight_shared_total 3",
+		"regalloc_cache_abandoned_waits_total 4",
 		"regalloc_cache_evictions_total 2",
 		"regalloc_cache_entries 3",
 		"regalloc_cache_bytes 4096",

@@ -1,0 +1,132 @@
+package pcolor
+
+import (
+	"testing"
+
+	"regalloc/internal/color"
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+)
+
+// jpGraph builds a mixed-class random graph of n nodes with average
+// degree ~2m.
+func jpGraph(n, m int, seed uint64) *ig.Graph {
+	classes := make([]ir.Class, n)
+	for i := range classes {
+		if i%5 == 4 {
+			classes[i] = ir.ClassFloat
+		}
+	}
+	g := ig.New(classes)
+	s := seed*0x9E3779B97F4A7C15 + 1
+	for i := 0; i < m*n; i++ {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		r := s * 0x2545F4914F6CDD1D
+		g.AddEdge(int32(r%uint64(n)), int32((r>>20)%uint64(n)))
+	}
+	return g
+}
+
+// greedyOracle is the one-line sequential model Jones–Plassmann must
+// reproduce: walk the permutation in order, give each node the lowest
+// color unused by its already-colored neighbors.
+func greedyOracle(g *ig.Graph, seed uint64) []int16 {
+	sc := new(scratch)
+	perm := sc.permutation(g, seed)
+	colors := make([]int16, g.NumNodes())
+	for i := range colors {
+		colors[i] = color.NoColor
+	}
+	for _, v := range perm {
+		deg := g.Degree(v)
+		used := make([]bool, deg+2)
+		for _, u := range g.Neighbors(v) {
+			if c := colors[u]; c >= 0 && int(c) < len(used) {
+				used[c] = true
+			}
+		}
+		for c := range used {
+			if !used[c] {
+				colors[v] = int16(c)
+				break
+			}
+		}
+	}
+	return colors
+}
+
+// TestJonesPlassmannMatchesGreedyOracle is the JP correctness
+// contract: for every worker count the parallel independent-set
+// rounds must produce exactly the sequential greedy coloring in
+// permutation order — not merely a proper coloring of similar size.
+func TestJonesPlassmannMatchesGreedyOracle(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 1}, {2, 1}, {50, 2}, {400, 3}, {1000, 4}} {
+		for _, seed := range []uint64{1, 7, 42} {
+			want := greedyOracle(jpGraph(tc.n, tc.m, seed), seed)
+			for _, workers := range []int{1, 2, 3, 8, 64} {
+				g := jpGraph(tc.n, tc.m, seed)
+				got, st := Color(g, Options{Workers: workers, Seed: seed, Algo: JonesPlassmann})
+				if err := color.Verify(g, got, KFor(st)); err != nil {
+					t.Fatalf("n=%d seed=%d workers=%d: %v", tc.n, seed, workers, err)
+				}
+				if st.Conflicts != 0 || st.Recolored != 0 {
+					t.Fatalf("n=%d seed=%d workers=%d: JP reported conflicts=%d recolored=%d, want 0",
+						tc.n, seed, workers, st.Conflicts, st.Recolored)
+				}
+				for v := range got {
+					if got[v] != want[v] {
+						t.Fatalf("n=%d seed=%d workers=%d: node %d colored %d, oracle says %d",
+							tc.n, seed, workers, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJonesPlassmannWorkerIndependent pins the stronger determinism
+// JP buys over the speculative engine: the coloring AND the round
+// count depend on Seed alone, not on Workers (round structure is the
+// rank DAG's level structure, fixed by the permutation).
+func TestJonesPlassmannWorkerIndependent(t *testing.T) {
+	g := jpGraph(600, 4, 3)
+	base, bst := Color(g, Options{Workers: 1, Seed: 3, Algo: JonesPlassmann})
+	for _, workers := range []int{2, 5, 16} {
+		got, st := Color(g, Options{Workers: workers, Seed: 3, Algo: JonesPlassmann})
+		if st.Rounds != bst.Rounds {
+			t.Fatalf("workers=%d: %d rounds, workers=1 took %d", workers, st.Rounds, bst.Rounds)
+		}
+		for v := range got {
+			if got[v] != base[v] {
+				t.Fatalf("workers=%d: node %d colored %d, workers=1 gave %d", workers, v, got[v], base[v])
+			}
+		}
+	}
+}
+
+// TestJonesPlassmannSlack holds JP to the same palette bound as the
+// speculative engine: within Slack of the sequential smallest-last
+// baseline on random graphs.
+func TestJonesPlassmannSlack(t *testing.T) {
+	for _, seed := range []uint64{1, 9} {
+		g := jpGraph(800, 5, seed)
+		_, seq := Sequential(g)
+		_, st := Color(g, Options{Workers: 4, Seed: seed, Algo: JonesPlassmann})
+		for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+			want := seq.Colors(cls)
+			if got := st.Colors(cls); got > want+Slack(want) {
+				t.Fatalf("seed=%d class %v: JP used %d colors, sequential %d (+ slack %d)",
+					seed, cls, got, want, Slack(want))
+			}
+		}
+	}
+}
+
+// TestAlgoString pins the flag spellings.
+func TestAlgoString(t *testing.T) {
+	if Speculative.String() != "speculative" || JonesPlassmann.String() != "jp" {
+		t.Fatalf("Algo names changed: %q, %q", Speculative, JonesPlassmann)
+	}
+}

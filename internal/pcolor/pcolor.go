@@ -30,9 +30,21 @@
 // conflict-free pending node, so the pending set strictly shrinks;
 // in practice a few rounds suffice (the Stats record and the
 // "pcolor.round.*" trace counters make the iteration visible).
+//
+// A second round structure, JonesPlassmann, is available via
+// Options.Algo: instead of speculating and repairing, each round
+// colors the independent set of nodes all of whose higher-priority
+// (lower-rank) neighbors are already committed. Two ready nodes are
+// never adjacent — if they were, one would still be waiting on the
+// other — so the round colors against committed state only and there
+// are never conflicts to repair. The result is provably the
+// sequential first-fit greedy coloring in permutation order, for any
+// worker count, which makes the engine's output independent of
+// Workers and exactly predictable by a one-line sequential oracle.
 package pcolor
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -42,15 +54,50 @@ import (
 	"regalloc/internal/obs"
 )
 
+// Algo selects the round structure of the parallel colorer.
+type Algo int
+
+const (
+	// Speculative is the Rokos–Gorman–Kelly scheme described in the
+	// package comment: color optimistically, detect boundary
+	// conflicts, recolor the losers. The default.
+	Speculative Algo = iota
+	// JonesPlassmann colors in independent-set rounds: a node is
+	// ready once every lower-rank neighbor is committed, and each
+	// round colors all ready nodes in parallel against committed
+	// state only. No conflicts ever arise (Stats.Conflicts and
+	// Stats.Recolored are always 0) and the coloring equals the
+	// sequential first-fit greedy in permutation order for any
+	// Workers value.
+	JonesPlassmann
+)
+
+// NumAlgos is the number of defined Algo values, for validation.
+const NumAlgos = 2
+
+// String names the algorithm for flags and reports.
+func (a Algo) String() string {
+	switch a {
+	case Speculative:
+		return "speculative"
+	case JonesPlassmann:
+		return "jp"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
 // Options configures a parallel coloring run.
 type Options struct {
 	// Workers is the number of coloring goroutines; <= 0 means
 	// GOMAXPROCS. The (Seed, Workers) pair fully determines the
-	// coloring, so fix both for reproducible results.
+	// coloring, so fix both for reproducible results. Under
+	// JonesPlassmann the coloring depends on Seed alone.
 	Workers int
 	// Seed drives the node permutation that sets the processing
 	// order, the partition boundaries, and the conflict priorities.
 	Seed uint64
+	// Algo picks the round structure; zero value is Speculative.
+	Algo Algo
 	// Tracer, when non-nil, receives per-round counters
 	// (pcolor.round.pending, pcolor.round.conflicts) and run totals
 	// (pcolor.rounds, pcolor.conflicts, pcolor.recolored,
@@ -128,33 +175,78 @@ func Color(g *ig.Graph, o Options) ([]int16, *Stats) {
 
 	// Seeded permutation: processing order, partition boundaries, and
 	// conflict priority (rank[v] = position of v in perm; lower rank
-	// wins a conflict) all derive from it.
-	perm := permutation(g, o.Seed)
-	rank := make([]int32, n)
+	// wins a conflict) all derive from it. The engine scratch — the
+	// permutation buffers, the round state, and the per-worker
+	// first-fit bitmaps — is pooled, so a warm process coloring graph
+	// after graph pays only for the returned assignment.
+	sc := scratchPool.Get().(*scratch)
+	perm := sc.permutation(g, o.Seed)
+	rank := growInt32s(sc.rank, n)
+	sc.rank = rank
 	for i, v := range perm {
 		rank[v] = int32(i)
 	}
 
-	// Round-stamped speculation state. stamp[v] == round marks v as
-	// pending this round; tent[v] is then its tentative color and
-	// owner[v] the chunk that colored it.
-	tent := make([]int16, n)
-	stamp := make([]int32, n) // 0 = never pending; round numbers start at 1
-	owner := make([]int32, n)
-	lost := make([]bool, n)
-
 	// Per-worker first-fit scratch: a node needs at most degree+1
 	// colors, so maxDegree+2 cells always hold the scan.
-	maxDeg := 0
-	for v := 0; v < n; v++ {
-		if d := g.Degree(int32(v)); d > maxDeg {
-			maxDeg = d
+	need := g.MaxDegree() + 2
+	if cap(sc.used) < workers {
+		sc.used = make([][]bool, workers)
+	}
+	sc.used = sc.used[:workers]
+	for w := range sc.used {
+		if cap(sc.used[w]) < need {
+			sc.used[w] = make([]bool, need)
+		}
+		sc.used[w] = sc.used[w][:need]
+	}
+
+	if o.Algo == JonesPlassmann {
+		colorJP(g, o, st, colors, perm, rank, sc, workers)
+	} else {
+		colorSpeculative(g, o, st, colors, perm, rank, sc, workers)
+	}
+	scratchPool.Put(sc)
+
+	for v := int32(0); v < int32(n); v++ {
+		pal := &st.ColorsInt
+		if g.Class(v) == ir.ClassFloat {
+			pal = &st.ColorsFloat
+		}
+		if c := int(colors[v]) + 1; c > *pal {
+			*pal = c
 		}
 	}
-	scratch := make([][]bool, workers)
-	for w := range scratch {
-		scratch[w] = make([]bool, maxDeg+2)
+	emitTotals(o.Tracer, st)
+	return colors, st
+}
+
+// colorSpeculative runs the Rokos–Gorman–Kelly speculate/detect
+// rounds of the package comment. colors is the committed assignment
+// (all NoColor on entry); perm/rank set the processing order and the
+// conflict priority.
+func colorSpeculative(g *ig.Graph, o Options, st *Stats, colors []int16, perm, rank []int32, sc *scratch, workers int) {
+	n := g.NumNodes()
+
+	// Round-stamped speculation state. stamp[v] == round marks v as
+	// pending this round; tent[v] is then its tentative color and
+	// owner[v] the chunk that colored it. Only stamp needs a real
+	// reset: round numbers restart at 1 on every run, so a stale
+	// stamp from a previous (pooled) run could alias round 1, while
+	// tent/owner/lost are (re)written for each pending node before
+	// any stamp-guarded read can reach them.
+	tent := growInt16s(sc.tent, n)
+	sc.tent = tent
+	stamp := growInt32s(sc.stamp, n)
+	sc.stamp = stamp
+	owner := growInt32s(sc.owner, n)
+	sc.owner = owner
+	lost := growBools(sc.lost, n)
+	sc.lost = lost
+	for i := range stamp {
+		stamp[i] = 0
 	}
+	scratch := sc.used
 
 	pending := perm
 	for round := int32(1); len(pending) > 0; round++ {
@@ -274,18 +366,91 @@ func Color(g *ig.Graph, o Options) ([]int16, *Stats) {
 		}
 		pending = next
 	}
+}
 
-	for v := int32(0); v < int32(n); v++ {
-		pal := &st.ColorsInt
-		if g.Class(v) == ir.ClassFloat {
-			pal = &st.ColorsFloat
+// colorJP runs the Jones–Plassmann independent-set rounds: a node is
+// ready when wait[v] — its count of uncommitted lower-rank neighbors
+// — reaches zero. The ready set of any round is independent (two
+// adjacent ready nodes would each be waiting on the other's rank),
+// so the parallel first-fit reads committed colors only and never
+// needs repair. By induction on rank, every node is colored first-fit
+// against exactly the final colors of its lower-rank neighbors, which
+// is the sequential greedy coloring in permutation order — for any
+// worker count. TestJonesPlassmannMatchesGreedyOracle pins that.
+func colorJP(g *ig.Graph, o Options, st *Stats, colors []int16, perm, rank []int32, sc *scratch, workers int) {
+	n := g.NumNodes()
+	wait := growInt32s(sc.wait, n)
+	sc.wait = wait
+	cur := sc.ready[:0]
+	for _, v := range perm {
+		w := int32(0)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] < rank[v] {
+				w++
+			}
 		}
-		if c := int(colors[v]) + 1; c > *pal {
-			*pal = c
+		wait[v] = w
+		if w == 0 {
+			cur = append(cur, v)
 		}
 	}
-	emitTotals(o.Tracer, st)
-	return colors, st
+	nxt := sc.next[:0]
+	var wg sync.WaitGroup
+	for len(cur) > 0 {
+		st.Rounds++
+		chunks := chunkBounds(len(cur), workers)
+		for w := 0; w < len(chunks)-1; w++ {
+			lo, hi := chunks[w], chunks[w+1]
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, chunk []int32) {
+				defer wg.Done()
+				used := sc.used[w]
+				for _, v := range chunk {
+					lim := int16(g.Degree(v) + 1)
+					for c := int16(0); c <= lim; c++ {
+						used[c] = false
+					}
+					for _, u := range g.Neighbors(v) {
+						if c := colors[u]; c >= 0 && c <= lim {
+							used[c] = true
+						}
+					}
+					for c := int16(0); c <= lim; c++ {
+						if !used[c] {
+							colors[v] = c
+							break
+						}
+					}
+				}
+			}(w, cur[lo:hi])
+		}
+		wg.Wait()
+		if tr := o.Tracer; tr.Enabled() {
+			tr.Counter(obs.PhaseColor, "pcolor.round.pending", int64(len(cur)))
+			tr.Counter(obs.PhaseColor, "pcolor.round.conflicts", 0)
+		}
+
+		// Decrement the wait counts of higher-rank neighbors; those
+		// reaching zero form the next round's independent set. Each
+		// directed edge is walked exactly once across the whole run,
+		// so this sequential phase is O(E) in total.
+		nxt = nxt[:0]
+		for _, v := range cur {
+			for _, u := range g.Neighbors(v) {
+				if rank[u] > rank[v] {
+					wait[u]--
+					if wait[u] == 0 {
+						nxt = append(nxt, u)
+					}
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	sc.ready, sc.next = cur, nxt
 }
 
 func emitTotals(tr *obs.Tracer, st *Stats) {
@@ -298,13 +463,69 @@ func emitTotals(tr *obs.Tracer, st *Stats) {
 	tr.Counter(obs.PhaseColor, "pcolor.recolored", int64(st.Recolored))
 }
 
+// scratch holds the engine's reusable per-run state: permutation
+// buffers, speculation round state, Jones–Plassmann wait counts and
+// ready sets, and the per-worker first-fit bitmaps. Pooled via
+// scratchPool so repeated colorings (the portfolio racer, a warm
+// allocd process, the bench sweeps) stop allocating the O(n) arrays.
+type scratch struct {
+	shuffled []int32
+	count    []int
+	perm     []int32
+	rank     []int32
+
+	// Speculative round state.
+	tent  []int16
+	stamp []int32
+	owner []int32
+	lost  []bool
+
+	// Jones–Plassmann round state.
+	wait  []int32
+	ready []int32
+	next  []int32
+
+	used [][]bool // per-worker first-fit bitmaps
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt16s(s []int16, n int) []int16 {
+	if cap(s) < n {
+		return make([]int16, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // permutation returns the processing order: degree-descending (the
 // Welsh–Powell order, whose first-fit palette tracks smallest-last
 // closely — a uniformly random order costs ~30% more colors on dense
 // G(n,p)), with ties broken by a seeded Fisher–Yates shuffle. The
 // shuffle uses the same xorshift64* generator as package graphgen so
-// corpora stay reproducible across packages.
-func permutation(g *ig.Graph, seed uint64) []int32 {
+// corpora stay reproducible across packages. The returned slice
+// aliases the scratch.
+func (sc *scratch) permutation(g *ig.Graph, seed uint64) []int32 {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
@@ -316,7 +537,8 @@ func permutation(g *ig.Graph, seed uint64) []int32 {
 		return s * 0x2545F4914F6CDD1D
 	}
 	n := g.NumNodes()
-	shuffled := make([]int32, n)
+	shuffled := growInt32s(sc.shuffled, n)
+	sc.shuffled = shuffled
 	for i := range shuffled {
 		shuffled[i] = int32(i)
 	}
@@ -326,13 +548,12 @@ func permutation(g *ig.Graph, seed uint64) []int32 {
 	}
 	// Stable counting sort by degree, descending: O(n + maxdeg),
 	// cheaper than a comparison sort on the timed path.
-	maxDeg := 0
-	for v := 0; v < n; v++ {
-		if d := g.Degree(int32(v)); d > maxDeg {
-			maxDeg = d
-		}
+	maxDeg := g.MaxDegree()
+	count := growInts(sc.count, maxDeg+1)
+	sc.count = count
+	for i := range count {
+		count[i] = 0
 	}
-	count := make([]int, maxDeg+1)
 	for _, v := range shuffled {
 		count[maxDeg-g.Degree(v)]++
 	}
@@ -342,7 +563,8 @@ func permutation(g *ig.Graph, seed uint64) []int32 {
 		count[d] = start
 		start += c
 	}
-	perm := make([]int32, n)
+	perm := growInt32s(sc.perm, n)
+	sc.perm = perm
 	for _, v := range shuffled {
 		slot := maxDeg - g.Degree(v)
 		perm[count[slot]] = v

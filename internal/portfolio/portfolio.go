@@ -60,6 +60,7 @@ import (
 	"regalloc/internal/color"
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
+	"regalloc/internal/pcolor"
 )
 
 // Mode selects the race's stopping rule.
@@ -469,6 +470,18 @@ func Default(base alloc.Options, pcolorSeeds ...uint64) []Candidate {
 			o.UsePColor = true
 			o.PColorSeed = seed
 			o.PColorWorkers = alloc.DefaultPColorWorkers
+		}))
+	}
+	// One Jones–Plassmann entrant on the first seed: its spill set
+	// depends on the seed alone (worker count only changes wall
+	// time), so a single candidate covers the family.
+	if len(pcolorSeeds) > 0 {
+		seed := pcolorSeeds[0]
+		cands = append(cands, mk(fmt.Sprintf("pcolor/jp/s%d", seed), func(o *alloc.Options) {
+			o.UsePColor = true
+			o.PColorSeed = seed
+			o.PColorWorkers = alloc.DefaultPColorWorkers
+			o.PColorAlgo = pcolor.JonesPlassmann
 		}))
 	}
 	return cands

@@ -10,13 +10,22 @@
 // capacity bound. Errors are never cached — a failed fill leaves no
 // entry, so the next request retries.
 //
+// Oversized values: a single value larger than the configured byte
+// bound is rejected at store time without touching the LRU. The fill
+// still succeeds and the caller gets its bytes; the value is simply
+// not retained, and — the contract part — every already-resident
+// entry survives the attempt. An oversized store never evicts
+// anything except a stale smaller value stored under the same key.
+//
 // Singleflight semantics: the first requester of a missing key (the
 // leader) runs the fill; requesters arriving while the fill is in
 // flight wait for it and share the value (Outcome Shared). A waiter
-// whose context expires stops waiting and returns the context error;
-// the leader keeps going — its result still lands in the cache for
-// the next request. If the leader's fill fails, every waiter of that
-// flight receives the leader's error, typed as the fill returned it.
+// whose context expires stops waiting and returns the context error
+// with Outcome Abandoned — it was never served, so it counts in the
+// Abandoned counter, not in Shared. The leader keeps going — its
+// result still lands in the cache for the next request. If the
+// leader's fill fails, every waiter of that flight receives the
+// leader's error, typed as the fill returned it.
 package rescache
 
 import (
@@ -39,6 +48,9 @@ const (
 	Hit
 	// Shared: collapsed onto another call's in-flight fill.
 	Shared
+	// Abandoned: waited on another call's fill but gave up when its
+	// own context expired; no value was served.
+	Abandoned
 )
 
 func (o Outcome) String() string {
@@ -47,6 +59,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Shared:
 		return "shared"
+	case Abandoned:
+		return "abandoned"
 	default:
 		return "miss"
 	}
@@ -75,8 +89,8 @@ type Cache struct {
 	items      map[cachekey.Key]*list.Element
 	flights    map[cachekey.Key]*flight
 
-	hits, misses, shared, evictions int64
-	hitLat, fillLat                 obs.LatencyHistogram
+	hits, misses, shared, abandoned, evictions int64
+	hitLat, fillLat                            obs.LatencyHistogram
 }
 
 // New returns a cache bounded by maxEntries stored values and
@@ -110,13 +124,22 @@ func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, e
 		return val, Hit, nil
 	}
 	if fl, ok := c.flights[key]; ok {
-		c.shared++
 		c.mu.Unlock()
 		select {
 		case <-fl.done:
+			c.mu.Lock()
+			c.shared++
+			c.mu.Unlock()
 			return fl.val, Shared, fl.err
 		case <-ctx.Done():
-			return nil, Shared, ctx.Err()
+			// Not a share: this caller was never served. Counting it
+			// as Shared (as the cache once did) inflated the hit rate
+			// with lookups that returned an error, and hid timeout
+			// storms behind a healthy-looking singleflight counter.
+			c.mu.Lock()
+			c.abandoned++
+			c.mu.Unlock()
+			return nil, Abandoned, ctx.Err()
 		}
 	}
 	// Leader: publish the flight, fill outside the lock.
@@ -159,6 +182,21 @@ func (c *Cache) Get(key cachekey.Key) ([]byte, bool) {
 // (possible when a waiter-turned-retrier refills) keeps the newer
 // value.
 func (c *Cache) store(key cachekey.Key, val []byte) {
+	// A value larger than the whole byte budget can never be resident,
+	// so reject it before touching the LRU. Admitting it first and
+	// evicting down (as the cache once did) flushed every resident
+	// entry on the way to dropping the one value that could not stay.
+	if c.maxBytes > 0 && int64(len(val)) > c.maxBytes {
+		if el, ok := c.items[key]; ok {
+			// An oversized refill of a stored key cannot keep the stale
+			// bytes either.
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= int64(len(el.Value.(*entry).val))
+			c.evictions++
+		}
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		c.bytes += int64(len(val)) - int64(len(e.val))
@@ -168,12 +206,10 @@ func (c *Cache) store(key cachekey.Key, val []byte) {
 		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
 		c.bytes += int64(len(val))
 	}
+	// The new value fits the budget on its own, so eviction from the
+	// back always terminates with at least the fresh entry resident.
 	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
-		(c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
-		c.evictOldest()
-	}
-	// A single value over the byte bound cannot be kept.
-	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		c.evictOldest()
 	}
 }
@@ -205,6 +241,7 @@ func (c *Cache) Stats() obs.CacheStats {
 		Hits:        c.hits,
 		Misses:      c.misses,
 		Shared:      c.shared,
+		Abandoned:   c.abandoned,
 		Evictions:   c.evictions,
 		Entries:     c.ll.Len(),
 		Bytes:       c.bytes,

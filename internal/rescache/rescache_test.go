@@ -173,8 +173,13 @@ func TestWaiterContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, out, err := c.Do(ctx, key("slow"), fillWith(nil))
-	if !errors.Is(err, context.Canceled) || out != Shared {
+	if !errors.Is(err, context.Canceled) || out != Abandoned {
 		t.Fatalf("cancelled waiter: out=%v err=%v", out, err)
+	}
+	// The abandoned wait is its own counter: it was never served, so
+	// it must not inflate Shared (and through it the hit rate).
+	if st := c.Stats(); st.Abandoned != 1 || st.Shared != 0 {
+		t.Fatalf("stats after abandoned wait = %+v", st)
 	}
 	// The leader is unaffected and its value lands for the next call.
 	close(gate)
@@ -182,6 +187,42 @@ func TestWaiterContextCancellation(t *testing.T) {
 	v, out, err := c.Do(context.Background(), key("slow"), fillWith(nil))
 	if err != nil || out != Hit || string(v) != "late" {
 		t.Fatalf("after leader completes: %q %v %v", v, out, err)
+	}
+}
+
+// TestOversizedStoreLeavesCacheIntact is the regression for the
+// LRU-flush bug: a value larger than the byte bound used to be
+// admitted first and evicted down, which flushed every resident
+// entry on the way to dropping the one value that could not stay.
+func TestOversizedStoreLeavesCacheIntact(t *testing.T) {
+	c := New(0, 32)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		c.Do(ctx, key(fmt.Sprintf("k%d", i)), fillWith(make([]byte, 4)))
+	}
+	if c.Len() != 8 {
+		t.Fatalf("setup stored %d of 8 entries", c.Len())
+	}
+	// The fill still succeeds and the caller gets its bytes; only
+	// retention is refused.
+	v, out, err := c.Do(ctx, key("huge"), fillWith(make([]byte, 100)))
+	if err != nil || out != Miss || len(v) != 100 {
+		t.Fatalf("oversized fill: %d bytes, %v, %v", len(v), out, err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(key(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("entry k%d evicted by an oversized store", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 8 || st.Bytes != 32 || st.Evictions != 0 {
+		t.Fatalf("stats after oversized store = %+v", st)
+	}
+	// An oversized refill of a stored key cannot keep the stale bytes.
+	c2 := New(0, 32)
+	c2.Do(ctx, key("a"), fillWith(make([]byte, 4)))
+	c2.store(key("a"), make([]byte, 100))
+	if _, ok := c2.Get(key("a")); ok {
+		t.Fatal("oversized refill left the stale smaller value resident")
 	}
 }
 

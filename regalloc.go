@@ -108,6 +108,7 @@ var (
 	ErrBadMetric             = alloc.ErrBadMetric
 	ErrConflictingSpillModes = alloc.ErrConflictingSpillModes
 	ErrBadWorkers            = alloc.ErrBadWorkers
+	ErrBadPColorAlgo         = alloc.ErrBadPColorAlgo
 )
 
 // Observer is the allocator's event-sink interface (obs.Sink
@@ -235,9 +236,9 @@ const (
 
 // DefaultPortfolio returns the standard candidate set derived from
 // base: Chaitin and Briggs under cost/degree, the cost-only and
-// degree-only spill metrics, smallest-last ordering, and the
-// speculative pcolor engine once per seed (portfolio.DefaultSeeds
-// when none are given).
+// degree-only spill metrics, smallest-last ordering, the speculative
+// pcolor engine once per seed (portfolio.DefaultSeeds when none are
+// given), and one Jones–Plassmann entrant on the first seed.
 func DefaultPortfolio(base Options, pcolorSeeds ...uint64) []PortfolioCandidate {
 	if len(pcolorSeeds) == 0 {
 		pcolorSeeds = portfolio.DefaultSeeds

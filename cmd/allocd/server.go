@@ -695,6 +695,14 @@ func (s *server) graphBody(g *ig.Graph, costs []float64, opt regalloc.Options, r
 		name = "graph"
 	}
 
+	// The SSA heuristic colors in dominance order, which a bare
+	// interference graph does not carry; it applies to source
+	// payloads only.
+	if opt.Heuristic == color.SSA {
+		return nil, failErr(http.StatusBadRequest, codeBadHeuristic, "heuristic",
+			errors.New("heuristic ssa needs program structure (dominance order); send mini-FORTRAN source, not a graph"))
+	}
+
 	if req.Heuristic == "pcolor" {
 		t0 := time.Now()
 		colors, st := pcolor.Color(g, pcolor.Options{Workers: pcolorWorkers(req), Seed: pcolorSeed(req)})

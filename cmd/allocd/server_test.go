@@ -338,10 +338,11 @@ func TestAllocPortfolio(t *testing.T) {
 	}
 	u := resp.Units[0]
 	p := u.Portfolio
-	// Default set: 5 heuristic variants + 3 pcolor seeds + 1
-	// Jones–Plassmann entrant.
-	if len(p.Candidates) != 9 {
-		t.Fatalf("candidates = %d, want 9: %+v", len(p.Candidates), p)
+	// Default set: 6 heuristic variants (chaitin, briggs, briggs/cost,
+	// briggs/degree, mb, ssa) + 3 pcolor seeds + 1 Jones–Plassmann
+	// entrant.
+	if len(p.Candidates) != 10 {
+		t.Fatalf("candidates = %d, want 10: %+v", len(p.Candidates), p)
 	}
 	if p.Winner == "" || p.Mode != "race-to-best" {
 		t.Fatalf("portfolio = %+v", p)

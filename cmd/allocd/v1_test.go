@@ -490,3 +490,51 @@ func TestDeprecatedAliasHeaders(t *testing.T) {
 		t.Error("/v1/alloc carries a Deprecation header")
 	}
 }
+
+// TestV1SSAHeuristic: the SSA-form chordal allocator is reachable
+// through the service with heuristic=ssa on source payloads, and a
+// bare interference graph — which carries no dominance order for the
+// greedy colorer — is rejected with the typed heuristic error.
+func TestV1SSAHeuristic(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, data := postAlloc(t, ts, "/v1/alloc?heuristic=ssa&kint=8&kfloat=4&colors=1", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("source + ssa: status %d: %s", code, data)
+	}
+	var resp allocResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if resp.Input != "src" || len(resp.Units) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	u := resp.Units[0]
+	if u.Unit != "SAXPYISH" || u.LiveRanges == 0 || len(u.Colors) == 0 {
+		t.Fatalf("unit = %+v", u)
+	}
+
+	// The JSON form resolves to the same canonical request: byte
+	// parity plus a cache hit, like the briggs case in
+	// TestV1JSONQueryParity.
+	kint, kfloat := 8, 4
+	jcode, jsonBody, cache := postJSON(t, ts, "/v1/alloc", &AllocRequest{
+		Source: testSource, Heuristic: "ssa", KInt: &kint, KFloat: &kfloat, Colors: true,
+	})
+	if jcode != http.StatusOK {
+		t.Fatalf("JSON form: status %d: %s", jcode, jsonBody)
+	}
+	if !bytes.Equal(data, jsonBody) {
+		t.Fatalf("forms disagree:\nlegacy: %s\njson:   %s", data, jsonBody)
+	}
+	if cache != "hit" {
+		t.Fatalf("X-Cache %q, want hit", cache)
+	}
+
+	code, data = postAlloc(t, ts, "/v1/alloc?input=ig&heuristic=ssa&kint=2", testGraph)
+	if code != http.StatusBadRequest {
+		t.Fatalf("graph + ssa: status %d, want 400: %s", code, data)
+	}
+	if e := errorEnvelope(t, data); e.Code != "bad_heuristic" {
+		t.Fatalf("graph + ssa: code %q, want bad_heuristic (%s)", e.Code, data)
+	}
+}

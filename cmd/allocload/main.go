@@ -2,7 +2,7 @@
 // the paper's workload programs, generated stress graphs, and fuzzed
 // mini-FORTRAN subroutines — and reports latency percentiles, error
 // rate, and cache hit rate as the `loadtest` section of a bench-json
-// document (schema regalloc-bench/7).
+// document (schema regalloc-bench/8).
 //
 //	allocd -addr :8080 &
 //	allocload -addr http://localhost:8080 -duration 5s -conc 8 -out load.json

@@ -294,10 +294,10 @@ func TestReportShapeAndGate(t *testing.T) {
 		Cache:     cacheSummary{Hits: 80, Misses: 20, HitRate: 0.8},
 	}
 	r := newReport(lt)
-	if r.Schema != "regalloc-bench/7" {
+	if r.Schema != "regalloc-bench/8" {
 		t.Fatalf("schema %q", r.Schema)
 	}
-	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "error_latency") {
+	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "chordal allocator") {
 		t.Fatalf("schema history %v", r.SchemaHistory)
 	}
 	data, err := json.Marshal(r)
@@ -330,7 +330,7 @@ func TestReportShapeAndGate(t *testing.T) {
 		t.Fatal("gate passed with a missing baseline")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
-	os.WriteFile(empty, []byte(`{"schema":"regalloc-bench/7"}`), 0o644)
+	os.WriteFile(empty, []byte(`{"schema":"regalloc-bench/8"}`), 0o644)
 	if err := gate(lt, empty, 5, 0); err == nil || !strings.Contains(err.Error(), "loadtest") {
 		t.Fatalf("gate on sectionless baseline: %v", err)
 	}

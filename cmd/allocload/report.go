@@ -1,5 +1,5 @@
 // report.go is the bench-json document allocload emits: schema
-// regalloc-bench/7, which carries the loadtest section added in /6
+// regalloc-bench/8, which carries the loadtest section added in /6
 // plus the /7 error_latency split (transport failures quantified
 // apart from service latency). The section's shape mirrors
 // cmd/bench's latency quantiles so the two reports diff with the
@@ -85,7 +85,7 @@ type report struct {
 
 // benchSchema and benchSchemaHistory are the shared bench-json
 // lineage; cmd/bench carries the same strings.
-const benchSchema = "regalloc-bench/7"
+const benchSchema = "regalloc-bench/8"
 
 func benchSchemaHistory() []string {
 	return []string{
@@ -94,6 +94,7 @@ func benchSchemaHistory() []string {
 		"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
 		"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
 		"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
+		"regalloc-bench/8: adds ssa (SSA-form chordal allocator over every figure-5 routine at (16,8) and (8,4), with Chaitin/Briggs costs on the same units); all /7 fields unchanged",
 	}
 }
 

@@ -30,6 +30,11 @@
 //	                  (transport-failure latency, tracked apart from
 //	                  the SLO-facing success histogram); all /6 fields
 //	                  unchanged
+//	regalloc-bench/8  adds ssa (the SSA-form chordal allocator over
+//	                  every figure-5 routine at (16,8) and (8,4):
+//	                  construction shape, post-spill MAXLIVE, spill
+//	                  totals, and the Chaitin/Briggs costs on the same
+//	                  unit); all /7 fields unchanged
 package main
 
 import (
@@ -116,6 +121,33 @@ type benchScale struct {
 	Colors    int    `json:"colors"`
 }
 
+// benchSSA is one routine under one register-file size in the
+// SSA-form chordal allocator study (new in regalloc-bench/8). The
+// spill/cost columns are deterministic — they diff cleanly across
+// PRs; only durations elsewhere in the report carry machine noise.
+type benchSSA struct {
+	Program string `json:"program"`
+	Routine string `json:"routine"`
+	KInt    int    `json:"k_int"`
+	KFloat  int    `json:"k_float"`
+	// Irreducible marks units whose operand pressure no spilling can
+	// fit at this K; all other columns are zero for such rows.
+	Irreducible  bool  `json:"irreducible,omitempty"`
+	Phis         int   `json:"phis"`
+	CopyProps    int   `json:"copy_props"`
+	SplitEdges   int   `json:"split_edges"`
+	MaxLiveInt   int   `json:"maxlive_int"`
+	MaxLiveFloat int   `json:"maxlive_float"`
+	Rounds       int   `json:"rounds"`
+	Spilled      int   `json:"spilled"`
+	CostMilli    int64 `json:"cost_milli"`
+	Copies       int   `json:"phi_copies"`
+	CycleBreaks  int   `json:"cycle_breaks"`
+	SlotBounces  int   `json:"slot_bounces"`
+	ChaitinCost  int64 `json:"chaitin_cost_milli"`
+	BriggsCost   int64 `json:"briggs_cost_milli"`
+}
+
 // benchPortfolioCandidate is one strategy's outcome in one routine's
 // portfolio race.
 type benchPortfolioCandidate struct {
@@ -185,7 +217,12 @@ type benchReport struct {
 	// where per-node adjacency vectors used to dominate build time.
 	// New in regalloc-bench/7.
 	Scale []benchScale `json:"scale"`
-	Note  string       `json:"note"`
+	// SSA is the SSA-form chordal allocator study: every figure-5
+	// routine at (16,8) and (8,4), with the Figure 4 allocators'
+	// costs on the same units for comparison. New in
+	// regalloc-bench/8.
+	SSA  []benchSSA `json:"ssa"`
+	Note string     `json:"note"`
 }
 
 // figure7Routines is the paper's four large routines, the workloads
@@ -222,13 +259,14 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/7",
+		Schema: "regalloc-bench/8",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
 			"regalloc-bench/5: adds portfolio (one race per figure-7 routine: winner, margin, per-candidate table); all /4 fields unchanged",
 			"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
 			"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
+			"regalloc-bench/8: adds ssa (SSA-form chordal allocator over every figure-5 routine at (16,8) and (8,4), with Chaitin/Briggs costs on the same units); all /7 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -453,6 +491,36 @@ func runBenchJSON(path string, reps int) error {
 			Rounds:    row.Rounds,
 			Conflicts: row.Conflicts,
 			Colors:    row.Colors,
+		})
+	}
+
+	// SSA-form chordal allocator study (new in /8). Deterministic
+	// like the portfolio section: spill and cost columns diff cleanly
+	// across PRs.
+	ssaStudy, err := experiments.SSAStudy()
+	if err != nil {
+		return err
+	}
+	for _, row := range ssaStudy.Rows {
+		report.SSA = append(report.SSA, benchSSA{
+			Program:      row.Program,
+			Routine:      row.Routine,
+			KInt:         row.KInt,
+			KFloat:       row.KFloat,
+			Irreducible:  row.Irreducible,
+			Phis:         row.Phis,
+			CopyProps:    row.CopyProps,
+			SplitEdges:   row.SplitEdges,
+			MaxLiveInt:   row.MaxLiveInt,
+			MaxLiveFloat: row.MaxLiveFloat,
+			Rounds:       row.Rounds,
+			Spilled:      row.Spilled,
+			CostMilli:    row.CostMilli,
+			Copies:       row.Copies,
+			CycleBreaks:  row.CycleBreaks,
+			SlotBounces:  row.SlotBounces,
+			ChaitinCost:  row.ChaitinCostMilli,
+			BriggsCost:   row.BriggsCostMilli,
 		})
 	}
 

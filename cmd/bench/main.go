@@ -11,6 +11,7 @@
 //	bench -figure pcolor     # speculative parallel coloring study
 //	bench -figure portfolio  # heuristic-portfolio racing study
 //	bench -figure scale      # 10^5+-node CSR + parallel coloring tier
+//	bench -figure ssa        # SSA-form chordal allocator study
 //	bench -figure all        # everything
 //	bench -figure scale -scale-nodes 1000000
 //	bench -figure 6 -n 200000
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	scaleNodes := flag.Int("scale-nodes", 100000, "node count per topology for -figure scale")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
@@ -119,8 +120,9 @@ func main() {
 	runPC := *figure == "pcolor" || *figure == "all"
 	runPort := *figure == "portfolio" || *figure == "all"
 	runScale := *figure == "scale" || *figure == "all"
-	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort && !runScale {
-		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, or all)\n", *figure)
+	runSSA := *figure == "ssa" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort && !runScale && !runSSA {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, or all)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -175,6 +177,12 @@ func main() {
 	if runScale {
 		fmt.Println("=== Scale tier: CSR adjacency + parallel coloring at 10^5+ nodes ===")
 		res, err := experiments.ScaleStudy(*scaleNodes)
+		fail(err)
+		fmt.Println(res)
+	}
+	if runSSA {
+		fmt.Println("=== SSA-form chordal allocation (beyond the paper) ===")
+		res, err := experiments.SSAStudy()
 		fail(err)
 		fmt.Println(res)
 	}

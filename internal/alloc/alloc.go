@@ -139,6 +139,13 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 	if opt.MaxPasses <= 0 {
 		opt.MaxPasses = 64
 	}
+	if opt.Heuristic == color.SSA && !opt.UsePColor {
+		// The SSA heuristic replaces the whole Figure 4 cycle, not
+		// just the simplify order. (UsePColor ignores Heuristic, so
+		// the speculative engine keeps precedence, as it does for the
+		// other heuristics.)
+		return runSSA(ctx, f, opt)
+	}
 	work := f.Clone()
 	res := &Result{Options: opt}
 	kf := opt.K()

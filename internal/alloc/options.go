@@ -144,7 +144,7 @@ func (o Options) Validate() error {
 	if o.KInt < 1 || o.KFloat < 1 {
 		return fmt.Errorf("alloc: kInt=%d, kFloat=%d: %w", o.KInt, o.KFloat, ErrBadK)
 	}
-	if o.Heuristic < color.Chaitin || o.Heuristic > color.MatulaBeck {
+	if o.Heuristic < color.Chaitin || o.Heuristic > color.SSA {
 		return fmt.Errorf("alloc: heuristic %d: %w", int(o.Heuristic), ErrBadHeuristic)
 	}
 	if o.Metric < color.CostOverDegree || o.Metric > color.DegreeOnly {

@@ -114,6 +114,122 @@ func TestMultipleBackEdgesOneHeader(t *testing.T) {
 	}
 }
 
+// refDominates is the textbook oracle: v dominates w iff removing v
+// from the graph makes w unreachable from entry (and reachable
+// before). Quadratic, fine for the table graphs.
+func refDominates(succs [][]int, v, w int) bool {
+	reach := func(skip int) []bool {
+		seen := make([]bool, len(succs))
+		if skip == 0 {
+			return seen
+		}
+		var walk func(int)
+		walk = func(b int) {
+			if b == skip || seen[b] {
+				return
+			}
+			seen[b] = true
+			for _, s := range succs[b] {
+				walk(s)
+			}
+		}
+		walk(0)
+		return seen
+	}
+	if !reach(-1)[w] {
+		return false // unreachable blocks dominate nothing and are dominated by nothing
+	}
+	return v == w || !reach(v)[w]
+}
+
+// TestDominatorTable cross-checks Analyze against the removal oracle
+// on the CFG shapes that historically break dominator algorithms:
+// single-block functions, self-loops, unreachable subgraphs (including
+// unreachable cycles), and irreducible loops entered from two sides.
+func TestDominatorTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		succs [][]int
+		// wantIDom[b] = expected immediate dominator (-1 unreachable).
+		wantIDom []int
+		loops    int
+	}{
+		{
+			name:     "single block",
+			succs:    [][]int{{}},
+			wantIDom: []int{0},
+			loops:    0,
+		},
+		{
+			name:     "self loop",
+			succs:    [][]int{{1}, {1, 2}, {}},
+			wantIDom: []int{0, 0, 1},
+			loops:    1,
+		},
+		{
+			name:     "self loop on entry",
+			succs:    [][]int{{0, 1}, {}},
+			wantIDom: []int{0, 0},
+			loops:    1,
+		},
+		{
+			name: "irreducible: two entries into a cycle",
+			// 0 branches to 1 and 2; 1 <-> 2 form a cycle neither
+			// dominates, so the retreating edge is not a back edge
+			// and no natural loop is reported.
+			succs:    [][]int{{1, 2}, {2, 3}, {1, 3}, {}},
+			wantIDom: []int{0, 0, 0, 0},
+			loops:    0,
+		},
+		{
+			name: "unreachable cycle",
+			// 2 and 3 cycle but nothing reaches them.
+			succs:    [][]int{{1}, {}, {3}, {2}},
+			wantIDom: []int{0, 0, -1, -1},
+			loops:    0,
+		},
+		{
+			name: "unreachable block with edge into live code",
+			// 2 jumps into the live chain; its edge must not
+			// perturb the dominance of reachable blocks.
+			succs:    [][]int{{1}, {}, {1}},
+			wantIDom: []int{0, 0, -1},
+			loops:    0,
+		},
+		{
+			name: "nested loop sharing a latch chain",
+			// 0 -> 1 -> 2 -> 3 -> 2, 3 -> 1, 1 -> 4
+			succs:    [][]int{{1}, {2, 4}, {3}, {2, 1}, {}},
+			wantIDom: []int{0, 0, 1, 2, 1},
+			loops:    2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := buildFunc(tc.succs)
+			info := cfg.Analyze(f)
+			for b, want := range tc.wantIDom {
+				if info.IDom[b] != want {
+					t.Errorf("IDom[%d] = %d, want %d (all: %v)", b, info.IDom[b], want, info.IDom)
+				}
+			}
+			if len(info.Loops) != tc.loops {
+				t.Errorf("loops = %d, want %d (%+v)", len(info.Loops), tc.loops, info.Loops)
+			}
+			n := len(tc.succs)
+			for v := 0; v < n; v++ {
+				for w := 0; w < n; w++ {
+					got := info.Dominates(v, w)
+					want := refDominates(tc.succs, v, w)
+					if got != want {
+						t.Errorf("Dominates(%d,%d) = %v, oracle says %v", v, w, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestCompiledLoopDepths checks depth assignment on real compiled
 // code with a triple nest.
 func TestCompiledLoopDepths(t *testing.T) {

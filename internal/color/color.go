@@ -39,9 +39,14 @@ const (
 	Chaitin Heuristic = iota
 	Briggs
 	MatulaBeck
+	// SSA selects the SSA-form chordal allocator instead of a
+	// simplify order: construction, pre-spilling, and dominance-order
+	// greedy coloring all live in internal/ssa, dispatched by the
+	// alloc driver.
+	SSA
 )
 
-var heuristicNames = [...]string{"chaitin", "briggs", "matula-beck"}
+var heuristicNames = [...]string{"chaitin", "briggs", "matula-beck", "ssa"}
 
 func (h Heuristic) String() string {
 	if int(h) < len(heuristicNames) {
@@ -51,7 +56,7 @@ func (h Heuristic) String() string {
 }
 
 // ParseHeuristic resolves a heuristic by name ("chaitin", "briggs",
-// "matula-beck"/"mb").
+// "matula-beck"/"mb", "ssa"/"chordal").
 func ParseHeuristic(s string) (Heuristic, error) {
 	switch s {
 	case "chaitin", "old":
@@ -60,6 +65,8 @@ func ParseHeuristic(s string) (Heuristic, error) {
 		return Briggs, nil
 	case "matula-beck", "mb", "smallest-last":
 		return MatulaBeck, nil
+	case "ssa", "chordal":
+		return SSA, nil
 	}
 	return 0, fmt.Errorf("unknown heuristic %q", s)
 }

@@ -1,0 +1,52 @@
+package ssa
+
+import (
+	"fmt"
+
+	"regalloc/internal/color"
+)
+
+// Color greedily assigns each definition, in dominance order, the
+// lowest color unused by its already-colored interference
+// neighbors. Dominance order is the reverse of a perfect elimination
+// order of the chordal SSA interference graph, so this is optimal:
+// it uses exactly MAXLIVE colors per class, and after pre-spilling
+// (MAXLIVE ≤ K) it cannot fail. Registers that are never defined
+// (pre-rename husks) keep color.NoColor; no instruction mentions
+// them.
+func Color(s *Func, a *Analysis, k color.K) ([]int16, error) {
+	f := s.F
+	colors := make([]int16, f.NumRegs())
+	for i := range colors {
+		colors[i] = color.NoColor
+	}
+	var used []bool
+	for _, r := range a.Order {
+		kn := k(f.RegClass(r))
+		if cap(used) < kn {
+			used = make([]bool, kn)
+		}
+		used = used[:kn]
+		for i := range used {
+			used[i] = false
+		}
+		for _, nb := range a.G.Neighbors(int32(r)) {
+			if c := colors[nb]; c != color.NoColor && int(c) < kn {
+				used[c] = true
+			}
+		}
+		c := color.NoColor
+		for j := 0; j < kn; j++ {
+			if !used[j] {
+				c = int16(j)
+				break
+			}
+		}
+		if c == color.NoColor {
+			return nil, fmt.Errorf("ssa: %s: v%d found no free color among %d %s registers after pre-spilling",
+				f.Name, r, kn, f.RegClass(r))
+		}
+		colors[r] = c
+	}
+	return colors, nil
+}

@@ -1,0 +1,207 @@
+package ssa
+
+import (
+	"fmt"
+
+	"regalloc/internal/color"
+	"regalloc/internal/ir"
+)
+
+// LowerStats reports the phi-lowering work.
+type LowerStats struct {
+	Copies      int // instructions emitted to implement the parallel copies
+	CycleBreaks int // copy cycles broken via a scratch register
+	SlotBounces int // copy cycles broken via a spill-slot store/load
+}
+
+// Lower eliminates the phi side table: for every edge into a phi
+// block it emits, at the end of the predecessor (which ends in an
+// unconditional branch — critical edges were split), the parallel
+// copy moving each argument's location to its destination's
+// location. Copies are sequentialized by location: a copy runs only
+// when nothing pending still reads its destination location; a cycle
+// is broken by saving the blocking location to a scratch register on
+// a free color, or — when every color is occupied — bouncing it
+// through a fresh spill slot. Returns the coloring extended with any
+// scratch registers.
+func Lower(s *Func, a *Analysis, colors []int16, k color.K) ([]int16, LowerStats, error) {
+	f := s.F
+	var st LowerStats
+	for _, b := range f.Blocks {
+		phis := s.Phis[b.ID]
+		if len(phis) == 0 {
+			continue
+		}
+		for j, p := range b.Preds {
+			emitted, err := lowerEdge(s, a, &colors, phis, b, j, p, k, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			if len(emitted) == 0 {
+				continue
+			}
+			pb := f.Blocks[p]
+			term := len(pb.Instrs) - 1
+			out := make([]ir.Instr, 0, len(pb.Instrs)+len(emitted))
+			out = append(out, pb.Instrs[:term]...)
+			out = append(out, emitted...)
+			out = append(out, pb.Instrs[term])
+			pb.Instrs = out
+			st.Copies += len(emitted)
+		}
+	}
+	for i := range s.Phis {
+		s.Phis[i] = nil
+	}
+	return colors, st, nil
+}
+
+// edgeCopy is one pending location transfer of the parallel copy.
+type edgeCopy struct {
+	dst, src       ir.Reg
+	dstLoc, srcLoc int   // srcLoc < 0: the value waits in a bounce slot
+	slot           int64 // bounce slot, when srcLoc < 0
+}
+
+// lowerEdge sequentializes the parallel copy for the edge p -> b
+// (b's j-th predecessor) and returns the instruction sequence.
+func lowerEdge(s *Func, a *Analysis, colors *[]int16, phis []Phi, b *ir.Block, j, p int, k color.K, st *LowerStats) ([]ir.Instr, error) {
+	f := s.F
+	var emitted []ir.Instr
+
+	// Occupied colors at the copy point, per class: everything
+	// live out of p plus every destination, conservatively — scratch
+	// registers must not collide with any of them.
+	var occ [ir.NumClasses][]bool
+	for c := 0; c < ir.NumClasses; c++ {
+		occ[c] = make([]bool, k(ir.Class(c)))
+	}
+	mark := func(r ir.Reg) {
+		cls := f.RegClass(r)
+		if c := (*colors)[r]; c != color.NoColor && int(c) < len(occ[cls]) {
+			occ[cls][c] = true
+		}
+	}
+	a.Live.Out[p].ForEach(func(r int) { mark(ir.Reg(r)) })
+
+	var pending [ir.NumClasses][]*edgeCopy
+	for i := range phis {
+		ph := &phis[i]
+		dst, src := ph.Dst, ph.Args[j]
+		if dst == src {
+			continue // the value flows to itself around the loop
+		}
+		cd, cs := (*colors)[dst], (*colors)[src]
+		if cd == color.NoColor || cs == color.NoColor {
+			return nil, fmt.Errorf("ssa: %s: phi copy v%d <- v%d has uncolored ends", f.Name, dst, src)
+		}
+		mark(dst)
+		cls := f.RegClass(dst)
+		if cd == cs {
+			// Same location: the value is already in place, but the
+			// destination register must still be defined for the
+			// verifier and any later passes; the assembler turns this
+			// into a self-move.
+			emitted = append(emitted, ir.Instr{Op: ir.OpMove, Dst: dst, A: src, B: ir.NoReg, C: ir.NoReg})
+			continue
+		}
+		pending[cls] = append(pending[cls], &edgeCopy{dst: dst, src: src, dstLoc: int(cd), srcLoc: int(cs)})
+	}
+
+	for c := 0; c < ir.NumClasses; c++ {
+		cls := ir.Class(c)
+		work := pending[c]
+		if len(work) == 0 {
+			continue
+		}
+		// srcCount[loc] = pending copies still reading loc.
+		srcCount := make(map[int]int)
+		for _, cp := range work {
+			srcCount[cp.srcLoc]++
+		}
+		done := make([]bool, len(work))
+		remaining := len(work)
+		emit := func(i int) {
+			cp := work[i]
+			if cp.srcLoc < 0 {
+				emitted = append(emitted, ir.Instr{Op: ir.OpSpillLoad, Dst: cp.dst, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: cp.slot})
+			} else {
+				emitted = append(emitted, ir.Instr{Op: ir.OpMove, Dst: cp.dst, A: cp.src, B: ir.NoReg, C: ir.NoReg})
+				srcCount[cp.srcLoc]--
+			}
+			done[i] = true
+			remaining--
+		}
+		for remaining > 0 {
+			progress := false
+			for i, cp := range work {
+				if !done[i] && srcCount[cp.dstLoc] == 0 {
+					emit(i)
+					progress = true
+				}
+			}
+			if progress {
+				continue
+			}
+			// Every pending destination location is still read by a
+			// pending copy: a cycle. Free the lowest blocked
+			// destination location by saving its current value — the
+			// (unique) register among the pending sources that holds
+			// it.
+			pick := -1
+			for i, cp := range work {
+				if !done[i] && (pick < 0 || cp.dstLoc < work[pick].dstLoc) {
+					pick = i
+				}
+			}
+			m := work[pick].dstLoc
+			var v ir.Reg = ir.NoReg
+			for i, cp := range work {
+				if !done[i] && cp.srcLoc == m {
+					v = cp.src
+					break
+				}
+			}
+			if v == ir.NoReg {
+				return nil, fmt.Errorf("ssa: %s: copy cycle at b%d pred b%d has no reader of location %d", f.Name, b.ID, p, m)
+			}
+			free := -1
+			for loc := 0; loc < len(occ[c]); loc++ {
+				if !occ[c][loc] {
+					free = loc
+					break
+				}
+			}
+			if free >= 0 {
+				t := f.NewReg(cls)
+				for len(*colors) < f.NumRegs() {
+					*colors = append(*colors, color.NoColor)
+				}
+				(*colors)[t] = int16(free)
+				occ[c][free] = true
+				emitted = append(emitted, ir.Instr{Op: ir.OpMove, Dst: t, A: v, B: ir.NoReg, C: ir.NoReg})
+				for i, cp := range work {
+					if !done[i] && cp.srcLoc == m {
+						cp.src = t
+						cp.srcLoc = free
+						srcCount[free]++
+					}
+				}
+				srcCount[m] = 0
+				st.CycleBreaks++
+			} else {
+				sl := f.NewSlot()
+				emitted = append(emitted, ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, A: v, B: ir.NoReg, C: ir.NoReg, Imm: sl})
+				for i, cp := range work {
+					if !done[i] && cp.srcLoc == m {
+						cp.srcLoc = -1
+						cp.slot = sl
+					}
+				}
+				srcCount[m] = 0
+				st.SlotBounces++
+			}
+		}
+	}
+	return emitted, nil
+}

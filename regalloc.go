@@ -69,6 +69,7 @@ import (
 	"regalloc/internal/parser"
 	"regalloc/internal/portfolio"
 	"regalloc/internal/sem"
+	"regalloc/internal/ssa"
 	"regalloc/internal/target"
 	"regalloc/internal/vm"
 )
@@ -77,14 +78,17 @@ import (
 // internal/color for the definitions.
 type Heuristic = color.Heuristic
 
-// The three heuristics the paper compares: Chaitin's pessimistic
+// The three heuristics the paper compares — Chaitin's pessimistic
 // coloring ("Old" in the paper's tables), the optimistic coloring of
 // Briggs et al. ("New"), and Matula–Beck smallest-last ordering (the
-// cost-blind linear-time comparator of §2.2).
+// cost-blind linear-time comparator of §2.2) — plus the SSA-form
+// chordal allocator, which replaces the whole Figure 4 cycle with
+// construction, pre-spilling, and dominance-order greedy coloring.
 const (
 	Chaitin    = color.Chaitin
 	Briggs     = color.Briggs
 	MatulaBeck = color.MatulaBeck
+	SSA        = color.SSA
 )
 
 // Options configures the allocator; it is alloc.Options re-exported.
@@ -110,6 +114,13 @@ var (
 	ErrBadWorkers            = alloc.ErrBadWorkers
 	ErrBadPColorAlgo         = alloc.ErrBadPColorAlgo
 )
+
+// ErrIrreducible (ssa.ErrIrreducible re-exported) reports register
+// pressure no spilling can reduce: a single instruction reads more
+// distinct values of one class than the machine has registers. The
+// SSA allocator returns it as a typed error; the Figure 4 allocators
+// hit the same wall as "a spill temporary must itself spill".
+var ErrIrreducible = ssa.ErrIrreducible
 
 // Observer is the allocator's event-sink interface (obs.Sink
 // re-exported): anything with Emit(TraceEvent) can receive the live

@@ -1,0 +1,70 @@
+package regalloc_test
+
+import (
+	"testing"
+
+	"regalloc"
+	"regalloc/internal/ir"
+	"regalloc/internal/ssa"
+	"regalloc/internal/workloads"
+)
+
+// TestSSANeverWorseThanChaitinWhenPressureFits is the differential
+// equivalence table: on every corpus unit whose post-construction
+// MAXLIVE already fits the register file, the SSA allocator's
+// decoupled spill phase must stay idle — zero spills, so its spill
+// cost is trivially no worse than Chaitin's on the same unit — and
+// any unit the Chaitin allocator keeps zero-spill must stay
+// zero-spill under SSA.
+func TestSSANeverWorseThanChaitinWhenPressureFits(t *testing.T) {
+	all := append(workloads.All(), workloads.Quicksort(), workloads.IntegerKernels())
+	for _, w := range all {
+		prog, err := regalloc.Compile(w.Source)
+		if err != nil {
+			t.Fatalf("compile %s: %v", w.Program, err)
+		}
+		for _, routine := range w.Routines {
+			for _, kk := range [][2]int{{16, 8}, {8, 4}} {
+				f := prog.Func(routine)
+				if f == nil {
+					t.Fatalf("%s: no routine %s", w.Program, routine)
+				}
+				s, err := ssa.Construct(f.Clone())
+				if err != nil {
+					t.Fatalf("%s/%s: construct: %v", w.Program, routine, err)
+				}
+				a := ssa.Analyze(s)
+				fits := a.MaxLive[ir.ClassInt] <= kk[0] && a.MaxLive[ir.ClassFloat] <= kk[1]
+
+				opt := regalloc.DefaultOptions()
+				opt.KInt, opt.KFloat = kk[0], kk[1]
+				opt.Heuristic = regalloc.SSA
+				sres, serr := prog.Allocate(routine, opt)
+
+				opt.Heuristic = regalloc.Chaitin
+				cres, cerr := prog.Allocate(routine, opt)
+
+				if fits {
+					if serr != nil {
+						t.Fatalf("%s/%s at k=%v: MAXLIVE fits yet SSA failed: %v", w.Program, routine, kk, serr)
+					}
+					if n := sres.TotalSpilled(); n != 0 {
+						t.Errorf("%s/%s at k=%v: MAXLIVE fits yet SSA spilled %d values", w.Program, routine, kk, n)
+					}
+					if cerr == nil && sres.TotalSpillCost() > cres.TotalSpillCost() {
+						t.Errorf("%s/%s at k=%v: SSA spill cost %.3f exceeds Chaitin's %.3f",
+							w.Program, routine, kk, sres.TotalSpillCost(), cres.TotalSpillCost())
+					}
+				}
+				if cerr == nil && cres.TotalSpilled() == 0 {
+					if serr != nil {
+						t.Fatalf("%s/%s at k=%v: Chaitin is zero-spill yet SSA failed: %v", w.Program, routine, kk, serr)
+					}
+					if n := sres.TotalSpilled(); n != 0 {
+						t.Errorf("%s/%s at k=%v: Chaitin is zero-spill yet SSA spilled %d values", w.Program, routine, kk, n)
+					}
+				}
+			}
+		}
+	}
+}

@@ -46,7 +46,21 @@
 //	                     service gauges.
 //	GET  /healthz        liveness (always ok while the process runs).
 //	GET  /readyz         readiness (503 once draining begins).
+//	GET  /debug/requests the flight recorder: full span trees of the
+//	                     slowest and every errored recent request,
+//	                     looked up by the trace_id a response's
+//	                     traceparent header, an access-log line, or a
+//	                     /metrics exemplar carries.
 //	GET  /debug/pprof/   the standard Go profiler endpoints.
+//
+// Tracing: allocation routes accept a W3C traceparent header and
+// continue that trace (minting one otherwise); the response's
+// traceparent names the server's span. With -access-log PATH the
+// service writes one JSON line per allocation request (trace_id,
+// unit, heuristic, cache outcome, status, duration, spill cost); the
+// file is flushed and fsynced after the drain completes, so the last
+// in-flight request's line survives the exit. See
+// docs/OBSERVABILITY.md for the full story.
 //
 // Admission: -max-inflight bounds concurrently served allocations;
 // excess requests queue. A queued request that hits -alloc-timeout
@@ -87,6 +101,7 @@ func main() {
 	allocTimeout := flag.Duration("alloc-timeout", 0, "per-request allocation deadline, queueing included (0 disables); expiry answers 429 while healthy, 503 draining")
 	cacheEntries := flag.Int("cache-entries", defaultCacheEntries, "result-cache entry bound (0 unbounded, negative disables the cache)")
 	cacheBytes := flag.Int64("cache-bytes", defaultCacheBytes, "result-cache byte bound (0 unbounded, negative disables the cache)")
+	accessLogPath := flag.String("access-log", "", "write one JSON line per allocation request to this file (empty disables)")
 	flag.Parse()
 
 	s := newServer(*maxInflight)
@@ -95,6 +110,14 @@ func main() {
 		s.cache = nil
 	} else {
 		s.cache = rescache.New(*cacheEntries, *cacheBytes)
+	}
+	if *accessLogPath != "" {
+		al, err := newAccessLog(*accessLogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allocd: access log:", err)
+			os.Exit(1)
+		}
+		s.access = al
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -128,7 +151,14 @@ func main() {
 			cancel()
 		}()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.access.Close()
 			fmt.Fprintln(os.Stderr, "allocd: shutdown:", err)
+			os.Exit(1)
+		}
+		// The drain is complete: every in-flight request has written
+		// its access-log line, so flush and fsync before exiting.
+		if err := s.access.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "allocd: access log close:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "allocd: drained, exiting")

@@ -28,6 +28,7 @@ import (
 	"regalloc/internal/obs/promtext"
 	"regalloc/internal/pcolor"
 	"regalloc/internal/portfolio"
+	"regalloc/internal/reqtrace"
 	"regalloc/internal/rescache"
 )
 
@@ -43,12 +44,15 @@ const (
 // the admission semaphore bounding concurrent allocation work.
 // Handlers are safe for concurrent use.
 type server struct {
-	reg     *obs.Registry
-	metrics *obs.MetricsSink
-	cache   *rescache.Cache // nil: result caching disabled
-	sem     chan struct{}   // admission: one slot per in-flight request
-	ready   atomic.Bool
-	started time.Time
+	reg      *obs.Registry
+	metrics  *obs.MetricsSink
+	cache    *rescache.Cache // nil: result caching disabled
+	sem      chan struct{}   // admission: one slot per in-flight request
+	recorder *reqtrace.Recorder
+	reqLat   *obs.ExemplarHistogram // request latency with trace exemplars
+	access   *accessLog             // nil: access logging disabled
+	ready    atomic.Bool
+	started  time.Time
 
 	// allocTimeout, when > 0, caps each allocation request's
 	// wall-clock (queueing for admission included). Expiry while the
@@ -66,11 +70,13 @@ func newServer(maxInflight int) *server {
 		maxInflight = 1
 	}
 	s := &server{
-		reg:     obs.NewRegistry(),
-		metrics: obs.NewMetricsSink(),
-		cache:   rescache.New(defaultCacheEntries, defaultCacheBytes),
-		sem:     make(chan struct{}, maxInflight),
-		started: time.Now(),
+		reg:      obs.NewRegistry(),
+		metrics:  obs.NewMetricsSink(),
+		cache:    rescache.New(defaultCacheEntries, defaultCacheBytes),
+		sem:      make(chan struct{}, maxInflight),
+		recorder: reqtrace.NewRecorder(recorderSlowCap, recorderErrCap),
+		reqLat:   new(obs.ExemplarHistogram),
+		started:  time.Now(),
 	}
 	s.ready.Store(true)
 	return s
@@ -81,12 +87,13 @@ func newServer(maxInflight int) *server {
 // side effect) so the service owns every route it serves.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/alloc", s.handleAlloc)
-	mux.HandleFunc("/v1/alloc/batch", s.handleBatch)
-	mux.HandleFunc("/alloc", s.handleAllocLegacy)
+	mux.HandleFunc("/v1/alloc", s.traced(s.handleAlloc))
+	mux.HandleFunc("/v1/alloc/batch", s.traced(s.handleBatch))
+	mux.HandleFunc("/alloc", s.traced(s.handleAllocLegacy))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -130,6 +137,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if err := promtext.WriteCache(w, s.cache.Stats()); err != nil {
 			return
 		}
+	}
+	if err := promtext.WriteExemplarHistogram(w, "allocd_request_duration_seconds",
+		"Wall time of one allocation request, with per-bucket trace exemplars.", s.reqLat); err != nil {
+		return
 	}
 	ready := 0
 	if s.ready.Load() {
@@ -295,6 +306,9 @@ func (s *server) allocCached(ctx context.Context, req *AllocRequest, kind string
 	if fail != nil {
 		return nil, rescache.Miss, fail
 	}
+	rt, _ := reqtrace.FromContext(ctx)
+	rt.Annotate("unit", requestUnit(req, kind))
+	rt.Annotate("heuristic", requestHeuristic(req, opt))
 
 	var key cachekey.Key
 	var fill func() ([]byte, error)
@@ -318,23 +332,48 @@ func (s *server) allocCached(ctx context.Context, req *AllocRequest, kind string
 			return nil, rescache.Miss, failErr(http.StatusBadRequest, codeBadGraph, "parse graph", err)
 		}
 		key = graphKey(g, costs, opt, req)
-		fill = func() ([]byte, error) { return s.graphBody(g, costs, opt, req) }
+		fill = func() ([]byte, error) { return s.graphBody(ctx, g, costs, opt, req) }
 	default:
 		return nil, rescache.Miss, failf(http.StatusBadRequest, codeBadRequest, "unknown input kind %q", kind)
 	}
 
 	if s.cache == nil || req.NoCache {
 		b, err := fill()
+		rt.Annotate("cache", "bypass")
 		if err != nil {
 			return nil, rescache.Miss, s.asAPIError(ctx, err)
 		}
 		return b, rescache.Miss, nil
 	}
 	b, out, err := s.cache.Do(ctx, key, fill)
+	rt.Annotate("cache", out.String())
 	if err != nil {
 		return nil, out, s.asAPIError(ctx, err)
 	}
 	return b, out, nil
+}
+
+// requestUnit names the request's allocation target for annotations
+// and the access log, matching the unit labels the registry uses.
+func requestUnit(req *AllocRequest, kind string) string {
+	if req.Unit != "" {
+		return req.Unit
+	}
+	if kind == "ig" {
+		return "graph"
+	}
+	return "(program)"
+}
+
+// requestHeuristic names the engine for annotations and the access
+// log: the explicit request string when given (it distinguishes
+// pcolor, which Options folds into flags), the parsed option's
+// heuristic otherwise.
+func requestHeuristic(req *AllocRequest, opt regalloc.Options) string {
+	if req.Heuristic != "" {
+		return req.Heuristic
+	}
+	return opt.Heuristic.String()
 }
 
 // asAPIError normalizes a fill error: typed failures pass through,
@@ -468,7 +507,7 @@ func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt reg
 	opt.Observer = s.metrics
 	var results map[string]*regalloc.Result
 	if req.Unit != "" {
-		res, err := prog.Allocate(req.Unit, opt)
+		res, err := prog.AllocateContext(ctx, req.Unit, opt)
 		if err != nil {
 			s.reg.Record(obs.RunSummary{Unit: req.Unit, Error: true})
 			return nil, failErr(http.StatusBadRequest, codeBadRequest, "allocate "+req.Unit, err)
@@ -487,6 +526,7 @@ func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt reg
 	}
 
 	resp := allocResponse{Input: "src"}
+	var costMilli int64
 	for _, name := range prog.Functions() {
 		res, ok := results[name]
 		if !ok {
@@ -494,6 +534,7 @@ func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt reg
 		}
 		sum := regalloc.Summarize(name, res)
 		s.reg.Record(sum)
+		costMilli += sum.SpillCostMilli
 		u := unitResponse{
 			Unit:         name,
 			LiveRanges:   sum.LiveRanges,
@@ -514,6 +555,9 @@ func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt reg
 		resp.SpillCost += float64(sum.SpillCostMilli) / 1000
 		resp.TotalNS += sum.TotalNS
 	}
+	if rt, _ := reqtrace.FromContext(ctx); rt != nil {
+		rt.Annotate("spill_cost_milli", strconv.FormatInt(costMilli, 10))
+	}
 	return renderJSON(resp)
 }
 
@@ -532,6 +576,10 @@ func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req 
 		writeError(w, fail)
 		return
 	}
+	rt, _ := reqtrace.FromContext(ctx)
+	rt.Annotate("unit", requestUnit(req, "src"))
+	rt.Annotate("heuristic", "portfolio")
+	rt.Annotate("cache", "bypass")
 	opt.Observer = s.metrics
 	prog, err := regalloc.Compile(req.Source)
 	if err != nil {
@@ -606,6 +654,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req 
 		units = []string{req.Unit}
 	}
 	resp := allocResponse{Input: "src"}
+	var costMilli int64
 	for _, name := range units {
 		pr, err := prog.AllocatePortfolio(ctx, name, cands, cfg)
 		if err != nil {
@@ -623,6 +672,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req 
 		}
 		sum := regalloc.SummarizePortfolio(name, pr)
 		s.reg.Record(sum)
+		costMilli += sum.SpillCostMilli
 		u := unitResponse{
 			Unit:         name,
 			LiveRanges:   sum.LiveRanges,
@@ -663,6 +713,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req 
 		resp.SpillCost += float64(sum.SpillCostMilli) / 1000
 		resp.TotalNS += sum.TotalNS
 	}
+	rt.Annotate("spill_cost_milli", strconv.FormatInt(costMilli, 10))
 	writeJSON(w, resp)
 }
 
@@ -689,11 +740,12 @@ type graphResponse struct {
 // briggs, mb, or the speculative parallel engine with
 // heuristic=pcolor) and renders the response. Like sourceBody it
 // runs as a cache fill.
-func (s *server) graphBody(g *ig.Graph, costs []float64, opt regalloc.Options, req *AllocRequest) ([]byte, error) {
+func (s *server) graphBody(ctx context.Context, g *ig.Graph, costs []float64, opt regalloc.Options, req *AllocRequest) ([]byte, error) {
 	name := req.Unit
 	if name == "" {
 		name = "graph"
 	}
+	rt, parent := reqtrace.FromContext(ctx)
 
 	// The SSA heuristic colors in dominance order, which a bare
 	// interference graph does not carry; it applies to source
@@ -707,6 +759,10 @@ func (s *server) graphBody(g *ig.Graph, costs []float64, opt regalloc.Options, r
 		t0 := time.Now()
 		colors, st := pcolor.Color(g, pcolor.Options{Workers: pcolorWorkers(req), Seed: pcolorSeed(req)})
 		dur := time.Since(t0)
+		graphSpan := rt.Record(parent, "alloc:"+name, t0, dur,
+			reqtrace.Attr{Key: "heuristic", Value: "pcolor"})
+		rt.Record(graphSpan, "phase:color", t0, dur)
+		rt.Annotate("spill_cost_milli", "0")
 		if err := color.Verify(g, colors, pcolor.KFor(st)); err != nil {
 			s.reg.Record(obs.RunSummary{Unit: name, Error: true})
 			return nil, failErr(http.StatusInternalServerError, codeInternal, "pcolor verify", err)
@@ -764,6 +820,15 @@ func (s *server) graphBody(g *ig.Graph, costs []float64, opt regalloc.Options, r
 	cost := 0.0
 	for _, n := range spilled {
 		cost += costs[n]
+	}
+	if rt != nil {
+		graphSpan := rt.Record(parent, "alloc:"+name, t0, dur,
+			reqtrace.Attr{Key: "heuristic", Value: h.String()})
+		rt.Record(graphSpan, "phase:simplify", t0, simplifyDur)
+		if colorDur > 0 {
+			rt.Record(graphSpan, "phase:color", t0.Add(simplifyDur), colorDur)
+		}
+		rt.Annotate("spill_cost_milli", strconv.FormatInt(obs.SpillCostMilli(cost), 10))
 	}
 	sum := obs.RunSummary{
 		Unit:           name,

@@ -1,11 +1,15 @@
 // load.go is the driver: closed- or open-loop request generation
 // against /v1/alloc, latency observation on the repo's fixed-bucket
-// histogram, and client-side cache accounting from the X-Cache reply
-// header.
+// histogram, client-side cache accounting from the X-Cache reply
+// header, and per-request W3C trace identities — every request
+// carries a minted traceparent, and the trace IDs of the slowest and
+// errored requests are kept so the report (and a failing SLO gate)
+// can point straight into allocd's flight recorder.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,7 +19,22 @@ import (
 
 	"regalloc/internal/graphgen"
 	"regalloc/internal/obs"
+	"regalloc/internal/reqtrace"
 )
+
+// How many trace IDs the collector retains: enough to hand an
+// operator the whole pathological tail, few enough that the report
+// and the gate's failure message stay readable.
+const (
+	maxSlowTraces  = 8
+	maxErrorTraces = 8
+)
+
+// slowTrace is one retained (trace ID, duration) pair.
+type slowTrace struct {
+	TraceID string
+	DurNS   int64
+}
 
 type loadConfig struct {
 	Addr     string
@@ -35,16 +54,33 @@ type collector struct {
 	errors   int64
 	statuses map[int]int64
 	cache    map[string]int64 // X-Cache value -> count
+
+	// slow holds the top-maxSlowTraces successfully answered requests
+	// by duration (sorted slowest first); errTraces the trace IDs of
+	// the first maxErrorTraces non-2xx replies. Transport failures
+	// carry no trace ID — the server may never have seen the request,
+	// so its ID would dangle in the flight recorder.
+	slow      []slowTrace
+	errTraces []string
 }
 
 func newCollector() *collector {
 	return &collector{statuses: map[int]int64{}, cache: map[string]int64{}}
 }
 
-func (c *collector) observe(status int, xcache string, d time.Duration, failed bool) {
+func (c *collector) observe(status int, xcache, traceID string, d time.Duration, failed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
+	if traceID != "" {
+		if failed {
+			if len(c.errTraces) < maxErrorTraces {
+				c.errTraces = append(c.errTraces, traceID)
+			}
+		} else {
+			c.noteSlow(traceID, d.Nanoseconds())
+		}
+	}
 	if status == 0 {
 		// Transport failure: the duration is the client's timeout or
 		// connect path, not service latency. Folding a batch of
@@ -62,6 +98,21 @@ func (c *collector) observe(status int, xcache string, d time.Duration, failed b
 	}
 	if xcache != "" {
 		c.cache[xcache]++
+	}
+}
+
+// noteSlow inserts one successful request into the slowest-first list,
+// keeping at most maxSlowTraces entries. Caller holds c.mu.
+func (c *collector) noteSlow(traceID string, ns int64) {
+	i := sort.Search(len(c.slow), func(i int) bool { return c.slow[i].DurNS < ns })
+	if i >= maxSlowTraces {
+		return
+	}
+	c.slow = append(c.slow, slowTrace{})
+	copy(c.slow[i+1:], c.slow[i:])
+	c.slow[i] = slowTrace{TraceID: traceID, DurNS: ns}
+	if len(c.slow) > maxSlowTraces {
+		c.slow = c.slow[:maxSlowTraces]
 	}
 }
 
@@ -151,7 +202,7 @@ func runLoad(cfg loadConfig) (*loadtestSection, error) {
 			}
 		}
 		wg.Wait()
-		return summarize(cfg, mode, col, dropped), nil
+		return finish(client, cfg, mode, col, dropped), nil
 	}
 
 	var wg sync.WaitGroup
@@ -167,23 +218,93 @@ func runLoad(cfg loadConfig) (*loadtestSection, error) {
 		}(w)
 	}
 	wg.Wait()
-	return summarize(cfg, mode, col, 0), nil
+	return finish(client, cfg, mode, col, 0), nil
+}
+
+// finish summarizes the run, then pulls the span trees for the
+// retained trace IDs back from the service's flight recorder.
+func finish(client *http.Client, cfg loadConfig, mode string, col *collector, dropped int64) *loadtestSection {
+	lt := summarize(cfg, mode, col, dropped)
+	ids := append(append([]string{}, lt.SlowTraceIDs...), lt.ErrorTraceIDs...)
+	lt.Traces = fetchTraces(client, cfg.Addr, ids)
+	return lt
 }
 
 // fire sends one request and records its outcome. Any non-2xx or
 // transport failure counts as an error: the corpus is all valid
-// requests, so the service owns every failure.
+// requests, so the service owns every failure. Every request is
+// minted a W3C trace identity and carries it as a traceparent header;
+// allocd continues that trace, so the IDs the collector retains for
+// the slowest and errored requests look up full span trees in the
+// service's flight recorder.
 func fire(client *http.Client, addr string, item corpusItem, col *collector) {
-	t0 := time.Now()
-	resp, err := client.Post(addr+"/v1/alloc", "application/json", bytes.NewReader(item.Body))
+	sc := reqtrace.Mint()
+	req, err := http.NewRequest(http.MethodPost, addr+"/v1/alloc", bytes.NewReader(item.Body))
 	if err != nil {
-		col.observe(0, "", time.Since(t0), true)
+		col.observe(0, "", "", 0, true)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", sc.Header())
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.observe(0, "", "", time.Since(t0), true)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	col.observe(resp.StatusCode, resp.Header.Get("X-Cache"), time.Since(t0),
+	col.observe(resp.StatusCode, resp.Header.Get("X-Cache"), sc.TraceID.String(), time.Since(t0),
 		resp.StatusCode < 200 || resp.StatusCode > 299)
+}
+
+// fetchTraces asks the target's flight recorder (GET /debug/requests)
+// for the records behind the retained trace IDs, slowest first.
+// Best-effort: against an allocd predating the endpoint — or once the
+// recorder has evicted a record — the summary list is simply shorter,
+// and the IDs themselves still join the access log and the /metrics
+// exemplars.
+func fetchTraces(client *http.Client, addr string, ids []string) []traceSummary {
+	if len(ids) == 0 {
+		return nil
+	}
+	resp, err := client.Get(addr + "/debug/requests")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var body struct {
+		Requests []reqtrace.RequestRecord `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []traceSummary
+	for _, rec := range body.Requests {
+		if !want[rec.TraceID] {
+			continue
+		}
+		out = append(out, traceSummary{
+			TraceID:   rec.TraceID,
+			DurNS:     rec.DurNS,
+			Status:    rec.Status,
+			Spans:     len(rec.Spans),
+			Unit:      rec.Annotation("unit"),
+			Heuristic: rec.Annotation("heuristic"),
+			Cache:     rec.Annotation("cache"),
+			Error:     rec.Error,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DurNS > out[j].DurNS })
+	return out
 }
 
 func summarize(cfg loadConfig, mode string, col *collector, dropped int64) *loadtestSection {
@@ -224,6 +345,11 @@ func summarize(cfg loadConfig, mode string, col *collector, dropped int64) *load
 	for code, n := range col.statuses {
 		lt.Statuses[fmt.Sprintf("%d", code)] = n
 	}
+	lt.SlowTraceIDs = make([]string, 0, len(col.slow))
+	for _, s := range col.slow {
+		lt.SlowTraceIDs = append(lt.SlowTraceIDs, s.TraceID)
+	}
+	lt.ErrorTraceIDs = col.errTraces
 	lt.Cache.Hits = col.cache["hit"]
 	lt.Cache.Misses = col.cache["miss"]
 	lt.Cache.Shared = col.cache["shared"]

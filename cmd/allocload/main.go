@@ -2,7 +2,15 @@
 // the paper's workload programs, generated stress graphs, and fuzzed
 // mini-FORTRAN subroutines — and reports latency percentiles, error
 // rate, and cache hit rate as the `loadtest` section of a bench-json
-// document (schema regalloc-bench/8).
+// document (schema regalloc-bench/9).
+//
+// Every request carries a minted W3C traceparent header, so each one
+// is a named trace in the target's telemetry. The report keeps the
+// trace IDs of the slowest and errored requests (slow_trace_ids,
+// error_trace_ids) and fetches their span trees from the target's
+// flight recorder (GET /debug/requests) after the run; a failing SLO
+// gate prints those IDs, so the evidence behind a tail regression is
+// one lookup away rather than a re-run away.
 //
 //	allocd -addr :8080 &
 //	allocload -addr http://localhost:8080 -duration 5s -conc 8 -out load.json
@@ -29,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"regalloc/internal/fsutil"
@@ -113,15 +122,26 @@ func gate(lt *loadtestSection, baselinePath string, maxP99Factor, maxErrRate flo
 		return fmt.Errorf("%s: no loadtest section", baselinePath)
 	}
 	if lt.ErrorRate > maxErrRate {
-		return fmt.Errorf("error rate %.4f exceeds %.4f (%d of %d requests failed)",
-			lt.ErrorRate, maxErrRate, lt.Errors, lt.Requests)
+		return fmt.Errorf("error rate %.4f exceeds %.4f (%d of %d requests failed)%s",
+			lt.ErrorRate, maxErrRate, lt.Errors, lt.Requests,
+			traceHint("errored traces", lt.ErrorTraceIDs))
 	}
 	if baseP99 := base.Loadtest.Latency.P99NS; baseP99 > 0 {
 		limit := int64(float64(baseP99) * maxP99Factor)
 		if lt.Latency.P99NS > limit {
-			return fmt.Errorf("p99 %s exceeds %.1fx baseline p99 %s",
-				time.Duration(lt.Latency.P99NS), maxP99Factor, time.Duration(baseP99))
+			return fmt.Errorf("p99 %s exceeds %.1fx baseline p99 %s%s",
+				time.Duration(lt.Latency.P99NS), maxP99Factor, time.Duration(baseP99),
+				traceHint("slowest traces", lt.SlowTraceIDs))
 		}
 	}
 	return nil
+}
+
+// traceHint renders the trace IDs a failing gate hands the operator —
+// the lookup keys into the target's /debug/requests flight recorder.
+func traceHint(label string, ids []string) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("; %s: %s", label, strings.Join(ids, " "))
 }

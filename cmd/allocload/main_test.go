@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"regalloc/internal/graphgen"
+	"regalloc/internal/reqtrace"
 )
 
 // fakeAllocd mimics the service surface the driver touches: /healthz
@@ -111,6 +112,143 @@ func TestRunLoadClosedLoop(t *testing.T) {
 	}
 	if lt.Cache.Misses == 0 {
 		t.Fatal("no misses recorded: X-Cache accounting broken")
+	}
+	// Every request was minted a trace identity, so a run with
+	// successes must retain slow-trace IDs — well-formed, distinct,
+	// and slowest-first would need the fake to control latency, but
+	// shape and count are checkable here.
+	if len(lt.SlowTraceIDs) == 0 {
+		t.Fatal("no slow_trace_ids retained over a successful run")
+	}
+	if len(lt.SlowTraceIDs) > maxSlowTraces {
+		t.Fatalf("%d slow_trace_ids, cap is %d", len(lt.SlowTraceIDs), maxSlowTraces)
+	}
+	seen := map[string]bool{}
+	for _, id := range lt.SlowTraceIDs {
+		if len(id) != 32 {
+			t.Fatalf("slow trace ID %q is not 32 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("slow trace ID %q retained twice", id)
+		}
+		seen[id] = true
+	}
+	if len(lt.ErrorTraceIDs) != 0 {
+		t.Fatalf("error_trace_ids = %v with zero errors", lt.ErrorTraceIDs)
+	}
+}
+
+// TestFireSendsTraceparent pins the client half of the trace
+// contract: every request carries a valid W3C traceparent header, a
+// fresh trace per request, and the collector retains the same trace
+// ID the server saw.
+func TestFireSendsTraceparent(t *testing.T) {
+	var mu sync.Mutex
+	var headers []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/alloc", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get("traceparent"))
+		mu.Unlock()
+		w.Write([]byte(`{"input":"src","units":[]}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	col := newCollector()
+	item := corpusItem{Name: "a", Kind: "src", Body: []byte(`{"source":"a <- 1"}`)}
+	fire(ts.Client(), ts.URL, item, col)
+	fire(ts.Client(), ts.URL, item, col)
+
+	if len(headers) != 2 {
+		t.Fatalf("server saw %d traceparent headers, want 2", len(headers))
+	}
+	ids := map[string]bool{}
+	for _, h := range headers {
+		sc, err := reqtrace.Parse(h)
+		if err != nil {
+			t.Fatalf("traceparent %q does not parse: %v", h, err)
+		}
+		ids[sc.TraceID.String()] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("two requests shared a trace ID: %v", headers)
+	}
+	for _, s := range col.slow {
+		if !ids[s.TraceID] {
+			t.Fatalf("collector retained %q, server never saw it", s.TraceID)
+		}
+	}
+	if len(col.slow) != 2 {
+		t.Fatalf("collector retained %d slow traces, want 2", len(col.slow))
+	}
+}
+
+// TestRunLoadFetchesFlightRecorder pins the post-run trace fetch: the
+// report's traces section holds the flight-recorder records behind
+// the retained trace IDs, slowest first.
+func TestRunLoadFetchesFlightRecorder(t *testing.T) {
+	var mu sync.Mutex
+	records := map[string]reqtrace.RequestRecord{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok\n")) })
+	mux.HandleFunc("/v1/alloc", func(w http.ResponseWriter, r *http.Request) {
+		sc, err := reqtrace.Parse(r.Header.Get("traceparent"))
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		records[sc.TraceID.String()] = reqtrace.RequestRecord{
+			TraceID: sc.TraceID.String(),
+			DurNS:   int64(len(records) + 1),
+			Status:  http.StatusOK,
+		}
+		mu.Unlock()
+		w.Write([]byte(`{"input":"src","units":[]}` + "\n"))
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		var resp struct {
+			Requests []reqtrace.RequestRecord `json:"requests"`
+		}
+		for _, rec := range records {
+			resp.Requests = append(resp.Requests, rec)
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	good := corpusItem{Name: "good", Kind: "src", Body: []byte(`{"source":"a <- 1"}`)}
+	lt, err := runLoad(loadConfig{
+		Addr: ts.URL, Duration: 200 * time.Millisecond, Conc: 2,
+		Corpus: &corpus{Items: []corpusItem{good}, Sources: 1}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt.SlowTraceIDs) == 0 {
+		t.Fatal("no slow_trace_ids retained")
+	}
+	if len(lt.Traces) == 0 {
+		t.Fatal("traces section empty: post-run /debug/requests fetch broken")
+	}
+	want := map[string]bool{}
+	for _, id := range lt.SlowTraceIDs {
+		want[id] = true
+	}
+	for i, tr := range lt.Traces {
+		if !want[tr.TraceID] {
+			t.Fatalf("traces[%d] = %q, not a retained trace ID", i, tr.TraceID)
+		}
+		if tr.Status != http.StatusOK {
+			t.Fatalf("traces[%d].Status = %d", i, tr.Status)
+		}
+		if i > 0 && lt.Traces[i-1].DurNS < tr.DurNS {
+			t.Fatalf("traces not sorted slowest first: %d before %d", lt.Traces[i-1].DurNS, tr.DurNS)
+		}
 	}
 }
 
@@ -287,17 +425,18 @@ func TestRunLoadUnreachableTarget(t *testing.T) {
 
 func TestReportShapeAndGate(t *testing.T) {
 	lt := &loadtestSection{
-		Requests:  100,
-		Errors:    0,
-		ErrorRate: 0,
-		Latency:   quantiles{Count: 100, P50NS: 1e6, P95NS: 5e6, P99NS: 9e6, MaxNS: 2e7},
-		Cache:     cacheSummary{Hits: 80, Misses: 20, HitRate: 0.8},
+		Requests:     100,
+		Errors:       0,
+		ErrorRate:    0,
+		Latency:      quantiles{Count: 100, P50NS: 1e6, P95NS: 5e6, P99NS: 9e6, MaxNS: 2e7},
+		Cache:        cacheSummary{Hits: 80, Misses: 20, HitRate: 0.8},
+		SlowTraceIDs: []string{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b700f067aa0ba902b7"},
 	}
 	r := newReport(lt)
-	if r.Schema != "regalloc-bench/8" {
+	if r.Schema != "regalloc-bench/9" {
 		t.Fatalf("schema %q", r.Schema)
 	}
-	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "chordal allocator") {
+	if len(r.SchemaHistory) == 0 || !strings.Contains(r.SchemaHistory[len(r.SchemaHistory)-1], "slow_trace_ids") {
 		t.Fatalf("schema history %v", r.SchemaHistory)
 	}
 	data, err := json.Marshal(r)
@@ -313,17 +452,29 @@ func TestReportShapeAndGate(t *testing.T) {
 	if err := gate(lt, base, 5, 0); err != nil {
 		t.Fatalf("gate on identical run: %v", err)
 	}
-	// Tail blown past the factor: fails.
+	// Tail blown past the factor: fails, and the message hands the
+	// operator the slowest trace IDs — the flight-recorder lookup keys.
 	worse := *lt
 	worse.Latency.P99NS = lt.Latency.P99NS * 50
-	if err := gate(&worse, base, 5, 0); err == nil || !strings.Contains(err.Error(), "p99") {
+	err = gate(&worse, base, 5, 0)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
 		t.Fatalf("gate on 50x p99: %v", err)
 	}
-	// Errors: fails even with a generous p99.
+	for _, id := range lt.SlowTraceIDs {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("p99 gate failure %q omits slow trace %s", err, id)
+		}
+	}
+	// Errors: fails even with a generous p99, naming the errored traces.
 	failed := *lt
 	failed.Errors, failed.ErrorRate = 3, 0.03
-	if err := gate(&failed, base, 100, 0); err == nil || !strings.Contains(err.Error(), "error rate") {
+	failed.ErrorTraceIDs = []string{"aaaabbbbccccddddaaaabbbbccccdddd"}
+	err = gate(&failed, base, 100, 0)
+	if err == nil || !strings.Contains(err.Error(), "error rate") {
 		t.Fatalf("gate on errors: %v", err)
+	}
+	if !strings.Contains(err.Error(), failed.ErrorTraceIDs[0]) {
+		t.Fatalf("error-rate gate failure %q omits errored trace", err)
 	}
 	// Missing or sectionless baseline: loud failure, not a silent pass.
 	if err := gate(lt, filepath.Join(t.TempDir(), "nope.json"), 5, 0); err == nil {

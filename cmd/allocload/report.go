@@ -1,9 +1,11 @@
 // report.go is the bench-json document allocload emits: schema
-// regalloc-bench/8, which carries the loadtest section added in /6
-// plus the /7 error_latency split (transport failures quantified
-// apart from service latency). The section's shape mirrors
-// cmd/bench's latency quantiles so the two reports diff with the
-// same tooling.
+// regalloc-bench/9, which carries the loadtest section added in /6,
+// the /7 error_latency split (transport failures quantified apart
+// from service latency), and the /9 trace linkage — the trace IDs of
+// the slowest and errored requests plus their flight-recorder span
+// trees, fetched back from allocd after the run. The section's shape
+// mirrors cmd/bench's latency quantiles so the two reports diff with
+// the same tooling.
 package main
 
 import (
@@ -72,6 +74,30 @@ type loadtestSection struct {
 	ErrorLatency *quantiles       `json:"error_latency,omitempty"`
 	Statuses     map[string]int64 `json:"statuses"`
 	Cache        cacheSummary     `json:"cache"`
+
+	// SlowTraceIDs names the slowest successfully answered requests,
+	// slowest first; ErrorTraceIDs the first errored replies. Both are
+	// lookup keys into allocd's flight recorder (GET /debug/requests),
+	// its access log, and its /metrics exemplars; Traces carries what
+	// the flight recorder still held for them when the run ended. New
+	// in regalloc-bench/9.
+	SlowTraceIDs  []string       `json:"slow_trace_ids"`
+	ErrorTraceIDs []string       `json:"error_trace_ids,omitempty"`
+	Traces        []traceSummary `json:"traces,omitempty"`
+}
+
+// traceSummary is one flight-recorder record fetched back from the
+// target after the run: the span-tree evidence behind a
+// slow_trace_ids or error_trace_ids entry.
+type traceSummary struct {
+	TraceID   string `json:"trace_id"`
+	DurNS     int64  `json:"dur_ns"`
+	Status    int    `json:"status"`
+	Spans     int    `json:"spans"`
+	Unit      string `json:"unit,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Cache     string `json:"cache,omitempty"`
+	Error     bool   `json:"error,omitempty"`
 }
 
 // report is the bench-json envelope. allocload emits only the
@@ -85,7 +111,7 @@ type report struct {
 
 // benchSchema and benchSchemaHistory are the shared bench-json
 // lineage; cmd/bench carries the same strings.
-const benchSchema = "regalloc-bench/8"
+const benchSchema = "regalloc-bench/9"
 
 func benchSchemaHistory() []string {
 	return []string{
@@ -95,6 +121,7 @@ func benchSchemaHistory() []string {
 		"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
 		"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
 		"regalloc-bench/8: adds ssa (SSA-form chordal allocator over every figure-5 routine at (16,8) and (8,4), with Chaitin/Briggs costs on the same units); all /7 fields unchanged",
+		"regalloc-bench/9: adds loadtest.slow_trace_ids/error_trace_ids/traces (trace IDs of the slowest and errored requests, with their flight-recorder records fetched from allocd's /debug/requests); all /8 fields unchanged",
 	}
 }
 

@@ -35,6 +35,14 @@
 //	                  construction shape, post-spill MAXLIVE, spill
 //	                  totals, and the Chaitin/Briggs costs on the same
 //	                  unit); all /7 fields unchanged
+//	regalloc-bench/9  adds, in allocload reports, the trace linkage:
+//	                  loadtest.slow_trace_ids and error_trace_ids (the
+//	                  trace IDs of the slowest and errored requests,
+//	                  the lookup keys into allocd's flight recorder,
+//	                  access log, and /metrics exemplars) and
+//	                  loadtest.traces (their flight-recorder records,
+//	                  fetched back after the run); all /8 fields
+//	                  unchanged
 package main
 
 import (
@@ -259,7 +267,7 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/8",
+		Schema: "regalloc-bench/9",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
@@ -267,6 +275,7 @@ func runBenchJSON(path string, reps int) error {
 			"regalloc-bench/6: adds loadtest (latency percentiles, error rate, cache hit rate from cmd/allocload against a running allocd); all /5 fields unchanged",
 			"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
 			"regalloc-bench/8: adds ssa (SSA-form chordal allocator over every figure-5 routine at (16,8) and (8,4), with Chaitin/Briggs costs on the same units); all /7 fields unchanged",
+			"regalloc-bench/9: adds loadtest.slow_trace_ids/error_trace_ids/traces (trace IDs of the slowest and errored requests, with their flight-recorder records fetched from allocd's /debug/requests); all /8 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),

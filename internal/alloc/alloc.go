@@ -150,6 +150,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 	res := &Result{Options: opt}
 	kf := opt.K()
 	tr := obs.New(opt.Observer, f.Name)
+	runStart := time.Now()
 
 	// One coloring scratch serves every pass of the cycle (and, via
 	// the pool, every later Run on this goroutine's path): worklists,
@@ -355,6 +356,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 				}
 				res.Func = work
 				res.Colors = colors
+				recordPassSpans(ctx, f.Name, opt, res.Passes, runStart)
 				return res, nil
 			}
 			toSpill = over
@@ -386,6 +388,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 					// colors aliases the pooled scratch; the result
 					// outlives the pass, so copy it out.
 					res.Colors = append([]int16(nil), colors...)
+					recordPassSpans(ctx, f.Name, opt, res.Passes, runStart)
 					return res, nil
 				}
 				toSpill = uncolored

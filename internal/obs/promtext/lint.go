@@ -16,8 +16,13 @@ import (
 // problem found, or nil.
 //
 // This is a validator for output this repo generates, not a full
-// scraper: it covers the constructs Write and WriteMetrics emit
-// (counters, gauges, histograms; no timestamps, no exemplars).
+// scraper: it covers the constructs Write, WriteMetrics and
+// WriteExemplarHistogram emit (counters, gauges, histograms, and
+// OpenMetrics exemplars on histogram buckets; no timestamps on the
+// samples themselves). An exemplar — ` # {labels} value [timestamp]`
+// after the sample value — is accepted only on _bucket lines of a
+// histogram family, with well-formed label syntax and numeric
+// value/timestamp, mirroring the OpenMetrics placement rule.
 func Lint(data []byte) error {
 	metricName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	labelName := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
@@ -63,7 +68,7 @@ func Lint(data []byte) error {
 			continue
 		}
 
-		name, labels, value, err := parseSample(line)
+		name, labels, value, ex, err := parseSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -73,6 +78,13 @@ func Lint(data []byte) error {
 		for _, l := range labels {
 			if !labelName.MatchString(l.name) {
 				return fmt.Errorf("line %d: bad label name %q", lineNo, l.name)
+			}
+		}
+		if ex != nil {
+			for _, l := range ex.labels {
+				if !labelName.MatchString(l.name) {
+					return fmt.Errorf("line %d: bad exemplar label name %q", lineNo, l.name)
+				}
 			}
 		}
 
@@ -90,6 +102,9 @@ func Lint(data []byte) error {
 			return fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
 		}
 
+		if ex != nil && !(typ == "histogram" && suffix == "_bucket") {
+			return fmt.Errorf("line %d: exemplar on non-bucket sample %s", lineNo, name)
+		}
 		if typ == "histogram" {
 			if suffix == "" {
 				return fmt.Errorf("line %d: histogram family %s sampled without _bucket/_sum/_count", lineNo, family)
@@ -142,51 +157,105 @@ func Lint(data []byte) error {
 
 type label struct{ name, value string }
 
-// parseSample splits `name{labels} value` (no timestamp support).
-func parseSample(line string) (name string, labels []label, value float64, err error) {
+// exemplar is a parsed OpenMetrics exemplar suffix:
+// `# {labels} value [timestamp]` after a sample value.
+type exemplar struct {
+	labels []label
+	value  float64
+	ts     float64
+	hasTS  bool
+}
+
+// cutLabelSet scans a `{...}` label set at the start of s (quote- and
+// escape-aware) and returns the parsed labels plus the remainder
+// after the closing brace. s must start with '{'.
+func cutLabelSet(s string) (labels []label, rest string, err error) {
+	end := -1
+	inQuote, esc := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && inQuote:
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			end = i
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, "", fmt.Errorf("unterminated label set in %q", s)
+	}
+	labels, err = parseLabels(s[1:end])
+	if err != nil {
+		return nil, "", err
+	}
+	return labels, s[end+1:], nil
+}
+
+// parseExemplar parses the suffix after "# ": `{labels} value [ts]`.
+func parseExemplar(s string) (*exemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("malformed exemplar %q: missing label set", s)
+	}
+	labels, rest, err := cutLabelSet(s)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("malformed exemplar %q: want value [timestamp]", s)
+	}
+	ex := &exemplar{labels: labels}
+	if ex.value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if ex.ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q: %v", fields[1], err)
+		}
+		ex.hasTS = true
+	}
+	return ex, nil
+}
+
+// parseSample splits `name{labels} value [# {exemplar...}]` (no
+// sample timestamp support). The exemplar return is nil when the line
+// carries none.
+func parseSample(line string) (name string, labels []label, value float64, ex *exemplar, err error) {
 	rest := line
 	if i := strings.IndexAny(rest, "{ "); i < 0 {
-		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		return "", nil, 0, nil, fmt.Errorf("malformed sample %q", line)
 	} else {
 		name, rest = rest[:i], rest[i:]
 	}
 	if strings.HasPrefix(rest, "{") {
-		end := -1
-		inQuote, esc := false, false
-		for i := 1; i < len(rest); i++ {
-			c := rest[i]
-			switch {
-			case esc:
-				esc = false
-			case c == '\\' && inQuote:
-				esc = true
-			case c == '"':
-				inQuote = !inQuote
-			case c == '}' && !inQuote:
-				end = i
-			}
-			if end >= 0 {
-				break
-			}
-		}
-		if end < 0 {
-			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
-		}
-		labels, err = parseLabels(rest[1:end])
+		labels, rest, err = cutLabelSet(rest)
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, nil, err
 		}
-		rest = rest[end+1:]
 	}
 	rest = strings.TrimPrefix(rest, " ")
+	if i := strings.Index(rest, " # "); i >= 0 {
+		ex, err = parseExemplar(rest[i+3:])
+		if err != nil {
+			return "", nil, 0, nil, err
+		}
+		rest = rest[:i]
+	}
 	if rest == "" || strings.ContainsRune(rest, ' ') {
-		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+		return "", nil, 0, nil, fmt.Errorf("malformed value in %q", line)
 	}
 	value, err = strconv.ParseFloat(rest, 64)
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest, err)
+		return "", nil, 0, nil, fmt.Errorf("bad value %q: %v", rest, err)
 	}
-	return name, labels, value, nil
+	return name, labels, value, ex, nil
 }
 
 func parseLabels(s string) ([]label, error) {

@@ -141,6 +141,36 @@ func WriteCache(w io.Writer, s obs.CacheStats) error {
 	return bw.Flush()
 }
 
+// WriteExemplarHistogram renders one trace-linked histogram family:
+// the standard _bucket/_sum/_count triple with an OpenMetrics
+// exemplar (`# {trace_id="..."} value timestamp`) appended to every
+// bucket that has one. Prometheus's text parser ignores everything
+// after '#', so the output stays scrapeable by servers that predate
+// exemplar ingestion; servers that support them link the bucket to
+// the trace.
+func WriteExemplarHistogram(w io.Writer, family, help string, h *obs.ExemplarHistogram) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", family, help, family)
+	hist, ex := h.Snapshot()
+	var cum int64
+	emit := func(i int, le string) {
+		cum += hist.Buckets[i]
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d", family, le, cum)
+		if e := ex[i]; e.TraceID != "" {
+			fmt.Fprintf(bw, " # {trace_id=%s} %s %s",
+				quoteLabel(e.TraceID), formatSeconds(e.Value), formatSeconds(e.TS))
+		}
+		bw.WriteByte('\n')
+	}
+	for i, ub := range obs.LatencyBuckets {
+		emit(i, formatSeconds(ub.Seconds()))
+	}
+	emit(obs.NumLatencyBuckets, "+Inf")
+	fmt.Fprintf(bw, "%s_sum %s\n", family, formatSeconds(float64(hist.SumNS)/1e9))
+	fmt.Fprintf(bw, "%s_count %d\n", family, hist.Count)
+	return bw.Flush()
+}
+
 // writeHistogram emits the _bucket/_sum/_count triple for one series.
 // labels is a pre-rendered `k="v"` list without braces ("" for none).
 func writeHistogram(w io.Writer, family, labels string, h obs.LatencyHistogram) {

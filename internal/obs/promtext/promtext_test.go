@@ -117,6 +117,98 @@ func TestLintRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestWriteExemplarHistogramLints(t *testing.T) {
+	var h obs.ExemplarHistogram
+	at := time.Unix(1700000000, 500000000)
+	h.Observe(3*time.Microsecond, "4bf92f3577b34da6a3ce929d0e0e4736", at)
+	h.Observe(12*time.Millisecond, "00f067aa0ba902b700f067aa0ba902b7", at)
+	h.Observe(40*time.Second, "aaaabbbbccccddddaaaabbbbccccdddd", at) // overflow bucket
+	h.Observe(2*time.Microsecond, "", at)                             // untraced: counted, no exemplar
+
+	var buf bytes.Buffer
+	if err := WriteExemplarHistogram(&buf, "allocd_request_duration_seconds", "Request wall time.", &h); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Fatalf("WriteExemplarHistogram output fails Lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`allocd_request_duration_seconds_bucket{le="5e-06"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 3e-06 1.7000000005e+09`,
+		`# {trace_id="00f067aa0ba902b700f067aa0ba902b7"} 0.012`,
+		`allocd_request_duration_seconds_bucket{le="+Inf"} 4 # {trace_id="aaaabbbbccccddddaaaabbbbccccdddd"}`,
+		"allocd_request_duration_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Deterministic across renders of the same state.
+	var again bytes.Buffer
+	if err := WriteExemplarHistogram(&again, "allocd_request_duration_seconds", "Request wall time.", &h); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteExemplarHistogram output not deterministic")
+	}
+}
+
+// TestLintExemplars is the exemplar accept/reject table: the syntax
+// WriteExemplarHistogram emits must pass, every malformation and
+// every misplacement (exemplars belong on _bucket lines only) must
+// fail.
+func TestLintExemplars(t *testing.T) {
+	const head = "# TYPE h histogram\n"
+	const tail = "h_sum 1\nh_count 3\n"
+	accept := map[string]string{
+		"bucket exemplar": head +
+			"h_bucket{le=\"1\"} 3 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 0.5 1.7e+09\n" +
+			"h_bucket{le=\"+Inf\"} 3\n" + tail,
+		"exemplar without timestamp": head +
+			"h_bucket{le=\"1\"} 3 # {trace_id=\"abc\"} 0.5\n" +
+			"h_bucket{le=\"+Inf\"} 3\n" + tail,
+		"exemplar with empty labelset": head +
+			"h_bucket{le=\"1\"} 3 # {} 0.5\n" +
+			"h_bucket{le=\"+Inf\"} 3\n" + tail,
+		"exemplar on every bucket": head +
+			"h_bucket{le=\"1\"} 1 # {trace_id=\"a\"} 0.9 1.7e+09\n" +
+			"h_bucket{le=\"2\"} 2 # {trace_id=\"b\"} 1.5 1.7e+09\n" +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"c\"} 9 1.7e+09\n" + tail,
+	}
+	reject := map[string]string{
+		"exemplar on counter": "# TYPE m counter\nm 3 # {trace_id=\"a\"} 0.5\n",
+		"exemplar on sum": head +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1 # {trace_id=\"a\"} 0.5\nh_count 3\n",
+		"exemplar on count": head +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3 # {trace_id=\"a\"} 0.5\n",
+		"exemplar missing labelset": head +
+			"h_bucket{le=\"+Inf\"} 3 # 0.5\n" + tail,
+		"exemplar missing value": head +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"a\"}\n" + tail,
+		"exemplar bad value": head +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"a\"} fast\n" + tail,
+		"exemplar bad timestamp": head +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"a\"} 0.5 noon\n" + tail,
+		"exemplar trailing junk": head +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"a\"} 0.5 1.7e+09 extra\n" + tail,
+		"exemplar bad label name": head +
+			"h_bucket{le=\"+Inf\"} 3 # {9id=\"a\"} 0.5\n" + tail,
+		"exemplar unterminated labels": head +
+			"h_bucket{le=\"+Inf\"} 3 # {trace_id=\"a\" 0.5\n" + tail,
+	}
+	for name, in := range accept {
+		if err := Lint([]byte(in)); err != nil {
+			t.Errorf("%s: Lint rejected valid input: %v", name, err)
+		}
+	}
+	for name, in := range reject {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: Lint accepted %q", name, in)
+		}
+	}
+}
+
 func TestWriteCacheLints(t *testing.T) {
 	s := obs.CacheStats{
 		Hits:       17,

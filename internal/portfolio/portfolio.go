@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +62,7 @@ import (
 	"regalloc/internal/ir"
 	"regalloc/internal/obs"
 	"regalloc/internal/pcolor"
+	"regalloc/internal/reqtrace"
 )
 
 // Mode selects the race's stopping rule.
@@ -291,6 +293,14 @@ func Race(ctx context.Context, f *ir.Func, cands []Candidate, cfg Config) (*Resu
 		workers = len(cands)
 	}
 
+	// One child span per started candidate; the winner's span is
+	// annotated after selection. Candidate allocations run on a
+	// context derived from Background — not raceCtx — so the budget's
+	// start-of-work-only semantics survive the tracing: a cutoff still
+	// cannot preempt an in-flight candidate.
+	rt, raceParent := reqtrace.FromContext(ctx)
+	spanIDs := make([]uint32, len(cands))
+
 	outcomes := make([]Outcome, len(cands))
 	captures := make([]*captureSink, len(cands))
 	sem := make(chan struct{}, workers)
@@ -336,17 +346,25 @@ func Race(ctx context.Context, f *ir.Func, cands []Candidate, cfg Config) (*Resu
 			if captures[i] != nil {
 				opt.Observer = captures[i]
 			}
+			candID, endCand := rt.StartSpan(raceParent, "candidate:"+c.Name)
+			spanIDs[i] = candID
+			candCtx := reqtrace.ContextWith(context.Background(), rt, candID)
 			t0 := time.Now()
-			res, err := alloc.Run(f, opt)
+			res, err := alloc.RunContext(candCtx, f, opt)
 			d := time.Since(t0)
 			if err == nil {
 				err = alloc.VerifyAssignment(res.Func, res.Colors)
 			}
 			if err != nil {
+				endCand(reqtrace.Attr{Key: "status", Value: "errored"},
+					reqtrace.Attr{Key: "error", Value: err.Error()})
 				outcomes[i] = Outcome{Name: c.Name, Index: i, Status: Errored, Err: err, Duration: d}
 				return
 			}
 			spills, costMilli := summarize(res)
+			endCand(reqtrace.Attr{Key: "status", Value: "finished"},
+				reqtrace.Attr{Key: "spills", Value: strconv.Itoa(spills)},
+				reqtrace.Attr{Key: "spill_cost_milli", Value: strconv.FormatInt(costMilli, 10)})
 			outcomes[i] = Outcome{
 				Name: c.Name, Index: i, Status: Finished,
 				Spills: spills, SpillCostMilli: costMilli,
@@ -395,6 +413,7 @@ func Race(ctx context.Context, f *ir.Func, cands []Candidate, cfg Config) (*Resu
 			return nil, fmt.Errorf("%w: %s", ErrNoWinner, f.Name)
 		}
 	}
+	rt.AddAttr(spanIDs[winner], "winner", "true")
 	r := &Result{Winner: winner, Res: outcomes[winner].Result, Mode: cfg.Mode, Outcomes: outcomes}
 	margin := int64(-1)
 	for i := range outcomes {

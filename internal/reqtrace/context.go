@@ -1,0 +1,32 @@
+package reqtrace
+
+import "context"
+
+// scope is what a context carries: the trace plus the span the
+// carrier is nested under (the parent for spans recorded downstream).
+type scope struct {
+	t      *Trace
+	parent uint32
+}
+
+type scopeKey struct{}
+
+// ContextWith returns ctx carrying t with parent as the enclosing
+// span. A nil t returns ctx unchanged, keeping the untraced path free
+// of context allocation.
+func ContextWith(ctx context.Context, t *Trace, parent uint32) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, scope{t: t, parent: parent})
+}
+
+// FromContext extracts the trace and enclosing span ID, or (nil, 0)
+// when ctx carries none — the single lookup instrumentation sites pay
+// on the untraced path.
+func FromContext(ctx context.Context) (*Trace, uint32) {
+	if s, ok := ctx.Value(scopeKey{}).(scope); ok {
+		return s.t, s.parent
+	}
+	return nil, 0
+}

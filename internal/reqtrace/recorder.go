@@ -1,0 +1,134 @@
+package reqtrace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RequestRecord is one request's flight-recorder entry: identity,
+// outcome, the request-level annotations, and the full span tree.
+type RequestRecord struct {
+	TraceID string    `json:"trace_id"`
+	Start   time.Time `json:"start"`
+	DurNS   int64     `json:"dur_ns"`
+	Status  int       `json:"status"` // HTTP status (0: transport-level failure)
+	Error   bool      `json:"error"`
+	Annots  []Attr    `json:"annotations,omitempty"`
+	Spans   []Span    `json:"spans,omitempty"`
+}
+
+// Annotation returns the record's value for key, or "".
+func (r *RequestRecord) Annotation(key string) string {
+	for _, a := range r.Annots {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Recorder is the tail-sampling flight recorder: it always keeps the
+// capSlow slowest successful requests and the capErr most recent
+// errored ones (429s, 5xx, ErrIrreducible — anything the caller marks
+// Error). A fast success can never evict an error; the two pools are
+// disjoint by construction. Safe for concurrent use; Add is one
+// short critical section (no allocation beyond the retained record),
+// cheap enough to sit on every request.
+type Recorder struct {
+	mu      sync.Mutex
+	capSlow int
+	capErr  int
+	slow    []RequestRecord // unordered; evicted by minimum DurNS
+	errs    []RequestRecord // ring, errNext is the oldest slot
+	errNext int
+}
+
+// NewRecorder bounds the two pools; caps < 1 are raised to 1.
+func NewRecorder(capSlow, capErr int) *Recorder {
+	if capSlow < 1 {
+		capSlow = 1
+	}
+	if capErr < 1 {
+		capErr = 1
+	}
+	return &Recorder{capSlow: capSlow, capErr: capErr}
+}
+
+// Add offers one completed request. Errored records always land
+// (evicting the oldest error once the ring is full); successes land
+// while the slow pool has room or the new record is slower than the
+// pool's current fastest.
+func (r *Recorder) Add(rec RequestRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Error {
+		if len(r.errs) < r.capErr {
+			r.errs = append(r.errs, rec)
+			return
+		}
+		r.errs[r.errNext] = rec
+		r.errNext = (r.errNext + 1) % r.capErr
+		return
+	}
+	if len(r.slow) < r.capSlow {
+		r.slow = append(r.slow, rec)
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].DurNS < r.slow[min].DurNS {
+			min = i
+		}
+	}
+	if rec.DurNS > r.slow[min].DurNS {
+		r.slow[min] = rec
+	}
+}
+
+// Snapshot returns the retained records, errors first (newest first)
+// then successes slowest first — the order a debugger wants to read.
+func (r *Recorder) Snapshot() []RequestRecord {
+	r.mu.Lock()
+	out := make([]RequestRecord, 0, len(r.errs)+len(r.slow))
+	// Unroll the ring newest-to-oldest.
+	for i := 0; i < len(r.errs); i++ {
+		idx := (r.errNext - 1 - i + 2*len(r.errs)) % len(r.errs)
+		if len(r.errs) < r.capErr {
+			// Ring not yet wrapped: records sit in arrival order.
+			idx = len(r.errs) - 1 - i
+		}
+		out = append(out, r.errs[idx])
+	}
+	nErrs := len(out)
+	out = append(out, r.slow...)
+	r.mu.Unlock()
+	sort.SliceStable(out[nErrs:], func(i, j int) bool {
+		return out[nErrs+i].DurNS > out[nErrs+j].DurNS
+	})
+	return out
+}
+
+// Find returns the retained record for traceID, if any.
+func (r *Recorder) Find(traceID string) (RequestRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.errs {
+		if r.errs[i].TraceID == traceID {
+			return r.errs[i], true
+		}
+	}
+	for i := range r.slow {
+		if r.slow[i].TraceID == traceID {
+			return r.slow[i], true
+		}
+	}
+	return RequestRecord{}, false
+}
+
+// Len reports how many records are retained (for tests).
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.errs) + len(r.slow)
+}

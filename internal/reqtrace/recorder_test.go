@@ -1,0 +1,103 @@
+package reqtrace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func rec(id string, dur int64, isErr bool) RequestRecord {
+	status := 200
+	if isErr {
+		status = 500
+	}
+	return RequestRecord{TraceID: id, DurNS: dur, Status: status, Error: isErr}
+}
+
+// TestRecorderKeepsSlowest locks the tail-sampling contract: with the
+// success pool full, only a strictly slower request displaces the
+// current fastest resident.
+func TestRecorderKeepsSlowest(t *testing.T) {
+	r := NewRecorder(3, 4)
+	for i := 1; i <= 10; i++ {
+		r.Add(rec(fmt.Sprintf("t%d", i), int64(i*1000), false))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d, want 3", len(snap))
+	}
+	for i, want := range []string{"t10", "t9", "t8"} {
+		if snap[i].TraceID != want {
+			t.Errorf("snap[%d] = %s, want %s (slowest first)", i, snap[i].TraceID, want)
+		}
+	}
+	// A fast request cannot displace a slower resident.
+	r.Add(rec("fast", 1, false))
+	if _, ok := r.Find("fast"); ok {
+		t.Error("fast success displaced a slower resident")
+	}
+}
+
+// TestRecorderErrorsOutliveFastSuccesses is the eviction-priority
+// satellite: errors have their own pool, so no flood of quick
+// successes can push an errored request out.
+func TestRecorderErrorsOutliveFastSuccesses(t *testing.T) {
+	r := NewRecorder(2, 4)
+	r.Add(rec("err1", 5, true))
+	r.Add(rec("err2", 5, true))
+	for i := 0; i < 1000; i++ {
+		r.Add(rec(fmt.Sprintf("ok%d", i), int64(1000000+i), false))
+	}
+	for _, id := range []string{"err1", "err2"} {
+		if _, ok := r.Find(id); !ok {
+			t.Errorf("error %s evicted by successes", id)
+		}
+	}
+	// Errors beyond the ring evict oldest-error-first, never successes.
+	for i := 3; i <= 7; i++ {
+		r.Add(rec(fmt.Sprintf("err%d", i), 5, true))
+	}
+	if _, ok := r.Find("err1"); ok {
+		t.Error("oldest error not evicted by newer errors")
+	}
+	for _, id := range []string{"err4", "err5", "err6", "err7"} {
+		if _, ok := r.Find(id); !ok {
+			t.Errorf("recent error %s missing", id)
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap) != 6 {
+		t.Fatalf("retained %d, want 6 (4 errors + 2 successes)", len(snap))
+	}
+	// Errors lead, newest first.
+	for i, want := range []string{"err7", "err6", "err5", "err4"} {
+		if snap[i].TraceID != want {
+			t.Errorf("snap[%d] = %s, want %s", i, snap[i].TraceID, want)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers Add and Snapshot from many
+// goroutines; run under -race in CI, the pass criterion is simply no
+// race and a full pool afterwards.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(rec(fmt.Sprintf("g%d-%d", g, i), int64(g*1000+i), i%5 == 0))
+				if i%10 == 0 {
+					r.Snapshot()
+					r.Find(fmt.Sprintf("g%d-%d", g, i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 32 {
+		t.Fatalf("retained %d, want 32", r.Len())
+	}
+}

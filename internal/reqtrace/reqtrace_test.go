@@ -1,0 +1,225 @@
+package reqtrace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	sc := Mint()
+	if !sc.Valid() || !sc.Sampled {
+		t.Fatalf("Mint() = %+v, want valid and sampled", sc)
+	}
+	h := sc.Header()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("Header() = %q", h)
+	}
+	got, err := Parse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseKnownVector(t *testing.T) {
+	// The W3C spec's own example.
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, err := Parse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", sc.TraceID)
+	}
+	if sc.SpanID.String() != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", sc.SpanID)
+	}
+	if !sc.Sampled {
+		t.Error("flags 01 did not parse as sampled")
+	}
+	if sc.Header() != h {
+		t.Errorf("Header() = %q, want %q", sc.Header(), h)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // no flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // 00 with trailing data
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-xyzf2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for _, h := range bad {
+		if _, err := Parse(h); err == nil {
+			t.Errorf("Parse(%q) accepted", h)
+		}
+	}
+}
+
+func TestChildKeepsTraceMintsSpan(t *testing.T) {
+	sc := Mint()
+	c := sc.Child()
+	if c.TraceID != sc.TraceID {
+		t.Error("Child changed the trace id")
+	}
+	if c.SpanID == sc.SpanID {
+		t.Error("Child kept the parent span id")
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	id, end := tr.StartSpan(0, "x")
+	end()
+	if id != 0 {
+		t.Errorf("nil StartSpan id = %d", id)
+	}
+	if got := tr.Record(0, "y", time.Now(), time.Second); got != 0 {
+		t.Errorf("nil Record id = %d", got)
+	}
+	tr.Annotate("k", "v")
+	tr.AddAttr(1, "k", "v")
+	if s, a := tr.Snapshot(); s != nil || a != nil {
+		t.Error("nil Snapshot returned data")
+	}
+	if tr.SpanContext().Valid() {
+		t.Error("nil SpanContext valid")
+	}
+	// A context without a scope yields the nil trace back.
+	if got, parent := FromContext(context.Background()); got != nil || parent != 0 {
+		t.Error("FromContext(empty) != (nil, 0)")
+	}
+	if ctx := ContextWith(context.Background(), nil, 0); ctx != context.Background() {
+		t.Error("ContextWith(nil) allocated a context")
+	}
+}
+
+func TestSpanTreeAndAnnotations(t *testing.T) {
+	tr := NewTrace(Mint())
+	root, endRoot := tr.StartSpan(0, "request")
+	phase := tr.Record(root, "phase:build", tr.Start(), 1500*time.Nanosecond, Attr{Key: "pass", Value: "0"})
+	tr.AddAttr(phase, "winner", "true")
+	tr.Annotate("unit", "SAXPYISH")
+	tr.Annotate("unit", "OTHER") // later write wins
+	endRoot(Attr{Key: "status", Value: "200"})
+
+	spans, annots := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "request" || spans[0].Parent != 0 || spans[0].DurNS <= 0 {
+		t.Errorf("root = %+v", spans[0])
+	}
+	if spans[1].Parent != root || spans[1].DurNS != 1500 {
+		t.Errorf("child = %+v", spans[1])
+	}
+	var hasWinner bool
+	for _, a := range spans[1].Attrs {
+		if a.Key == "winner" {
+			hasWinner = true
+		}
+	}
+	if !hasWinner {
+		t.Error("AddAttr did not land")
+	}
+	if len(annots) != 1 || annots[0].Value != "OTHER" {
+		t.Errorf("annots = %+v", annots)
+	}
+	if tr.Annotation("unit") != "OTHER" {
+		t.Errorf("Annotation(unit) = %q", tr.Annotation("unit"))
+	}
+
+	// Snapshot is a deep copy: mutating it cannot corrupt the trace.
+	spans[1].Attrs[0].Value = "mutated"
+	again, _ := tr.Snapshot()
+	if again[1].Attrs[0].Value == "mutated" {
+		t.Error("Snapshot aliases internal attr storage")
+	}
+}
+
+func TestContextCarriesScope(t *testing.T) {
+	tr := NewTrace(Mint())
+	root, _ := tr.StartSpan(0, "request")
+	ctx := ContextWith(context.Background(), tr, root)
+	got, parent := FromContext(ctx)
+	if got != tr || parent != root {
+		t.Fatalf("FromContext = (%p, %d), want (%p, %d)", got, parent, tr, root)
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(Mint())
+	root, endRoot := tr.StartSpan(0, "request")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id, end := tr.StartSpan(root, "candidate")
+				tr.AddAttr(id, "i", "x")
+				end()
+				tr.Record(root, "phase", time.Now(), time.Microsecond)
+				tr.Annotate("unit", "U")
+			}
+		}()
+	}
+	wg.Wait()
+	endRoot()
+	spans, _ := tr.Snapshot()
+	if want := 1 + 8*100*2; len(spans) != want {
+		t.Fatalf("spans = %d, want %d", len(spans), want)
+	}
+	seen := map[uint32]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// BenchmarkFromContextUntraced measures the entire per-call cost an
+// untraced request pays at each instrumentation site: one context
+// lookup returning a nil trace, after which every hook is a
+// nil-receiver no-op. This is the number behind the "tracing is free
+// when unused" claim — it must stay in the low nanoseconds, far under
+// 1% of even the fastest allocation.
+func BenchmarkFromContextUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt, parent := FromContext(ctx)
+		if rt != nil || parent != 0 {
+			b.Fatal("background context carries a trace")
+		}
+		// The downstream hooks on the nil receiver, as instrumented
+		// code calls them.
+		rt.Annotate("unit", "U")
+		_ = rt.Record(parent, "phase", time.Time{}, 0)
+	}
+}
+
+// BenchmarkRecordTraced is the traced-path counterpart: one finished
+// span recorded onto a live trace.
+func BenchmarkRecordTraced(b *testing.B) {
+	tr := NewTrace(Mint())
+	root, _ := tr.StartSpan(0, "request")
+	ctx := ContextWith(context.Background(), tr, root)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt, parent := FromContext(ctx)
+		rt.Record(parent, "phase", start, time.Microsecond)
+	}
+}

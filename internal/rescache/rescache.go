@@ -36,6 +36,7 @@ import (
 
 	"regalloc/internal/cachekey"
 	"regalloc/internal/obs"
+	"regalloc/internal/reqtrace"
 )
 
 // Outcome classifies how a Do call was served.
@@ -114,6 +115,7 @@ func New(maxEntries int, maxBytes int64) *Cache {
 // error.
 func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, error)) ([]byte, Outcome, error) {
 	t0 := time.Now()
+	rt, parent := reqtrace.FromContext(ctx)
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -121,6 +123,8 @@ func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, e
 		c.hits++
 		c.hitLat.Observe(time.Since(t0))
 		c.mu.Unlock()
+		rt.Record(parent, "cache:lookup", t0, time.Since(t0),
+			reqtrace.Attr{Key: "outcome", Value: Hit.String()})
 		return val, Hit, nil
 	}
 	if fl, ok := c.flights[key]; ok {
@@ -130,6 +134,8 @@ func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, e
 			c.mu.Lock()
 			c.shared++
 			c.mu.Unlock()
+			rt.Record(parent, "cache:lookup", t0, time.Since(t0),
+				reqtrace.Attr{Key: "outcome", Value: Shared.String()})
 			return fl.val, Shared, fl.err
 		case <-ctx.Done():
 			// Not a share: this caller was never served. Counting it
@@ -139,6 +145,8 @@ func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, e
 			c.mu.Lock()
 			c.abandoned++
 			c.mu.Unlock()
+			rt.Record(parent, "cache:lookup", t0, time.Since(t0),
+				reqtrace.Attr{Key: "outcome", Value: Abandoned.String()})
 			return nil, Abandoned, ctx.Err()
 		}
 	}
@@ -147,10 +155,18 @@ func (c *Cache) Do(ctx context.Context, key cachekey.Key, fill func() ([]byte, e
 	c.flights[key] = fl
 	c.misses++
 	c.mu.Unlock()
+	lookup := rt.Record(parent, "cache:lookup", t0, time.Since(t0),
+		reqtrace.Attr{Key: "outcome", Value: Miss.String()})
 
 	tf := time.Now()
 	val, err := fill()
 	dur := time.Since(tf)
+	if err == nil {
+		rt.Record(lookup, "cache:fill", tf, dur)
+	} else {
+		rt.Record(lookup, "cache:fill", tf, dur,
+			reqtrace.Attr{Key: "error", Value: err.Error()})
+	}
 
 	c.mu.Lock()
 	c.fillLat.Observe(dur)

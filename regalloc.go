@@ -392,6 +392,13 @@ func (p *Program) Func(name string) *ir.Func { return p.IR.Func(name) }
 // validated first; misuse returns one of the typed errors (ErrBadK,
 // ErrConflictingSpillModes, ...).
 func (p *Program) Allocate(name string, opt Options) (*Result, error) {
+	return p.AllocateContext(context.Background(), name, opt)
+}
+
+// AllocateContext is Allocate with cancellation and request-trace
+// propagation: ctx is checked at every pass boundary, and a reqtrace
+// scope carried by ctx receives the run's per-phase spans.
+func (p *Program) AllocateContext(ctx context.Context, name string, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,7 +406,7 @@ func (p *Program) Allocate(name string, opt Options) (*Result, error) {
 	if f == nil {
 		return nil, fmt.Errorf("regalloc: no unit %s", name)
 	}
-	return alloc.Run(f, opt)
+	return alloc.RunContext(ctx, f, opt)
 }
 
 // AssembleContext allocates every unit with opt and lowers the

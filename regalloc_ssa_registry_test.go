@@ -1,0 +1,93 @@
+package regalloc_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"regalloc"
+)
+
+// TestSSARegistryReconcilesWithPassStats is the SSA-path mirror of
+// TestRegistryReconcilesWithPassStats: the chordal allocator reports
+// through the same PassStats shape (pre-spill rounds as passes, the
+// final pass carrying build/color time), so its runs must reconcile
+// exactly with the registry too — including the color histogram,
+// which for SSA aggregates coloring plus out-of-SSA lowering. Run
+// with -race in CI.
+func TestSSARegistryReconcilesWithPassStats(t *testing.T) {
+	prog, err := regalloc.Compile(pressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := regalloc.NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 25
+
+	perG := make([][]*regalloc.Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				opt := regalloc.DefaultOptions()
+				opt.Heuristic = regalloc.SSA
+				opt.KInt = 4 + (w+i)%4 // force pre-spill rounds on some runs
+				res, err := prog.Allocate("PRESS", opt)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				perG[w] = append(perG[w], res)
+				reg.Record(regalloc.Summarize("PRESS", res))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var wantRuns, wantPasses, wantSpills, wantCostMilli int64
+	var wantPhaseNS [4]int64
+	for _, results := range perG {
+		for _, res := range results {
+			wantRuns++
+			wantPasses += int64(len(res.Passes))
+			var cost float64
+			for _, p := range res.Passes {
+				wantSpills += int64(p.Spilled)
+				cost += p.SpillCost
+			}
+			wantCostMilli += int64(math.Round(cost * 1000))
+			wantPhaseNS[0] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Build })
+			wantPhaseNS[1] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Simplify })
+			wantPhaseNS[2] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Color })
+			wantPhaseNS[3] += sumDur(res, func(p regalloc.PassStats) time.Duration { return p.Spill })
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Runs != wantRuns || snap.Passes != wantPasses {
+		t.Fatalf("runs/passes = %d/%d, want %d/%d", snap.Runs, snap.Passes, wantRuns, wantPasses)
+	}
+	if snap.Spills != wantSpills {
+		t.Fatalf("spills = %d, want %d", snap.Spills, wantSpills)
+	}
+	if snap.SpillCostMilli != wantCostMilli {
+		t.Fatalf("spill cost milli = %d, want %d (must reconcile exactly)", snap.SpillCostMilli, wantCostMilli)
+	}
+	if snap.UnitRuns["PRESS"] != wantRuns {
+		t.Fatalf("unit runs = %d, want %d", snap.UnitRuns["PRESS"], wantRuns)
+	}
+	phaseIdx := map[string]int{"build": 0, "simplify": 1, "color": 2, "spill": 3}
+	for name, i := range phaseIdx {
+		h := snap.Phase[phaseForName(t, name)]
+		if h.SumNS != wantPhaseNS[i] {
+			t.Errorf("%s histogram sum = %dns, want %dns", name, h.SumNS, wantPhaseNS[i])
+		}
+	}
+	if snap.Spills == 0 {
+		t.Fatal("test never spilled; lower KInt so the reconciliation is exercised")
+	}
+}

@@ -31,6 +31,7 @@ const (
 	codeBadK                  = "bad_k"
 	codeBadHeuristic          = "bad_heuristic"
 	codeBadMetric             = "bad_metric"
+	codeBadMachine            = "bad_machine"
 	codeConflictingSpillModes = "conflicting_spill_modes"
 	codeBadWorkers            = "bad_workers"
 	codeCompileFailed         = "compile_failed"
@@ -85,6 +86,8 @@ func optionsFailure(err error) *apiError {
 		code = codeBadHeuristic
 	case errors.Is(err, regalloc.ErrBadMetric):
 		code = codeBadMetric
+	case errors.Is(err, regalloc.ErrBadMachine):
+		code = codeBadMachine
 	case errors.Is(err, regalloc.ErrConflictingSpillModes):
 		code = codeConflictingSpillModes
 	case errors.Is(err, regalloc.ErrBadWorkers):
@@ -124,7 +127,12 @@ type AllocRequest struct {
 	// Colors includes the per-register assignment in the reply.
 	Colors bool `json:"colors,omitempty"`
 
-	Heuristic    string `json:"heuristic,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	// Machine names a register-file model ("rtpc"), resized to the
+	// request's kint/kfloat: precolored argument/return registers,
+	// caller-saved call clobbers, and convention bindings constrain
+	// the allocation, and the resolved model is echoed in the reply.
+	Machine      string `json:"machine,omitempty"`
 	KInt         *int   `json:"kint,omitempty"`
 	KFloat       *int   `json:"kfloat,omitempty"`
 	Metric       string `json:"metric,omitempty"`
@@ -189,6 +197,7 @@ func requestFromParams(q url.Values) (*AllocRequest, *apiError) {
 		Input:     q.Get("input"),
 		Unit:      q.Get("unit"),
 		Heuristic: q.Get("heuristic"),
+		Machine:   q.Get("machine"),
 		Metric:    q.Get("metric"),
 		Portfolio: q.Get("portfolio"),
 		PMode:     q.Get("pmode"),
@@ -294,6 +303,19 @@ func (req *AllocRequest) options() (regalloc.Options, *apiError) {
 	}
 	if req.Split != nil {
 		opt.Split = *req.Split
+	}
+	// Resolve the machine model after K so a resized request gets a
+	// convention derived at its own register-file size (Validate
+	// demands the two agree).
+	if req.Machine != "" {
+		switch req.Machine {
+		case "rtpc", "rt/pc":
+			m := regalloc.RTPC().WithGPR(opt.KInt).WithFPR(opt.KFloat)
+			opt.Machine = regalloc.MachineFor(m)
+		default:
+			return opt, failf(http.StatusBadRequest, codeBadMachine,
+				"unknown machine %q (want rtpc)", req.Machine)
+		}
 	}
 	if err := opt.Validate(); err != nil {
 		return opt, optionsFailure(err)

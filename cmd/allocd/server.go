@@ -497,6 +497,45 @@ type allocResponse struct {
 	SpilledTotal int            `json:"spilled_total"`
 	SpillCost    float64        `json:"spill_cost_total"`
 	TotalNS      int64          `json:"total_ns"`
+
+	// Machine echoes the resolved register-file model when the
+	// request asked for one: what the allocation was constrained by,
+	// per class.
+	Machine *machineResponse `json:"machine,omitempty"`
+}
+
+// machineResponse is the resolved machine model in the reply.
+type machineResponse struct {
+	Name    string                 `json:"name"`
+	Classes []machineClassResponse `json:"classes"`
+}
+
+// machineClassResponse describes one register class's file and
+// convention.
+type machineClassResponse struct {
+	Class       string  `json:"class"`
+	K           int     `json:"k"`
+	CallerSaved int     `json:"caller_saved"`
+	ArgRegs     []int16 `json:"arg_regs"`
+	RetReg      int16   `json:"ret_reg"`
+}
+
+// machineEcho renders the model for the response.
+func machineEcho(m *regalloc.MachineModel) *machineResponse {
+	if m == nil {
+		return nil
+	}
+	mr := &machineResponse{Name: m.Name}
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		mr.Classes = append(mr.Classes, machineClassResponse{
+			Class:       c.String(),
+			K:           m.NumRegs[c],
+			CallerSaved: m.CallerSaved[c],
+			ArgRegs:     m.ArgRegs[c],
+			RetReg:      m.RetReg[c],
+		})
+	}
+	return mr
 }
 
 // sourceBody allocates a compiled program's routines (all, or the
@@ -525,7 +564,7 @@ func (s *server) sourceBody(ctx context.Context, prog *regalloc.Program, opt reg
 		}
 	}
 
-	resp := allocResponse{Input: "src"}
+	resp := allocResponse{Input: "src", Machine: machineEcho(opt.Machine)}
 	var costMilli int64
 	for _, name := range prog.Functions() {
 		res, ok := results[name]
@@ -653,7 +692,7 @@ func (s *server) allocPortfolio(w http.ResponseWriter, ctx context.Context, req 
 	if req.Unit != "" {
 		units = []string{req.Unit}
 	}
-	resp := allocResponse{Input: "src"}
+	resp := allocResponse{Input: "src", Machine: machineEcho(opt.Machine)}
 	var costMilli int64
 	for _, name := range units {
 		pr, err := prog.AllocatePortfolio(ctx, name, cands, cfg)
@@ -747,12 +786,22 @@ func (s *server) graphBody(ctx context.Context, g *ig.Graph, costs []float64, op
 	}
 	rt, parent := reqtrace.FromContext(ctx)
 
-	// The SSA heuristic colors in dominance order, which a bare
-	// interference graph does not carry; it applies to source
-	// payloads only.
+	// The SSA heuristic colors in dominance order and IRC coalesces
+	// move instructions, neither of which a bare interference graph
+	// carries; both apply to source payloads only.
 	if opt.Heuristic == color.SSA {
 		return nil, failErr(http.StatusBadRequest, codeBadHeuristic, "heuristic",
 			errors.New("heuristic ssa needs program structure (dominance order); send mini-FORTRAN source, not a graph"))
+	}
+	if opt.Heuristic == color.IRC {
+		return nil, failErr(http.StatusBadRequest, codeBadHeuristic, "heuristic",
+			errors.New("heuristic irc needs program structure (move instructions); send mini-FORTRAN source, not a graph"))
+	}
+	// Likewise the machine model: precolored argument and return
+	// bindings attach to instructions, not to anonymous graph nodes.
+	if opt.Machine != nil {
+		return nil, failErr(http.StatusBadRequest, codeBadMachine, "machine",
+			errors.New("a machine model needs program structure (convention bindings); send mini-FORTRAN source, not a graph"))
 	}
 
 	if req.Heuristic == "pcolor" {

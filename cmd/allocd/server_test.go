@@ -338,11 +338,11 @@ func TestAllocPortfolio(t *testing.T) {
 	}
 	u := resp.Units[0]
 	p := u.Portfolio
-	// Default set: 6 heuristic variants (chaitin, briggs, briggs/cost,
-	// briggs/degree, mb, ssa) + 3 pcolor seeds + 1 Jones–Plassmann
+	// Default set: 7 heuristic variants (chaitin, briggs, briggs/cost,
+	// briggs/degree, mb, ssa, irc) + 3 pcolor seeds + 1 Jones–Plassmann
 	// entrant.
-	if len(p.Candidates) != 10 {
-		t.Fatalf("candidates = %d, want 10: %+v", len(p.Candidates), p)
+	if len(p.Candidates) != 11 {
+		t.Fatalf("candidates = %d, want 11: %+v", len(p.Candidates), p)
 	}
 	if p.Winner == "" || p.Mode != "race-to-best" {
 		t.Fatalf("portfolio = %+v", p)

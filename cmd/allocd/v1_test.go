@@ -538,3 +538,91 @@ func TestV1SSAHeuristic(t *testing.T) {
 		t.Fatalf("graph + ssa: code %q, want bad_heuristic (%s)", e.Code, data)
 	}
 }
+
+// TestV1IRCHeuristic: the third allocator family over /v1 —
+// heuristic=irc allocates source programs, and a bad heuristic's
+// error detail enumerates the accepted spellings, irc included.
+func TestV1IRCHeuristic(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, data := postAlloc(t, ts, "/v1/alloc?heuristic=irc&kint=8&kfloat=4&colors=1", testSource)
+	if code != http.StatusOK {
+		t.Fatalf("source + irc: status %d: %s", code, data)
+	}
+	var resp allocResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if resp.Input != "src" || len(resp.Units) != 1 || resp.Units[0].Unit != "SAXPYISH" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Machine != nil {
+		t.Fatalf("no machine requested, response echoes %+v", resp.Machine)
+	}
+
+	code, data = postAlloc(t, ts, "/v1/alloc?heuristic=bogus", testSource)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bogus heuristic: status %d, want 400: %s", code, data)
+	}
+	e := errorEnvelope(t, data)
+	if e.Code != "bad_heuristic" {
+		t.Fatalf("code %q, want bad_heuristic (%s)", e.Code, data)
+	}
+	for _, name := range []string{"chaitin", "briggs", "mb", "ssa", "irc"} {
+		if !strings.Contains(e.Detail, name) {
+			t.Errorf("error detail %q does not list %q", e.Detail, name)
+		}
+	}
+
+	code, data = postAlloc(t, ts, "/v1/alloc?input=ig&heuristic=irc&kint=2", testGraph)
+	if code != http.StatusBadRequest {
+		t.Fatalf("graph + irc: status %d, want 400: %s", code, data)
+	}
+	if e := errorEnvelope(t, data); e.Code != "bad_heuristic" {
+		t.Fatalf("graph + irc: code %q, want bad_heuristic (%s)", e.Code, data)
+	}
+}
+
+// TestV1MachineModel: machine=rtpc constrains the allocation and the
+// resolved register-file model — per-class K, caller-saved split,
+// convention bindings — is echoed in the reply, resized to the
+// request's budgets.
+func TestV1MachineModel(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, h := range []string{"briggs", "irc"} {
+		code, data := postAlloc(t, ts, "/v1/alloc?heuristic="+h+"&machine=rtpc&kint=12&kfloat=8&colors=1", testSource)
+		if code != http.StatusOK {
+			t.Fatalf("%s + machine: status %d: %s", h, code, data)
+		}
+		var resp allocResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, data)
+		}
+		m := resp.Machine
+		if m == nil || len(m.Classes) != 2 {
+			t.Fatalf("%s: machine echo = %+v", h, m)
+		}
+		gpr, fpr := m.Classes[0], m.Classes[1]
+		if gpr.K != 12 || gpr.CallerSaved != 6 || len(gpr.ArgRegs) != 4 || gpr.RetReg != 0 {
+			t.Fatalf("%s: gpr echo = %+v", h, gpr)
+		}
+		if fpr.K != 8 || fpr.CallerSaved != 4 || len(fpr.ArgRegs) != 4 || fpr.RetReg != 0 {
+			t.Fatalf("%s: fpr echo = %+v", h, fpr)
+		}
+	}
+
+	// Unknown model names and graph payloads both fail typed.
+	code, data := postAlloc(t, ts, "/v1/alloc?machine=vax", testSource)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad machine: status %d: %s", code, data)
+	}
+	if e := errorEnvelope(t, data); e.Code != "bad_machine" {
+		t.Fatalf("bad machine: code %q (%s)", e.Code, data)
+	}
+	code, data = postAlloc(t, ts, "/v1/alloc?input=ig&machine=rtpc&kint=2", testGraph)
+	if code != http.StatusBadRequest {
+		t.Fatalf("graph + machine: status %d: %s", code, data)
+	}
+	if e := errorEnvelope(t, data); e.Code != "bad_machine" {
+		t.Fatalf("graph + machine: code %q (%s)", e.Code, data)
+	}
+}

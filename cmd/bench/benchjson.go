@@ -43,6 +43,11 @@
 //	                  loadtest.traces (their flight-recorder records,
 //	                  fetched back after the run); all /8 fields
 //	                  unchanged
+//	regalloc-bench/10 adds irc (iterated register coalescing vs the
+//	                  Briggs conservative pre-pass: surviving register
+//	                  copies per figure-5 routine, with both spill
+//	                  costs) and irc_eliminated_pct (the move-heavy
+//	                  aggregate); all /9 fields unchanged
 package main
 
 import (
@@ -156,6 +161,20 @@ type benchSSA struct {
 	BriggsCost   int64 `json:"briggs_cost_milli"`
 }
 
+// benchIRC is one routine of the iterated-register-coalescing study
+// (new in regalloc-bench/10): surviving register copies under Briggs
+// conservative coalescing versus George-Appel IRC, with both total
+// spill costs (equal by construction of the decoupled IRC design).
+// Fully deterministic, so it diffs cleanly across PRs.
+type benchIRC struct {
+	Program     string `json:"program"`
+	Routine     string `json:"routine"`
+	BriggsMoves int    `json:"briggs_moves"`
+	IRCMoves    int    `json:"irc_moves"`
+	BriggsCost  int64  `json:"briggs_cost_milli"`
+	IRCCost     int64  `json:"irc_cost_milli"`
+}
+
 // benchPortfolioCandidate is one strategy's outcome in one routine's
 // portfolio race.
 type benchPortfolioCandidate struct {
@@ -229,8 +248,16 @@ type benchReport struct {
 	// routine at (16,8) and (8,4), with the Figure 4 allocators'
 	// costs on the same units for comparison. New in
 	// regalloc-bench/8.
-	SSA  []benchSSA `json:"ssa"`
-	Note string     `json:"note"`
+	SSA []benchSSA `json:"ssa"`
+	// IRC is the iterated-register-coalescing study: per-routine
+	// surviving copies under the Briggs conservative pre-pass versus
+	// IRC's retested worklist, plus the move-heavy aggregate. New in
+	// regalloc-bench/10.
+	IRC []benchIRC `json:"irc"`
+	// IRCEliminatedPct is the share of copies IRC removed from the
+	// move-heavy units (>= 4 surviving the pre-pass), in percent.
+	IRCEliminatedPct float64 `json:"irc_eliminated_pct"`
+	Note             string  `json:"note"`
 }
 
 // figure7Routines is the paper's four large routines, the workloads
@@ -267,7 +294,7 @@ func runBenchJSON(path string, reps int) error {
 		return err
 	}
 	report := &benchReport{
-		Schema: "regalloc-bench/9",
+		Schema: "regalloc-bench/10",
 		SchemaHistory: []string{
 			"regalloc-bench/3: runs, graphs, pcolor, build_improvement_pct",
 			"regalloc-bench/4: adds phase_latency + run_latency (p50/p95/p99 over every rep); all /3 fields unchanged",
@@ -276,6 +303,7 @@ func runBenchJSON(path string, reps int) error {
 			"regalloc-bench/7: adds scale (10^5+-node power-law/mesh coloring per engine and worker count) and loadtest.error_latency in allocload reports; all /6 fields unchanged",
 			"regalloc-bench/8: adds ssa (SSA-form chordal allocator over every figure-5 routine at (16,8) and (8,4), with Chaitin/Briggs costs on the same units); all /7 fields unchanged",
 			"regalloc-bench/9: adds loadtest.slow_trace_ids/error_trace_ids/traces (trace IDs of the slowest and errored requests, with their flight-recorder records fetched from allocd's /debug/requests); all /8 fields unchanged",
+			"regalloc-bench/10: adds irc (iterated register coalescing vs the Briggs conservative pre-pass: surviving copies per figure-5 routine) and irc_eliminated_pct; all /9 fields unchanged",
 		},
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -532,6 +560,24 @@ func runBenchJSON(path string, reps int) error {
 			BriggsCost:   row.BriggsCostMilli,
 		})
 	}
+
+	// Iterated-register-coalescing study (new in /10). Deterministic:
+	// move and cost columns diff cleanly across PRs.
+	ircStudy, err := experiments.IRCStudy()
+	if err != nil {
+		return err
+	}
+	for _, row := range ircStudy.Rows {
+		report.IRC = append(report.IRC, benchIRC{
+			Program:     row.Program,
+			Routine:     row.Routine,
+			BriggsMoves: row.BriggsMoves,
+			IRCMoves:    row.IRCMoves,
+			BriggsCost:  row.BriggsCostMilli,
+			IRCCost:     row.IRCCostMilli,
+		})
+	}
+	report.IRCEliminatedPct = ircStudy.EliminatedPct()
 
 	snap := reg.Snapshot()
 	for p := 0; p < obs.NumPhases; p++ {

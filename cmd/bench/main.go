@@ -12,6 +12,7 @@
 //	bench -figure portfolio  # heuristic-portfolio racing study
 //	bench -figure scale      # 10^5+-node CSR + parallel coloring tier
 //	bench -figure ssa        # SSA-form chordal allocator study
+//	bench -figure irc        # iterated register coalescing study
 //	bench -figure all        # everything
 //	bench -figure scale -scale-nodes 1000000
 //	bench -figure 6 -n 200000
@@ -42,7 +43,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, irc, or all")
 	n := flag.Int64("n", 200000, "quicksort element count for figure 6")
 	scaleNodes := flag.Int("scale-nodes", 100000, "node count per topology for -figure scale")
 	tracePath := flag.String("trace", "", "write a JSON-lines allocator event trace to this file (\"-\" for stdout)")
@@ -121,8 +122,9 @@ func main() {
 	runPort := *figure == "portfolio" || *figure == "all"
 	runScale := *figure == "scale" || *figure == "all"
 	runSSA := *figure == "ssa" || *figure == "all"
-	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort && !runScale && !runSSA {
-		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, or all)\n", *figure)
+	runIRC := *figure == "irc" || *figure == "all"
+	if !run5 && !run6 && !run7 && !runAb && !runInt && !runPass && !runPC && !runPort && !runScale && !runSSA && !runIRC {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q (want 5, 6, 7, ablations, integer, passes, pcolor, portfolio, scale, ssa, irc, or all)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -183,6 +185,12 @@ func main() {
 	if runSSA {
 		fmt.Println("=== SSA-form chordal allocation (beyond the paper) ===")
 		res, err := experiments.SSAStudy()
+		fail(err)
+		fmt.Println(res)
+	}
+	if runIRC {
+		fmt.Println("=== Iterated register coalescing (George-Appel; beyond the paper) ===")
+		res, err := experiments.IRCStudy()
 		fail(err)
 		fmt.Println(res)
 	}

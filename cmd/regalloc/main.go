@@ -67,7 +67,8 @@ func main() {
 	random := flag.String("random", "", "generate G(n,p): \"n,p,seed\"")
 	svdlike := flag.Bool("svdlike", false, "generate the paper's SVD pressure pattern")
 	src := flag.String("src", "", "run the full allocator over a mini-FORTRAN source file")
-	heuristic := flag.String("heuristic", "briggs", "-src mode: coloring heuristic (chaitin, briggs, mb, ssa)")
+	heuristic := flag.String("heuristic", "briggs", "-src mode: coloring heuristic (chaitin, briggs, mb, ssa, irc)")
+	machineName := flag.String("machine", "", "-src mode: constrain the allocation with a register-file model (rtpc), resized to -k")
 	usePortfolio := flag.Bool("portfolio", false, "-src mode: race the strategy portfolio per routine and keep the cheapest verified result")
 	portfolioMode := flag.String("portfolio-mode", "race-to-best", "-portfolio: stopping rule (race-to-best, first-good)")
 	portfolioBudget := flag.Duration("portfolio-budget", 0, "-portfolio: wall-clock budget for starting candidates (0 = none)")
@@ -140,7 +141,7 @@ func main() {
 		if *usePortfolio {
 			runPortfolio(*src, *k, *portfolioMode, *portfolioBudget, sink)
 		} else {
-			runSource(*src, *heuristic, *k, sink)
+			runSource(*src, *heuristic, *machineName, *k, sink)
 		}
 	} else {
 		runGraph(*k, *random, *svdlike, *verbose, sink)
@@ -164,7 +165,7 @@ func main() {
 // runSource compiles a mini-FORTRAN file and allocates every routine
 // with the observer wired in, printing a per-pass summary that the
 // emitted spans reconcile with.
-func runSource(path, heuristic string, k int, sink obs.Sink) {
+func runSource(path, heuristic, machineName string, k int, sink obs.Sink) {
 	data, err := os.ReadFile(path)
 	fail(err)
 	h, err := color.ParseHeuristic(heuristic)
@@ -176,6 +177,13 @@ func runSource(path, heuristic string, k int, sink obs.Sink) {
 	opt.Heuristic = h
 	opt.KInt = k
 	opt.Observer = sink
+	switch machineName {
+	case "":
+	case "rtpc", "rt/pc":
+		opt.Machine = regalloc.MachineFor(regalloc.RTPC().WithGPR(opt.KInt).WithFPR(opt.KFloat))
+	default:
+		fail(fmt.Errorf("unknown -machine %q (want rtpc)", machineName))
+	}
 	for _, name := range prog.Functions() {
 		res, err := prog.Allocate(name, opt)
 		fail(err)

@@ -146,6 +146,12 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 		// other heuristics.)
 		return runSSA(ctx, f, opt)
 	}
+	if opt.Heuristic == color.IRC && !opt.UsePColor {
+		// Iterated register coalescing replaces the cycle's separate
+		// coalesce pre-pass and simplify phase with one worklist
+		// machine (same UsePColor precedence as above).
+		return runIRC(ctx, f, opt)
+	}
 	work := f.Clone()
 	res := &Result{Options: opt}
 	kf := opt.K()
@@ -176,6 +182,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 		liverange.Renumber(work)
 		pc := newPassCtx(work)
 		var g *ig.Graph
+		var pre []int16 // precolored colors by node; nil without a machine model
 		if opt.Coalesce {
 			var ck func(ir.Class) int
 			if opt.ConservativeCoalesce {
@@ -195,9 +202,17 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 				// block was touched.
 				liverange.Renumber(work)
 				pc.refreshLiveness(work)
-				g = ig.BuildWithLiveness(work, pc.lv, opt.Workers, tr)
+				g = nil
 			}
-		} else {
+		}
+		if opt.Machine != nil {
+			// The machine model extends the graph with precolored
+			// register nodes and call-clobber edges; any plain graph
+			// the coalescer returned lacks those, so rebuild.
+			mg := ig.BuildWithMachine(work, pc.lv, opt.Machine, tr)
+			g = mg.Graph
+			pre = mg.Pre
+		} else if g == nil {
 			g = ig.BuildWithLiveness(work, pc.lv, opt.Workers, tr)
 		}
 		var rematOK []bool
@@ -364,7 +379,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 			// Simplify.
 			tr.BeginPhase(obs.PhaseSimplify)
 			t0 = time.Now()
-			sr := color.SimplifyInto(sc, g, costs, kf, opt.Heuristic, opt.Metric, tr)
+			sr := color.SimplifyPreInto(sc, g, pre, costs, kf, opt.Heuristic, opt.Metric, tr)
 			ps.Simplify = time.Since(t0)
 			ps.ScanSteps = sr.ScanSteps
 			tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
@@ -376,7 +391,7 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 			} else {
 				tr.BeginPhase(obs.PhaseColor)
 				t0 = time.Now()
-				colors, uncolored := color.SelectInto(sc, g, sr, kf, opt.Heuristic != color.Chaitin, tr)
+				colors, uncolored := color.SelectPreInto(sc, g, pre, sr, kf, opt.Heuristic != color.Chaitin, tr)
 				ps.Color = time.Since(t0)
 				tr.EndPhase(obs.PhaseColor, ps.Color)
 				if len(uncolored) == 0 {
@@ -386,8 +401,15 @@ func RunContext(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
 					}
 					res.Func = work
 					// colors aliases the pooled scratch; the result
-					// outlives the pass, so copy it out.
-					res.Colors = append([]int16(nil), colors...)
+					// outlives the pass, so copy it out (precolored
+					// node colors stay behind — the program only ever
+					// names virtual registers).
+					res.Colors = append([]int16(nil), colors[:work.NumRegs()]...)
+					if opt.Machine != nil {
+						if err := VerifyAssignmentMachine(work, res.Colors, opt.Machine); err != nil {
+							return nil, fmt.Errorf("alloc: %s: %w", f.Name, err)
+						}
+					}
 					recordPassSpans(ctx, f.Name, opt, res.Passes, runStart)
 					return res, nil
 				}

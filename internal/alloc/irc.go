@@ -1,0 +1,126 @@
+package alloc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"regalloc/internal/color"
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+	"regalloc/internal/irc"
+	"regalloc/internal/liverange"
+	"regalloc/internal/obs"
+	"regalloc/internal/spill"
+)
+
+// runIRC dispatches opt.Heuristic == color.IRC to the iterated
+// register coalescing allocator (internal/irc), with spilling
+// decoupled from coalescing — the same separation the SSA allocator
+// already uses, and for the same reason. Interleaving aggressive
+// coalescing with spill decisions lets merged webs inflate graph
+// pressure before the spill chooser runs, which is exactly the
+// pathology optimistic coalescing (Park & Moon) was invented to
+// undo: an "iterate everything" driver measurably spills units the
+// plain Figure 4 cycle colors cleanly. So the driver splits the work
+// by objective:
+//
+//  1. Spill rounds run the unmodified Figure 4 cycle under Briggs
+//     optimism with the conservative coalescing pre-pass — the
+//     strongest non-IRC configuration — until a pass completes with
+//     no new spills. Spill placement, and therefore total spill
+//     cost, is identical to that baseline by construction.
+//  2. The worklist machine (simplify / coalesce / freeze
+//     interleaved, George and Briggs tests, move-biased select) then
+//     runs once on the final colorable program. Conservative tests
+//     guarantee its merges preserve colorability, so this round can
+//     only delete copies, never add spills; in the rare case the
+//     baseline's zero-spill coloring depended on optimism the round
+//     cannot reproduce, the driver falls back to the phase 1
+//     coloring unchanged.
+//
+// Each phase 1 pass lands in Result.Passes as usual; the worklist
+// round is appended as one more pass, its machine charged to the
+// simplify phase and its rewrite + select to the color phase.
+func runIRC(ctx context.Context, f *ir.Func, opt Options) (*Result, error) {
+	// Phase 1: decide spills with the Figure 4 baseline. Everything
+	// else about the request (machine model, spill lowering flavor,
+	// costs, metric, observer) carries over unchanged.
+	base := opt
+	base.Heuristic = color.Briggs
+	base.Coalesce = true
+	base.ConservativeCoalesce = true
+	res, err := RunContext(ctx, f, base)
+	if err != nil {
+		return nil, err
+	}
+	res.Options = opt
+	work := res.Func
+	kf := opt.K()
+	tr := obs.New(opt.Observer, f.Name)
+	runStart := time.Now()
+	tr.SetPass(len(res.Passes))
+
+	// Phase 2: one worklist-machine round over the colorable program.
+	var ps PassStats
+	tr.BeginPhase(obs.PhaseBuild)
+	t0 := time.Now()
+	liverange.Renumber(work)
+	pc := newPassCtx(work)
+	var mg *ig.MachineGraph
+	if opt.Machine != nil {
+		mg = ig.BuildWithMachine(work, pc.lv, opt.Machine, tr)
+	} else {
+		mg = ig.WrapPlain(ig.BuildWithLiveness(work, pc.lv, opt.Workers, tr))
+	}
+	var costs []float64
+	if opt.Rematerialize {
+		rematOK, _ := spill.Remat(work)
+		costs = spill.CostsRemat(work, opt.CostParams, rematOK)
+	} else {
+		costs = spill.Costs(work, opt.CostParams)
+	}
+	ps.Build = time.Since(t0)
+	ps.LiveRanges = work.NumRegs()
+	ps.Edges = mg.NumEdges()
+	tr.EndPhase(obs.PhaseBuild, ps.Build)
+	pc.emitCounters(tr)
+	if tr.Enabled() {
+		tr.Counter(obs.PhaseBuild, "graph.nodes", int64(mg.NumNodes()))
+		tr.Counter(obs.PhaseBuild, "graph.edges", int64(ps.Edges))
+	}
+
+	tr.BeginPhase(obs.PhaseSimplify)
+	t0 = time.Now()
+	// Terminal round: spill-temp moves are fair game — no further
+	// spill round can be forced to spill a widened temporary web.
+	rr := irc.ColorWith(work, mg, costs, kf, opt.Metric, tr, irc.Opts{CoalesceSpillTemps: true})
+	ps.Simplify = time.Since(t0)
+	tr.EndPhase(obs.PhaseSimplify, ps.Simplify)
+
+	if len(rr.Spilled) > 0 {
+		// The baseline coloring leaned on optimism this round's
+		// conservative merges broke. Keep the baseline result: cost
+		// and copies exactly as Briggs left them.
+		return res, nil
+	}
+
+	tr.BeginPhase(obs.PhaseColor)
+	t0 = time.Now()
+	ps.CoalescedMoves = rr.ApplyRewrite(work)
+	colors := append([]int16(nil), rr.Colors[:work.NumRegs()]...)
+	ps.Color = time.Since(t0)
+	tr.EndPhase(obs.PhaseColor, ps.Color)
+	res.Passes = append(res.Passes, ps)
+	if opt.Machine != nil {
+		if err := VerifyAssignmentMachine(work, colors, opt.Machine); err != nil {
+			return nil, fmt.Errorf("alloc: %s: irc: %w", f.Name, err)
+		}
+	} else if err := VerifyAssignment(work, colors); err != nil {
+		return nil, fmt.Errorf("alloc: %s: irc: %w", f.Name, err)
+	}
+	res.Func = work
+	res.Colors = colors
+	recordPassSpans(ctx, f.Name, opt, res.Passes[len(res.Passes)-1:], runStart)
+	return res, nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"regalloc/internal/color"
+	"regalloc/internal/ir"
+	"regalloc/internal/machine"
 	"regalloc/internal/obs"
 	"regalloc/internal/pcolor"
 	"regalloc/internal/spill"
@@ -26,6 +28,11 @@ var (
 	ErrBadWorkers = errors.New("Workers must be >= 0")
 	// ErrBadPColorAlgo reports an out-of-range PColorAlgo value.
 	ErrBadPColorAlgo = errors.New("unknown pcolor algorithm")
+	// ErrBadMachine reports a Machine model that fails its own
+	// Validate, disagrees with KInt/KFloat, or is combined with an
+	// allocation mode that cannot honor precolored constraints
+	// (UsePColor, or the SSA chordal allocator).
+	ErrBadMachine = errors.New("invalid machine model configuration")
 )
 
 // Options configures a run of the allocator.
@@ -107,6 +114,18 @@ type Options struct {
 	// whose coloring depends on PColorSeed alone — worker count
 	// changes only the wall time, never the spill set.
 	PColorAlgo pcolor.Algo
+	// Machine, when non-nil, layers a register-file description over
+	// the pure k-coloring problem: physical registers enter the
+	// interference graph as precolored nodes, values live across calls
+	// interfere with the caller-saved registers (so they prefer
+	// callee-saved colors), and — under the IRC heuristic — the
+	// calling convention's argument/return bindings become coalescing
+	// candidates. Per-class counts must agree with KInt/KFloat
+	// (Validate rejects a mismatch with ErrBadMachine), and the model
+	// is incompatible with UsePColor and the SSA heuristic, neither of
+	// which honors precolored constraints. Nil — the default — is the
+	// paper's machine-agnostic formulation.
+	Machine *machine.Model
 }
 
 // DefaultPColorWorkers is the fixed worker count UsePColor resolves
@@ -144,7 +163,7 @@ func (o Options) Validate() error {
 	if o.KInt < 1 || o.KFloat < 1 {
 		return fmt.Errorf("alloc: kInt=%d, kFloat=%d: %w", o.KInt, o.KFloat, ErrBadK)
 	}
-	if o.Heuristic < color.Chaitin || o.Heuristic > color.SSA {
+	if o.Heuristic < color.Chaitin || o.Heuristic > color.IRC {
 		return fmt.Errorf("alloc: heuristic %d: %w", int(o.Heuristic), ErrBadHeuristic)
 	}
 	if o.Metric < color.CostOverDegree || o.Metric > color.DegreeOnly {
@@ -158,6 +177,22 @@ func (o Options) Validate() error {
 	}
 	if o.PColorAlgo < 0 || o.PColorAlgo >= pcolor.NumAlgos {
 		return fmt.Errorf("alloc: pcolor algo %d: %w", int(o.PColorAlgo), ErrBadPColorAlgo)
+	}
+	if o.Machine != nil {
+		if err := o.Machine.Validate(); err != nil {
+			return fmt.Errorf("alloc: %v: %w", err, ErrBadMachine)
+		}
+		if o.Machine.NumRegs[ir.ClassInt] != o.KInt || o.Machine.NumRegs[ir.ClassFloat] != o.KFloat {
+			return fmt.Errorf("alloc: machine %s has %d/%d registers but kInt=%d, kFloat=%d: %w",
+				o.Machine.Name, o.Machine.NumRegs[ir.ClassInt], o.Machine.NumRegs[ir.ClassFloat],
+				o.KInt, o.KFloat, ErrBadMachine)
+		}
+		if o.UsePColor {
+			return fmt.Errorf("alloc: machine model with UsePColor: %w", ErrBadMachine)
+		}
+		if o.Heuristic == color.SSA {
+			return fmt.Errorf("alloc: machine model with the SSA heuristic: %w", ErrBadMachine)
+		}
 	}
 	return nil
 }

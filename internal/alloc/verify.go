@@ -6,6 +6,7 @@ import (
 	"regalloc/internal/bitset"
 	"regalloc/internal/dataflow"
 	"regalloc/internal/ir"
+	"regalloc/internal/machine"
 )
 
 // VerifyAssignment independently checks a finished allocation: it
@@ -54,6 +55,52 @@ func VerifyAssignment(f *ir.Func, colors []int16) error {
 					fail = fmt.Errorf(
 						"verify: %s: b%d[%d]: v%d and live v%d share %s register %d",
 						f.Name, b.ID, i, d, l, f.RegClass(d), colors[d])
+				}
+			})
+		})
+		if fail != nil {
+			return fail
+		}
+	}
+	return nil
+}
+
+// VerifyAssignmentMachine is VerifyAssignment plus the machine-model
+// constraints: every color stays inside its class's register file,
+// and no value live across a call occupies a caller-saved register
+// (the callee is free to clobber it). Like VerifyAssignment it works
+// from the program, not the graph, so it catches a missing clobber
+// edge in graph construction as readily as a coloring bug.
+func VerifyAssignmentMachine(f *ir.Func, colors []int16, m *machine.Model) error {
+	if err := VerifyAssignment(f, colors); err != nil {
+		return err
+	}
+	for r := 0; r < f.NumRegs(); r++ {
+		c := colors[r]
+		if c < 0 {
+			continue // never defined; VerifyAssignment vetted the rest
+		}
+		if cls := f.RegClass(ir.Reg(r)); int(c) >= m.K(cls) {
+			return fmt.Errorf("verify: %s: v%d colored %d, outside the %d-register %s file",
+				f.Name, r, c, m.K(cls), cls)
+		}
+	}
+	lv := dataflow.ComputeLiveness(f)
+	var fail error
+	for _, b := range f.Blocks {
+		lv.LiveAcross(f, b, func(i int, in *ir.Instr, liveAfter *bitset.Set) {
+			if fail != nil || in.Op != ir.OpCall {
+				return
+			}
+			liveAfter.ForEach(func(l int) {
+				if fail != nil || ir.Reg(l) == in.Dst {
+					return
+				}
+				cls := f.RegClass(ir.Reg(l))
+				if c := colors[l]; c >= 0 && m.IsCallerSaved(cls, c) {
+					fail = fmt.Errorf(
+						"verify: %s: b%d[%d]: v%d lives across the call in caller-saved %s register %d",
+						f.Name, b.ID, i, l, cls, c)
 				}
 			})
 		})

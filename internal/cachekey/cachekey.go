@@ -144,6 +144,23 @@ func Options(opt alloc.Options) Key {
 		}
 		h.Int(int64(workers))
 	}
+	h.Bool(opt.Machine != nil)
+	if m := opt.Machine; m != nil {
+		// The model changes both the graph (precolored nodes, clobber
+		// edges) and the move set, so every constraint-bearing field
+		// is part of the key; the name alone would let two models with
+		// the same label collide.
+		h.Str(m.Name)
+		for c := 0; c < len(m.NumRegs); c++ {
+			h.Int(int64(m.NumRegs[c]))
+			h.Int(int64(m.CallerSaved[c]))
+			h.Int(int64(m.RetReg[c]))
+			h.Int(int64(len(m.ArgRegs[c])))
+			for _, r := range m.ArgRegs[c] {
+				h.Int(int64(r))
+			}
+		}
+	}
 	return h.Key()
 }
 

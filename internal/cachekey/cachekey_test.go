@@ -9,6 +9,7 @@ import (
 	"regalloc/internal/graphgen"
 	"regalloc/internal/ig"
 	"regalloc/internal/ir"
+	"regalloc/internal/machine"
 )
 
 // TestGraphCanonicalAcrossEdgeOrder is the collision half of the
@@ -103,6 +104,18 @@ func TestOptionsFingerprint(t *testing.T) {
 		func(o *alloc.Options) { o.MaxPasses = 3 },
 		func(o *alloc.Options) { o.CostParams.DepthBase = 8 },
 		func(o *alloc.Options) { o.UsePColor = true },
+		func(o *alloc.Options) { o.Heuristic = 4 /* irc */ },
+		func(o *alloc.Options) { o.Machine = machine.RTPC() },
+		func(o *alloc.Options) {
+			m := *machine.RTPC()
+			m.CallerSaved[0]++ // same counts, different save partition
+			o.Machine = &m
+		},
+		func(o *alloc.Options) {
+			m := *machine.RTPC()
+			m.ArgRegs[0] = m.ArgRegs[0][:2] // fewer argument registers
+			o.Machine = &m
+		},
 	}
 	seen := map[Key]int{Options(base): -1}
 	for i, mut := range mutations {

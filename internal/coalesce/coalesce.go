@@ -3,6 +3,15 @@
 // destination do not interfere is eliminated by merging the two live
 // ranges, and the build/coalesce step repeats until no move can be
 // removed (the inner loop of the paper's Figure 4 "build" box).
+//
+// This is the pre-pass flavor of coalescing: each move is tested once
+// (aggressively, or conservatively under Options.ConservativeCoalesce)
+// against the full-pressure interference graph before any
+// simplification happens. The complementary approach — retesting
+// every move as simplification lowers its neighborhood's degrees —
+// lives in internal/irc, the George–Appel iterated-register-coalescing
+// worklist machine that the irc heuristic runs as a terminal round on
+// top of this pre-pass.
 package coalesce
 
 import (

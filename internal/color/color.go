@@ -44,9 +44,15 @@ const (
 	// greedy coloring all live in internal/ssa, dispatched by the
 	// alloc driver.
 	SSA
+	// IRC selects George–Appel iterated register coalescing: the
+	// Build/Simplify/Coalesce/Freeze/Spill/Select worklist machine in
+	// internal/irc, dispatched by the alloc driver. Coalescing is
+	// interleaved with simplification (conservatively, so it never
+	// creates spills) instead of running as a pre-pass.
+	IRC
 )
 
-var heuristicNames = [...]string{"chaitin", "briggs", "matula-beck", "ssa"}
+var heuristicNames = [...]string{"chaitin", "briggs", "matula-beck", "ssa", "irc"}
 
 func (h Heuristic) String() string {
 	if int(h) < len(heuristicNames) {
@@ -55,8 +61,15 @@ func (h Heuristic) String() string {
 	return fmt.Sprintf("Heuristic(%d)", int(h))
 }
 
-// ParseHeuristic resolves a heuristic by name ("chaitin", "briggs",
-// "matula-beck"/"mb", "ssa"/"chordal").
+// HeuristicSpellings enumerates every name ParseHeuristic accepts,
+// grouped by heuristic with aliases slash-separated. Error messages
+// and CLI/API docs render it, so the list of legal values has one
+// source of truth.
+const HeuristicSpellings = "chaitin/old, briggs/new/optimistic, matula-beck/mb/smallest-last, ssa/chordal, irc/iterated"
+
+// ParseHeuristic resolves a heuristic by name; the accepted spellings
+// are HeuristicSpellings. An unknown name yields an error that
+// enumerates them.
 func ParseHeuristic(s string) (Heuristic, error) {
 	switch s {
 	case "chaitin", "old":
@@ -67,8 +80,10 @@ func ParseHeuristic(s string) (Heuristic, error) {
 		return MatulaBeck, nil
 	case "ssa", "chordal":
 		return SSA, nil
+	case "irc", "iterated":
+		return IRC, nil
 	}
-	return 0, fmt.Errorf("unknown heuristic %q", s)
+	return 0, fmt.Errorf("unknown heuristic %q (accepted: %s)", s, HeuristicSpellings)
 }
 
 // Metric selects the spill-choice figure of merit when simplify is
@@ -167,6 +182,17 @@ func SimplifyTraced(g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric
 // SimplifyInto on the same scratch. This is the allocation-free
 // entry point the per-pass cycle uses.
 func SimplifyInto(sc *Scratch, g *ig.Graph, cost []float64, k K, h Heuristic, metric Metric, tr *obs.Tracer) *SimplifyResult {
+	return SimplifyPreInto(sc, g, nil, cost, k, h, metric, tr)
+}
+
+// SimplifyPreInto is SimplifyInto over a graph with precolored nodes:
+// pre[n] >= 0 fixes node n's color, and such nodes never enter the
+// worklist — they are not simplified, never spill candidates, and
+// keep contributing their (effectively infinite) degree pressure to
+// every neighbor for the whole phase. cost may cover only the
+// uncolored prefix; precolored nodes never have their cost read.
+// A nil pre is the plain SimplifyInto.
+func SimplifyPreInto(sc *Scratch, g *ig.Graph, pre []int16, cost []float64, k K, h Heuristic, metric Metric, tr *obs.Tracer) *SimplifyResult {
 	res := &sc.res
 	res.Stack = res.Stack[:0]
 	res.SpillMarked = res.SpillMarked[:0]
@@ -174,14 +200,14 @@ func SimplifyInto(sc *Scratch, g *ig.Graph, cost []float64, k K, h Heuristic, me
 	res.ScanSteps = 0
 	// The integer and float subgraphs are disjoint; simplify each.
 	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
-		simplifyClass(sc, g, cost, k(cls), cls, h, metric, res, tr)
+		simplifyClass(sc, g, pre, cost, k(cls), cls, h, metric, res, tr)
 	}
 	return res
 }
 
-func simplifyClass(sc *Scratch, g *ig.Graph, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult, tr *obs.Tracer) {
+func simplifyClass(sc *Scratch, g *ig.Graph, pre []int16, cost []float64, k int, cls ir.Class, h Heuristic, metric Metric, res *SimplifyResult, tr *obs.Tracer) {
 	w := &sc.wl
-	w.Init(g, cls)
+	w.InitPre(g, cls, pre)
 	for w.Remaining() > 0 {
 		n := w.MinDegreeNode()
 		if h == MatulaBeck || int(w.Degree(n)) < k {
@@ -277,6 +303,19 @@ func SelectTraced(g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs
 // same scratch. Callers that keep a finished coloring (the final
 // pass) must copy it out before reusing the scratch.
 func SelectInto(sc *Scratch, g *ig.Graph, sr *SimplifyResult, k K, optimistic bool, tr *obs.Tracer) (colors []int16, uncolored []int32) {
+	return SelectPreInto(sc, g, nil, sr, k, optimistic, tr)
+}
+
+// SelectPreInto is SelectInto over a graph with precolored nodes:
+// before the stack is replayed, every node with pre[n] >= 0 is seeded
+// with its fixed color as already inserted, so the reinserted nodes
+// color around the physical registers exactly as they colored around
+// each other. Simplification (SimplifyPreInto) kept precolored
+// degrees intact, so Chaitin's guarantee — a stacked node saw fewer
+// than k neighbors, precolored included — still holds and the
+// pessimistic path cannot run out of colors. A nil pre is the plain
+// SelectInto.
+func SelectPreInto(sc *Scratch, g *ig.Graph, pre []int16, sr *SimplifyResult, k K, optimistic bool, tr *obs.Tracer) (colors []int16, uncolored []int32) {
 	stack := sr.Stack
 	var candidate []bool
 	if tr.Enabled() && len(sr.Candidates) > 0 {
@@ -294,6 +333,12 @@ func SelectInto(sc *Scratch, g *ig.Graph, sr *SimplifyResult, k K, optimistic bo
 	sc.inserted = inserted
 	for i := range inserted {
 		inserted[i] = false
+	}
+	for n, c := range pre {
+		if c >= 0 {
+			colors[n] = c
+			inserted[n] = true
+		}
 	}
 	used := sc.used
 	sc.uncol = sc.uncol[:0]

@@ -2,6 +2,7 @@ package color_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -242,21 +243,78 @@ func TestChooseSpillPrefersCheap(t *testing.T) {
 	}
 }
 
-// TestParseHeuristic covers the name parser.
+// TestParseHeuristic covers the name parser: every accepted spelling
+// resolves, and a rejected one names all the legal values, so a
+// typo'd -heuristic (or allocd query) tells the caller what to type
+// instead.
 func TestParseHeuristic(t *testing.T) {
-	cases := map[string]color.Heuristic{
-		"chaitin": color.Chaitin, "old": color.Chaitin,
-		"briggs": color.Briggs, "new": color.Briggs, "optimistic": color.Briggs,
-		"matula-beck": color.MatulaBeck, "mb": color.MatulaBeck,
+	cases := []struct {
+		in   string
+		want color.Heuristic
+	}{
+		{"chaitin", color.Chaitin}, {"old", color.Chaitin},
+		{"briggs", color.Briggs}, {"new", color.Briggs}, {"optimistic", color.Briggs},
+		{"matula-beck", color.MatulaBeck}, {"mb", color.MatulaBeck}, {"smallest-last", color.MatulaBeck},
+		{"ssa", color.SSA}, {"chordal", color.SSA},
+		{"irc", color.IRC}, {"iterated", color.IRC},
 	}
-	for s, want := range cases {
-		got, err := color.ParseHeuristic(s)
-		if err != nil || got != want {
-			t.Errorf("ParseHeuristic(%q) = %v, %v; want %v", s, got, err, want)
+	for _, tc := range cases {
+		got, err := color.ParseHeuristic(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseHeuristic(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
 		}
 	}
-	if _, err := color.ParseHeuristic("nope"); err == nil {
-		t.Error("ParseHeuristic(nope) should fail")
+	for _, bad := range []string{"nope", "", "BRIGGS", "george"} {
+		_, err := color.ParseHeuristic(bad)
+		if err == nil {
+			t.Errorf("ParseHeuristic(%q) should fail", bad)
+			continue
+		}
+		// The error must enumerate the accepted values — every legal
+		// spelling appears in the message.
+		for _, tc := range cases {
+			if !strings.Contains(err.Error(), tc.in) {
+				t.Errorf("ParseHeuristic(%q) error %q does not mention accepted spelling %q", bad, err, tc.in)
+			}
+		}
+	}
+}
+
+// TestSimplifySelectPrecolored: nodes with fixed colors never enter
+// the stack or the spill set, and selection colors the ordinary nodes
+// around them.
+func TestSimplifySelectPrecolored(t *testing.T) {
+	// v0 and v1 are ordinary; p2 (color 0) and p3 (color 1) are
+	// precolored. Edges: v0–p2, v1–p3. With k=2 and lowest-first
+	// selection the assignment is forced around the fixed colors:
+	// v0=1, v1=0.
+	g := ig.New([]ir.Class{ir.ClassInt, ir.ClassInt, ir.ClassInt, ir.ClassInt})
+	pre := []int16{-1, -1, 0, 1}
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	cost := []float64{1, 1}
+	for _, h := range []color.Heuristic{color.Chaitin, color.Briggs, color.MatulaBeck} {
+		var sc color.Scratch
+		sr := color.SimplifyPreInto(&sc, g, pre, cost, kAll(2), h, color.CostOverDegree, nil)
+		for _, n := range sr.Stack {
+			if n >= 2 {
+				t.Fatalf("%s: precolored node %d was stacked", h, n)
+			}
+		}
+		if len(sr.SpillMarked) > 0 {
+			t.Fatalf("%s: spilled %v on a colorable graph", h, sr.SpillMarked)
+		}
+		colors, uncolored := color.SelectPreInto(&sc, g, pre, sr, kAll(2), h != color.Chaitin, nil)
+		if len(uncolored) > 0 {
+			t.Fatalf("%s: uncolored %v", h, uncolored)
+		}
+		if colors[0] != 1 || colors[1] != 0 {
+			t.Fatalf("%s: colors = %v, want v0=1 v1=0", h, colors[:2])
+		}
+		if colors[2] != 0 || colors[3] != 1 {
+			t.Fatalf("%s: precolored nodes moved: %v", h, colors[2:])
+		}
 	}
 }
 

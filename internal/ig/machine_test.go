@@ -1,0 +1,109 @@
+package ig_test
+
+import (
+	"testing"
+
+	"regalloc/internal/dataflow"
+	"regalloc/internal/ig"
+	"regalloc/internal/ir"
+	"regalloc/internal/machine"
+)
+
+// callCrossFunc builds
+//
+//	a = const 1
+//	b = const 2
+//	call F()
+//	c = add a, b
+//	ret c
+//
+// so a and b are live across the call while c is born after it.
+func callCrossFunc() (*ir.Func, [3]ir.Reg) {
+	f := &ir.Func{Name: "CC"}
+	a := f.NewReg(ir.ClassInt)
+	b := f.NewReg(ir.ClassInt)
+	c := f.NewReg(ir.ClassInt)
+	blk := f.NewBlock()
+	blk.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: a, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 1},
+		{Op: ir.OpConst, Dst: b, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Imm: 2},
+		{Op: ir.OpCall, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: "F"},
+		{Op: ir.OpAdd, Dst: c, A: a, B: b, C: ir.NoReg},
+		{Op: ir.OpRet, Dst: ir.NoReg, A: c, B: ir.NoReg, C: ir.NoReg},
+	}
+	f.RecomputePreds()
+	return f, [3]ir.Reg{a, b, c}
+}
+
+func TestBuildWithMachineClobberEdges(t *testing.T) {
+	f, regs := callCrossFunc()
+	m := machine.RTPC()
+	mg := ig.BuildWithMachine(f, dataflow.ComputeLiveness(f), m, nil)
+
+	if mg.NumVRegs != 3 {
+		t.Fatalf("NumVRegs = %d, want 3", mg.NumVRegs)
+	}
+	if got, want := mg.NumNodes(), 3+m.NumPrecolored(); got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	a, b, c := regs[0], regs[1], regs[2]
+	// a and b cross the call: they interfere with every caller-saved
+	// GPR and with no callee-saved one.
+	for _, v := range []ir.Reg{a, b} {
+		for r := int16(0); int(r) < m.NumRegs[ir.ClassInt]; r++ {
+			want := m.IsCallerSaved(ir.ClassInt, r)
+			if got := mg.Interfere(int32(v), mg.PreNode(ir.ClassInt, r)); got != want {
+				t.Fatalf("v%d vs r%d: interfere = %v, want %v", v, r, got, want)
+			}
+		}
+	}
+	// c is born after the call: no clobber edges at all.
+	for r := int16(0); int(r) < m.NumRegs[ir.ClassInt]; r++ {
+		if mg.Interfere(int32(c), mg.PreNode(ir.ClassInt, r)) {
+			t.Fatalf("v%d does not cross the call but interferes with r%d", c, r)
+		}
+	}
+	// The vreg-vreg edges match the plain build.
+	if !mg.Interfere(int32(a), int32(b)) {
+		t.Fatal("a and b are simultaneously live; must interfere")
+	}
+	if mg.Interfere(int32(b), int32(c)) {
+		t.Fatal("b dies feeding the add; must not interfere with c")
+	}
+}
+
+func TestBuildWithMachinePrecoloredClique(t *testing.T) {
+	f, _ := callCrossFunc()
+	m := machine.RTPC()
+	mg := ig.BuildWithMachine(f, dataflow.ComputeLiveness(f), m, nil)
+	for _, cls := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		for x := int16(0); int(x) < m.NumRegs[cls]; x++ {
+			for y := x + 1; int(y) < m.NumRegs[cls]; y++ {
+				if !mg.Interfere(mg.PreNode(cls, x), mg.PreNode(cls, y)) {
+					t.Fatalf("%s physical registers %d and %d do not interfere", cls, x, y)
+				}
+			}
+		}
+	}
+	// Fixed colors line up with register numbers; vregs carry none.
+	for r := int16(0); int(r) < m.NumRegs[ir.ClassInt]; r++ {
+		n := mg.PreNode(ir.ClassInt, r)
+		if mg.Pre[n] != r || !mg.Precolored(n) {
+			t.Fatalf("precolored node %d: Pre=%d Precolored=%v", n, mg.Pre[n], mg.Precolored(n))
+		}
+	}
+	for v := 0; v < mg.NumVRegs; v++ {
+		if mg.Pre[v] != ig.NoPreColor || mg.Precolored(int32(v)) {
+			t.Fatalf("vreg %d looks precolored", v)
+		}
+	}
+}
+
+func TestWrapPlain(t *testing.T) {
+	g := ig.New([]ir.Class{ir.ClassInt, ir.ClassInt})
+	g.AddEdge(0, 1)
+	mg := ig.WrapPlain(g)
+	if mg.NumVRegs != 2 || mg.Precolored(1) || mg.Pre[0] != ig.NoPreColor {
+		t.Fatalf("WrapPlain misshaped: %+v", mg)
+	}
+}

@@ -44,6 +44,16 @@ func NewWorklist(g *Graph, cls ir.Class) *Worklist {
 // every pass, so the steady-state simplification phase allocates
 // nothing.
 func (w *Worklist) Init(g *Graph, cls ir.Class) {
+	w.InitPre(g, cls, nil)
+}
+
+// InitPre is Init over a graph with precolored nodes: a node with
+// pre[n] >= 0 stays out of the worklist entirely — it is never
+// returned by MinDegreeNode, never counted in Remaining, and (being
+// never Removed) its contribution to every neighbor's degree never
+// decays, which is exactly the "infinite degree" treatment precolored
+// nodes need during simplification. A nil pre is the plain Init.
+func (w *Worklist) InitPre(g *Graph, cls ir.Class, pre []int16) {
 	n := g.NumNodes()
 	w.g = g
 	w.cls = cls
@@ -65,6 +75,9 @@ func (w *Worklist) Init(g *Graph, cls ir.Class) {
 		w.in[i] = false
 		w.removed[i] = false
 		if g.Class(int32(i)) != cls {
+			continue
+		}
+		if pre != nil && pre[i] >= 0 {
 			continue
 		}
 		w.in[i] = true

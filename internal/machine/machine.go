@@ -1,0 +1,184 @@
+// Package machine describes a concrete register file to the
+// allocator: how many registers each class has, which of them a call
+// clobbers (caller-saved) and which the callee preserves, and which
+// registers the calling convention binds to arguments and return
+// values. It is the constraint layer that turns the idealized
+// allocator — every color interchangeable, calls clobbering nothing —
+// into one that must respect a real machine's conventions.
+//
+// The simulated machine (internal/target) gives every activation its
+// own register file, so these constraints change no program's
+// observable behavior; what they change is which assignments the
+// allocator may produce. Precolored nodes stand for the physical
+// registers themselves: they enter the interference graph with fixed
+// colors (ig.BuildWithMachine appends them after the function's
+// virtual registers), have effectively infinite degree during
+// simplification, and are never spill candidates. Caller-saved
+// registers additionally interfere with every range live across a
+// call, which is what pushes call-crossing ranges into callee-saved
+// colors.
+package machine
+
+import (
+	"fmt"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/target"
+)
+
+// Model is a register-file description. Register numbers within a
+// class are the allocator's colors: color c of class cls is physical
+// register c of that class's file. The caller-saved registers are the
+// low-numbered prefix [0, CallerSaved) of each file — a structural
+// choice, not just a convention, so "prefer callee-saved for
+// call-crossing ranges" falls out of lowest-color-first selection
+// plus the clobber interference edges.
+type Model struct {
+	// Name identifies the configuration ("rt/pc" and its resizings).
+	Name string
+	// NumRegs is the register-file size per class — the per-class K.
+	NumRegs [ir.NumClasses]int
+	// CallerSaved is, per class, the count of caller-saved registers:
+	// registers [0, CallerSaved) are clobbered by a call, registers
+	// [CallerSaved, NumRegs) are preserved by the callee.
+	CallerSaved [ir.NumClasses]int
+	// ArgRegs lists, per class, the registers that carry incoming
+	// arguments of that class, in argument order. Arguments beyond
+	// len(ArgRegs) are unbound (stack-passed in a real convention).
+	ArgRegs [ir.NumClasses][]int16
+	// RetReg is, per class, the register carrying a return value of
+	// that class, or -1 when the class has none.
+	RetReg [ir.NumClasses]int16
+}
+
+// maxArgRegs caps how many registers a convention binds to arguments;
+// four matches the RT/PC-era conventions the paper's compiler used.
+const maxArgRegs = 4
+
+// ForTarget derives the calling convention for a target machine: the
+// low half of each file is caller-saved, the first min(4, half)
+// registers carry arguments, and register 0 carries the return value.
+// Resized machines (the Figure 6 register study shrinks the GPR file)
+// keep the same shape at their new size.
+func ForTarget(t target.Machine) *Model {
+	m := &Model{Name: t.Name}
+	for _, c := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		k := t.K(c)
+		m.NumRegs[c] = k
+		m.CallerSaved[c] = k / 2
+		nArgs := m.CallerSaved[c]
+		if nArgs > maxArgRegs {
+			nArgs = maxArgRegs
+		}
+		for r := int16(0); int(r) < nArgs; r++ {
+			m.ArgRegs[c] = append(m.ArgRegs[c], r)
+		}
+		if k > 0 {
+			m.RetReg[c] = 0
+		} else {
+			m.RetReg[c] = -1
+		}
+	}
+	return m
+}
+
+// RTPC returns the paper's machine with its derived convention:
+// 16 GPRs (r0–r7 caller-saved, r0–r3 arguments, r0 return) and
+// 8 FPRs (f0–f3 caller-saved, f0–f3 arguments, f0 return).
+func RTPC() *Model { return ForTarget(target.RTPC()) }
+
+// ForK derives the convention for an anonymous machine with the given
+// per-class register counts — the constructor for callers that carry
+// only Options.KInt/KFloat.
+func ForK(kInt, kFloat int) *Model {
+	m := ForTarget(target.Machine{Name: fmt.Sprintf("k%d/%d", kInt, kFloat), NumGPR: kInt, NumFPR: kFloat})
+	return m
+}
+
+// K returns the register count of class c.
+func (m *Model) K(c ir.Class) int { return m.NumRegs[c] }
+
+// IsCallerSaved reports whether register r of class c is clobbered by
+// a call.
+func (m *Model) IsCallerSaved(c ir.Class, r int16) bool {
+	return int(r) < m.CallerSaved[c]
+}
+
+// NumPrecolored is the total number of precolored nodes the model
+// contributes to an interference graph: one per physical register of
+// every class.
+func (m *Model) NumPrecolored() int {
+	n := 0
+	for c := 0; c < ir.NumClasses; c++ {
+		n += m.NumRegs[c]
+	}
+	return n
+}
+
+// PreOffset is the offset of class c's first precolored node among
+// the model's precolored block: class files are laid out in class
+// order, so node base+PreOffset(c)+r is register r of class c.
+func (m *Model) PreOffset(c ir.Class) int32 {
+	off := int32(0)
+	for cc := ir.Class(0); cc < c; cc++ {
+		off += int32(m.NumRegs[cc])
+	}
+	return off
+}
+
+// PreClass returns the class and register number of the i'th
+// precolored node (0 <= i < NumPrecolored).
+func (m *Model) PreClass(i int32) (ir.Class, int16) {
+	for c := 0; c < ir.NumClasses; c++ {
+		if int(i) < m.NumRegs[c] {
+			return ir.Class(c), int16(i)
+		}
+		i -= int32(m.NumRegs[c])
+	}
+	panic("machine: precolored index out of range")
+}
+
+// ArgReg returns the register bound to argument position pos of class
+// c, or -1 when the position is unbound.
+func (m *Model) ArgReg(c ir.Class, pos int) int16 {
+	if pos < 0 || pos >= len(m.ArgRegs[c]) {
+		return -1
+	}
+	return m.ArgRegs[c][pos]
+}
+
+// Validate checks the model for internal consistency: positive file
+// sizes, the caller-saved split within bounds, and every convention
+// register inside its file. Allocator options validation calls it, so
+// a hand-built model fails loudly before any graph is built.
+func (m *Model) Validate() error {
+	for c := 0; c < ir.NumClasses; c++ {
+		cls := ir.Class(c)
+		if m.NumRegs[c] < 1 {
+			return fmt.Errorf("machine %s: class %s has %d registers", m.Name, cls, m.NumRegs[c])
+		}
+		if m.CallerSaved[c] < 0 || m.CallerSaved[c] > m.NumRegs[c] {
+			return fmt.Errorf("machine %s: class %s caller-saved split %d outside [0,%d]",
+				m.Name, cls, m.CallerSaved[c], m.NumRegs[c])
+		}
+		for pos, r := range m.ArgRegs[c] {
+			if r < 0 || int(r) >= m.NumRegs[c] {
+				return fmt.Errorf("machine %s: class %s argument %d bound to register %d, outside file of %d",
+					m.Name, cls, pos, r, m.NumRegs[c])
+			}
+		}
+		if r := m.RetReg[c]; r != -1 && (r < 0 || int(r) >= m.NumRegs[c]) {
+			return fmt.Errorf("machine %s: class %s return register %d outside file of %d",
+				m.Name, cls, r, m.NumRegs[c])
+		}
+	}
+	return nil
+}
+
+// String summarizes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("machine{%s: %d+%d regs, %d+%d caller-saved, %d+%d arg regs}",
+		m.Name, m.NumRegs[ir.ClassInt], m.NumRegs[ir.ClassFloat],
+		m.CallerSaved[ir.ClassInt], m.CallerSaved[ir.ClassFloat],
+		len(m.ArgRegs[ir.ClassInt]), len(m.ArgRegs[ir.ClassFloat]))
+}

@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"testing"
+
+	"regalloc/internal/ir"
+	"regalloc/internal/target"
+)
+
+func TestRTPCShape(t *testing.T) {
+	m := RTPC()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.K(ir.ClassInt) != 16 || m.K(ir.ClassFloat) != 8 {
+		t.Fatalf("K = %d/%d, want 16/8", m.K(ir.ClassInt), m.K(ir.ClassFloat))
+	}
+	if m.CallerSaved[ir.ClassInt] != 8 || m.CallerSaved[ir.ClassFloat] != 4 {
+		t.Fatalf("caller-saved = %d/%d, want 8/4", m.CallerSaved[ir.ClassInt], m.CallerSaved[ir.ClassFloat])
+	}
+	if got := len(m.ArgRegs[ir.ClassInt]); got != 4 {
+		t.Fatalf("int arg regs = %d, want 4", got)
+	}
+	if got := len(m.ArgRegs[ir.ClassFloat]); got != 4 {
+		t.Fatalf("float arg regs = %d, want 4", got)
+	}
+	if m.RetReg[ir.ClassInt] != 0 || m.RetReg[ir.ClassFloat] != 0 {
+		t.Fatalf("ret regs = %d/%d, want 0/0", m.RetReg[ir.ClassInt], m.RetReg[ir.ClassFloat])
+	}
+	if m.NumPrecolored() != 24 {
+		t.Fatalf("NumPrecolored = %d, want 24", m.NumPrecolored())
+	}
+}
+
+func TestCallerSavedIsLowPrefix(t *testing.T) {
+	m := RTPC()
+	for _, c := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		for r := int16(0); int(r) < m.NumRegs[c]; r++ {
+			want := int(r) < m.CallerSaved[c]
+			if got := m.IsCallerSaved(c, r); got != want {
+				t.Fatalf("IsCallerSaved(%s, %d) = %v, want %v", c, r, got, want)
+			}
+		}
+	}
+}
+
+func TestPreNodeMappingRoundTrips(t *testing.T) {
+	m := RTPC()
+	i := int32(0)
+	for _, c := range []ir.Class{ir.ClassInt, ir.ClassFloat} {
+		for r := int16(0); int(r) < m.NumRegs[c]; r++ {
+			if got := m.PreOffset(c) + int32(r); got != i {
+				t.Fatalf("PreOffset(%s)+%d = %d, want %d", c, r, got, i)
+			}
+			gc, gr := m.PreClass(i)
+			if gc != c || gr != r {
+				t.Fatalf("PreClass(%d) = (%s, %d), want (%s, %d)", i, gc, gr, c, r)
+			}
+			i++
+		}
+	}
+}
+
+func TestForTargetResized(t *testing.T) {
+	// The Figure 6 register study shrinks the GPR file; the derived
+	// convention must shrink with it and stay valid.
+	for _, k := range []int{4, 6, 8, 12} {
+		m := ForTarget(target.RTPC().WithGPR(k))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if m.K(ir.ClassInt) != k {
+			t.Fatalf("k=%d: K = %d", k, m.K(ir.ClassInt))
+		}
+		if m.CallerSaved[ir.ClassInt] != k/2 {
+			t.Fatalf("k=%d: caller-saved = %d, want %d", k, m.CallerSaved[ir.ClassInt], k/2)
+		}
+		if got := len(m.ArgRegs[ir.ClassInt]); got > k/2 || got > 4 {
+			t.Fatalf("k=%d: %d arg regs", k, got)
+		}
+	}
+}
+
+func TestArgRegBounds(t *testing.T) {
+	m := RTPC()
+	if r := m.ArgReg(ir.ClassInt, 0); r != 0 {
+		t.Fatalf("ArgReg(int, 0) = %d, want 0", r)
+	}
+	if r := m.ArgReg(ir.ClassInt, 99); r != -1 {
+		t.Fatalf("ArgReg(int, 99) = %d, want -1", r)
+	}
+	if r := m.ArgReg(ir.ClassFloat, -1); r != -1 {
+		t.Fatalf("ArgReg(flt, -1) = %d, want -1", r)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []*Model{
+		{Name: "zero-regs"},
+		func() *Model { m := RTPC(); m.CallerSaved[ir.ClassInt] = 99; return m }(),
+		func() *Model { m := RTPC(); m.ArgRegs[ir.ClassInt][0] = 40; return m }(),
+		func() *Model { m := RTPC(); m.RetReg[ir.ClassFloat] = 8; return m }(),
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("Validate accepted bad model %s", m)
+		}
+	}
+}

@@ -161,6 +161,14 @@ type RunSummary struct {
 	PortfolioCancelled   int    // candidates cut off before starting
 	PortfolioWinner      string // winning strategy name
 	PortfolioMarginMilli int64  // cheapest loser minus winner, milli spill cost
+	// PortfolioEntrants lists every candidate strategy in the race,
+	// winners and losers alike. Record seeds a zero wins counter for
+	// each, so the wins_total label set is the candidate list, not the
+	// winner history: a strategy that never wins (say, a newly added
+	// family) still exports wins_total{strategy="..."} 0 instead of
+	// silently missing — absent series skew any win-rate computed from
+	// the scrape.
+	PortfolioEntrants []string
 
 	PhaseNS [NumPhases]int64 // summed wall time per phase
 	TotalNS int64            // summed wall time, whole run
@@ -247,6 +255,11 @@ func (r *Registry) Record(s RunSummary) {
 		r.pfFinished += int64(s.PortfolioFinished)
 		r.pfCancelled += int64(s.PortfolioCancelled)
 		r.pfMargin += s.PortfolioMarginMilli
+		for _, name := range s.PortfolioEntrants {
+			if _, ok := r.pfWins[name]; !ok && len(r.pfWins) < MaxUnitKeys {
+				r.pfWins[name] = 0
+			}
+		}
 		win := s.PortfolioWinner
 		if _, ok := r.pfWins[win]; !ok && len(r.pfWins) >= MaxUnitKeys {
 			win = OverflowUnit

@@ -464,8 +464,8 @@ func emitCounters(sink obs.Sink, unit string, r *Result) {
 // Default returns the standard candidate set derived from base: the
 // two paper heuristics under the default cost/degree metric, the two
 // alternative spill metrics under Briggs, the cost-blind smallest-
-// last ordering, the SSA-form chordal allocator, and the speculative
-// pcolor engine once per seed
+// last ordering, the SSA-form chordal allocator, iterated register
+// coalescing, and the speculative pcolor engine once per seed
 // (workers pinned to the machine-independent default so the race is
 // reproducible across hosts). base supplies everything else (K,
 // coalescing, spill modes, Workers); base.Heuristic, base.Metric and
@@ -485,6 +485,7 @@ func Default(base alloc.Options, pcolorSeeds ...uint64) []Candidate {
 		mk("briggs/degree", func(o *alloc.Options) { o.Heuristic = color.Briggs; o.Metric = color.DegreeOnly }),
 		mk("mb", func(o *alloc.Options) { o.Heuristic = color.MatulaBeck; o.Metric = color.CostOverDegree }),
 		mk("ssa", func(o *alloc.Options) { o.Heuristic = color.SSA; o.Metric = color.CostOverDegree }),
+		mk("irc", func(o *alloc.Options) { o.Heuristic = color.IRC; o.Metric = color.CostOverDegree }),
 	}
 	for _, seed := range pcolorSeeds {
 		cands = append(cands, mk(fmt.Sprintf("pcolor/s%d", seed), func(o *alloc.Options) {

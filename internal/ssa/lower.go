@@ -24,6 +24,12 @@ type LowerStats struct {
 // a free color, or — when every color is occupied — bouncing it
 // through a fresh spill slot. Returns the coloring extended with any
 // scratch registers.
+//
+// The emitted copies are plain ir.OpMove instructions, deliberately:
+// any that survive (same-location copies are already skipped here)
+// remain visible to downstream copy elimination, in particular the
+// iterated-register-coalescing round (internal/irc), which treats
+// every OpMove as a coalesce candidate.
 func Lower(s *Func, a *Analysis, colors []int16, k color.K) ([]int16, LowerStats, error) {
 	f := s.F
 	var st LowerStats

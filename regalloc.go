@@ -64,6 +64,7 @@ import (
 	"regalloc/internal/ir"
 	"regalloc/internal/irgen"
 	"regalloc/internal/irinterp"
+	"regalloc/internal/machine"
 	"regalloc/internal/obs"
 	"regalloc/internal/opt"
 	"regalloc/internal/parser"
@@ -83,13 +84,35 @@ type Heuristic = color.Heuristic
 // Briggs et al. ("New"), and Matula–Beck smallest-last ordering (the
 // cost-blind linear-time comparator of §2.2) — plus the SSA-form
 // chordal allocator, which replaces the whole Figure 4 cycle with
-// construction, pre-spilling, and dominance-order greedy coloring.
+// construction, pre-spilling, and dominance-order greedy coloring,
+// and George–Appel iterated register coalescing (IRC), which fuses
+// the coalesce pre-pass into simplification so conservative merges
+// retry as the graph shrinks.
 const (
 	Chaitin    = color.Chaitin
 	Briggs     = color.Briggs
 	MatulaBeck = color.MatulaBeck
 	SSA        = color.SSA
+	IRC        = color.IRC
 )
+
+// MachineModel describes a register file beyond its plain per-class
+// counts (machine.Model re-exported): the caller/callee-saved
+// partition and the calling convention's argument and return register
+// bindings. Set Options.Machine to allocate under those constraints;
+// see MachineRTPC and MachineFor.
+type MachineModel = machine.Model
+
+// MachineRTPC returns the register-file model of the paper's RT/PC
+// target: 16 general-purpose registers (r0–r7 caller-saved, r0–r3
+// arguments, r0 return) and 8 floating-point registers (f0–f3
+// caller-saved and arguments, f0 return).
+func MachineRTPC() *MachineModel { return machine.RTPC() }
+
+// MachineFor derives a register-file model from a simulated target:
+// the low half of each class is caller-saved, the first min(4, half)
+// registers carry arguments, and register 0 carries the return value.
+func MachineFor(m Machine) *MachineModel { return machine.ForTarget(m) }
 
 // Options configures the allocator; it is alloc.Options re-exported.
 type Options = alloc.Options
@@ -113,6 +136,7 @@ var (
 	ErrConflictingSpillModes = alloc.ErrConflictingSpillModes
 	ErrBadWorkers            = alloc.ErrBadWorkers
 	ErrBadPColorAlgo         = alloc.ErrBadPColorAlgo
+	ErrBadMachine            = alloc.ErrBadMachine
 )
 
 // ErrIrreducible (ssa.ErrIrreducible re-exported) reports register
@@ -319,6 +343,10 @@ func SummarizePortfolio(unit string, pr *PortfolioResult) RunSummary {
 	s.PortfolioCancelled = cancelled
 	s.PortfolioWinner = pr.Outcomes[pr.Winner].Name
 	s.PortfolioMarginMilli = pr.WinMarginMilli
+	s.PortfolioEntrants = make([]string, len(pr.Outcomes))
+	for i, o := range pr.Outcomes {
+		s.PortfolioEntrants[i] = o.Name
+	}
 	return s
 }
 

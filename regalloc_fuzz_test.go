@@ -59,6 +59,8 @@ func FuzzAllocateExecutes(f *testing.F) {
 	f.Add(uint64(7), uint64(1))
 	f.Add(uint64(42), uint64(2))
 	f.Add(uint64(1000003), uint64(5))
+	f.Add(uint64(23), uint64(4)) // odd seed+kraw: machine-model leg, k=12
+	f.Add(uint64(31), uint64(6)) // odd seed+kraw: machine-model leg, k=8
 	f.Fuzz(func(t *testing.T, seed, kraw uint64) {
 		// Register budgets below 8 are not a supported target shape
 		// (spill lowering needs scratch headroom), so map the fuzz
@@ -77,7 +79,7 @@ func FuzzAllocateExecutes(f *testing.F) {
 		}
 		want := fuzzDigest(it.LoadInt, it.LoadFloat)
 
-		for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs, regalloc.SSA} {
+		for _, h := range []regalloc.Heuristic{regalloc.Chaitin, regalloc.Briggs, regalloc.SSA, regalloc.IRC} {
 			opt := regalloc.DefaultOptions()
 			opt.Heuristic = h
 			opt.KInt = k
@@ -104,6 +106,42 @@ func FuzzAllocateExecutes(f *testing.F) {
 			}
 			if got := fuzzDigest(machine.LoadInt, machine.LoadFloat); got != want {
 				t.Fatalf("seed %d %s k=%d: allocated code diverged from the input IR\n%s", seed, h, k, src)
+			}
+		}
+
+		// Machine-model leg (half the corpus, keyed off the fuzz
+		// input): allocate under the register-file constraints —
+		// FZ's parameters bind to precolored argument registers,
+		// values crossing generated flow prefer callee-saved colors —
+		// and demand both the stronger machine oracle and the same
+		// execution digest. Runs IRC (which additionally coalesces the
+		// convention bindings) and Briggs (the plain Figure 4 cycle
+		// under precolored pressure).
+		if (seed+kraw)%2 == 1 {
+			m := regalloc.RTPC().WithGPR(k)
+			model := regalloc.MachineFor(m)
+			for _, h := range []regalloc.Heuristic{regalloc.Briggs, regalloc.IRC} {
+				opt := regalloc.DefaultOptions()
+				opt.Heuristic = h
+				opt.KInt = k
+				opt.Machine = model
+				code, results, err := prog.Assemble(m, opt)
+				if err != nil {
+					t.Fatalf("seed %d %s machine k=%d: assemble: %v\n%s", seed, h, k, err, src)
+				}
+				for name, res := range results {
+					if err := alloc.VerifyAssignmentMachine(res.Func, res.Colors, model); err != nil {
+						t.Fatalf("seed %d %s machine k=%d %s: machine oracle: %v\n%s", seed, h, k, name, err, src)
+					}
+				}
+				machine := regalloc.NewVM(code, prog.MemWords())
+				fuzzSeedArrays(machine.StoreInt, machine.StoreFloat)
+				if _, err := machine.Call("FZ", vm.Int(fuzzIABase), vm.Int(fuzzRABase), vm.Int(5)); err != nil {
+					t.Fatalf("seed %d %s machine k=%d: vm: %v\n%s", seed, h, k, err, src)
+				}
+				if got := fuzzDigest(machine.LoadInt, machine.LoadFloat); got != want {
+					t.Fatalf("seed %d %s machine k=%d: allocated code diverged from the input IR\n%s", seed, h, k, src)
+				}
 			}
 		}
 

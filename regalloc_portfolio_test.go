@@ -2,9 +2,12 @@ package regalloc_test
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"testing"
 
 	"regalloc"
+	"regalloc/internal/obs/promtext"
 	"regalloc/internal/workloads"
 )
 
@@ -108,6 +111,56 @@ func TestSummarizePortfolio(t *testing.T) {
 	snap := reg.Snapshot()
 	if snap.PortfolioRaces != 1 || snap.PortfolioWins[s.PortfolioWinner] != 1 {
 		t.Fatalf("registry: %+v", snap)
+	}
+}
+
+// TestPortfolioWinsLabelSetComplete pins the wins_total label-set
+// contract: after one race, the registry exports a wins_total series
+// for EVERY candidate strategy in the race — zero for the losers —
+// not just for strategies that happen to have won. (Before entrants
+// were recorded, a family like irc or ssa that never won a race was
+// simply absent from /metrics, and win rates computed from the scrape
+// silently skewed toward the incumbents.)
+func TestPortfolioWinsLabelSetComplete(t *testing.T) {
+	prog, err := regalloc.Compile(workloads.SVD().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := regalloc.DefaultPortfolio(regalloc.DefaultOptions(), 1, 7)
+	pr, err := prog.AllocatePortfolio(context.Background(), "SVD", cands, regalloc.PortfolioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := regalloc.NewRegistry()
+	reg.Record(regalloc.SummarizePortfolio("SVD", pr))
+	snap := reg.Snapshot()
+	var sb strings.Builder
+	if err := promtext.Write(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wins := 0
+	for _, c := range cands {
+		series := fmt.Sprintf("regalloc_portfolio_wins_total{strategy=%q}", c.Name)
+		if !strings.Contains(out, series) {
+			t.Errorf("series %s missing from the export", series)
+		}
+		wins += int(snap.PortfolioWins[c.Name])
+	}
+	if wins != 1 {
+		t.Fatalf("wins across the candidate set sum to %d, want 1", wins)
+	}
+	// The candidate list includes every allocator family by name.
+	for _, family := range []string{"chaitin", "briggs", "mb", "ssa", "irc"} {
+		found := false
+		for _, c := range cands {
+			if c.Name == family {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("default portfolio lacks the %s family", family)
+		}
 	}
 }
 
